@@ -1,0 +1,35 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures at the true
+paper scale (override with ``REPRO_BENCH_SCALE``), times it with
+pytest-benchmark, prints the measured series next to the paper's reported
+shape, and archives the text table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Problem scale for the figure benchmarks (1.0 = the paper's sizes)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,45 @@
+"""Simulator performance: one-port engine event throughput.
+
+Not a paper figure -- this guards the substrate that every experiment rests
+on: a paper-scale figure must stay interactive (hundreds of thousands of
+port messages per second).
+"""
+
+from repro.core.blocks import BlockGrid
+from repro.platform.generators import memory_heterogeneous
+from repro.schedulers.demand_driven import ODDOMLScheduler
+from repro.schedulers.heterogeneous import HetScheduler
+
+
+def test_engine_throughput_oddoml(benchmark, emit):
+    """Messages/second through the demand-driven engine at paper scale."""
+    plat = memory_heterogeneous()
+    grid = BlockGrid.paper_instance(80_000)
+    sched = ODDOMLScheduler()
+
+    def run():
+        return sched.run(plat, grid, collect_events=False)
+
+    res = benchmark(run)
+    n_msgs = sum(st.chunks for st in res.worker_stats) * (grid.t + 2)
+    emit(
+        "engine_throughput",
+        f"ODDOML paper-scale simulation: ~{n_msgs} port messages, "
+        f"{res.total_updates} block updates simulated",
+    )
+    assert res.total_updates == grid.total_updates
+
+
+def test_het_planning_cost(benchmark, emit):
+    """Full Het planning (8 selection variants + 8 trial simulations)."""
+    plat = memory_heterogeneous()
+    grid = BlockGrid.paper_instance(80_000)
+    sched = HetScheduler()
+    plan = benchmark.pedantic(lambda: sched.plan(plat, grid), rounds=1, iterations=1)
+    emit(
+        "het_planning",
+        f"Het planning at paper scale: variant={plan.meta['variant']}, "
+        f"selections={plan.meta['selections']}, "
+        f"enrolled={plan.meta['enrolled']}",
+    )
+    assert plan.meta["variant"] in plan.meta["variant_makespans"]

@@ -1,0 +1,36 @@
+"""Figure 4: heterogeneous memory (256/512/1024 MB), five matrix sizes.
+
+Paper shape: ODDOML and Het best makespans; OMMOML ~2x worst; Hom, HomI,
+ORROML and BMM roughly 20% slower; relative work ranking OMMOML (thrifty),
+then HomI <= Hom / Het, then ODDOML/ORROML, BMM worst.  Het ~2000 s on the
+smallest product, ~3500 s on the largest.
+"""
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_relative_table, format_summary
+
+
+def test_fig4_memory_heterogeneous(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig4", bench_scale), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            f"[fig4] scale={bench_scale} (paper: ODDOML/Het best cost; OMMOML ~2x; "
+            "others ~1.2x; work: OMMOML < HomI/Het/Hom < ODDOML/ORROML < BMM)",
+            format_relative_table(result, "cost"),
+            format_relative_table(result, "work"),
+            format_summary(result, "cost"),
+            format_summary(result, "work"),
+            "absolute Het makespans (paper ~2000s smallest, ~3500s largest): "
+            + ", ".join(
+                f"{m.instance}={m.makespan:.0f}s"
+                for m in result.measurements
+                if m.algorithm == "Het"
+            ),
+        ]
+    )
+    emit("fig4_memory", text)
+    cost = result.summary("cost")
+    assert cost["ODDOML"]["mean"] <= 1.2
+    assert cost["OMMOML"]["mean"] >= 1.3

@@ -1,0 +1,35 @@
+"""Figure 5: heterogeneous links (10/5/1 Mbps), five matrix sizes.
+
+Paper shape: Het, HomI and OMMOML have excellent makespans and good
+resource selection; Hom performs close to ODDOML; BMM is worst, 70-90%
+above the best makespan.  Het ~2500 s smallest, ~5000 s largest.
+"""
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_relative_table, format_summary
+
+
+def test_fig5_comm_heterogeneous(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig5", bench_scale), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            f"[fig5] scale={bench_scale} (paper: Het/HomI/OMMOML best cost; BMM worst "
+            "at 1.7-1.9x; resource selection dominates relative work)",
+            format_relative_table(result, "cost"),
+            format_relative_table(result, "work"),
+            format_summary(result, "cost"),
+            format_summary(result, "work"),
+            "absolute Het makespans (paper ~2500s smallest, ~5000s largest): "
+            + ", ".join(
+                f"{m.instance}={m.makespan:.0f}s"
+                for m in result.measurements
+                if m.algorithm == "Het"
+            ),
+        ]
+    )
+    emit("fig5_comm", text)
+    cost = result.summary("cost")
+    assert cost["Het"]["mean"] <= 1.15
+    assert cost["BMM"]["mean"] == max(v["mean"] for v in cost.values())

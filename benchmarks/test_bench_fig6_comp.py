@@ -1,0 +1,39 @@
+"""Figure 6: heterogeneous CPU speeds (S, S/2, S/4), five matrix sizes.
+
+Paper shape: BMM performs rather well but stays above Het; ODDOML performs
+well; work gaps widen because our algorithms enroll fewer resources; Het
+enrolls more workers as the matrix grows.  Het ~2000 s smallest, ~4000 s
+largest.
+"""
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_relative_table, format_summary
+
+
+def test_fig6_comp_heterogeneous(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig6", bench_scale), rounds=1, iterations=1
+    )
+    het_enrolled = [
+        (m.instance, m.n_enrolled) for m in result.measurements if m.algorithm == "Het"
+    ]
+    text = "\n\n".join(
+        [
+            f"[fig6] scale={bench_scale} (paper: ODDOML good, BMM decent but above "
+            "Het; Het enrolls more workers as s grows)",
+            format_relative_table(result, "cost"),
+            format_relative_table(result, "work"),
+            format_summary(result, "cost"),
+            format_summary(result, "work"),
+            "Het enrollment by size: " + ", ".join(f"{i}={n}" for i, n in het_enrolled),
+            "absolute Het makespans (paper ~2000s smallest, ~4000s largest): "
+            + ", ".join(
+                f"{m.instance}={m.makespan:.0f}s"
+                for m in result.measurements
+                if m.algorithm == "Het"
+            ),
+        ]
+    )
+    emit("fig6_comp", text)
+    cost = result.summary("cost")
+    assert cost["ODDOML"]["mean"] <= 1.4

@@ -1,0 +1,41 @@
+"""Figure 7: fully heterogeneous platforms (ratio-2, ratio-4, ten random).
+
+Paper shape: Het best on 10 of 12 platforms and never more than 9% off the
+best; every other algorithm is at least once >41% away (ORROML up to 88%,
+OMMOML up to 215%, HomI up to 80% / 34% on average); ODDOML reasonable on
+average but poor relative work.  Het 2700-6000 s.
+"""
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_relative_table, format_summary
+
+
+def test_fig7_fully_heterogeneous(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig7", bench_scale), rounds=1, iterations=1
+    )
+    rel = result.relative("cost")
+    het_wins = sum(
+        1
+        for inst in result.instances
+        if all(
+            rel[("Het", inst)] <= rel[(alg, inst)] + 1e-12
+            for alg in result.algorithms
+            if (alg, inst) in rel
+        )
+    )
+    het_worst = max(rel[("Het", inst)] for inst in result.instances)
+    text = "\n\n".join(
+        [
+            f"[fig7] scale={bench_scale} (paper: Het best on 10/12 platforms, worst "
+            "case +9%; every other algorithm >41% off at least once)",
+            format_relative_table(result, "cost"),
+            format_relative_table(result, "work"),
+            format_summary(result, "cost"),
+            f"Het wins {het_wins}/12 platforms; Het worst-case relative cost "
+            f"{het_worst:.3f} (paper 1.09)",
+        ]
+    )
+    emit("fig7_fully_het", text)
+    assert het_wins >= 6
+    assert het_worst <= 1.5

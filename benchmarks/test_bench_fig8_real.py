@@ -1,0 +1,45 @@
+"""Figure 8: the real 20-worker platform, B 8000 x 320000.
+
+Paper shape: on the Aug-2007 configuration (uniform 1 GB memory) all
+algorithms but BMM achieve similar makespans and the selecting algorithms
+use 11 of 20 workers; on the Nov-2006 configuration (two families at
+256 MB) the picture matches the memory-heterogeneous case -- ODDOML and Het
+best, OMMOML ~60% worse, Het using only the ten 1 GB workers (~7800 s).
+"""
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import format_relative_table, format_summary
+
+
+def test_fig8_real_platform(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig8", bench_scale), rounds=1, iterations=1
+    )
+    enrollment = {
+        (m.algorithm, m.instance): m.n_enrolled for m in result.measurements
+    }
+    text = "\n\n".join(
+        [
+            f"[fig8] scale={bench_scale} (paper: Aug-2007 all similar but BMM, "
+            "selectors use 11/20 workers; Nov-2006 like the memory-het case, Het "
+            "on the ten 1 GB workers, ~7800 s)",
+            format_relative_table(result, "cost"),
+            format_relative_table(result, "work"),
+            format_summary(result, "cost"),
+            "enrollment: "
+            + ", ".join(f"{a}@{i}={n}" for (a, i), n in sorted(enrollment.items())),
+            "absolute Het makespans: "
+            + ", ".join(
+                f"{m.instance}={m.makespan:.0f}s"
+                for m in result.measurements
+                if m.algorithm == "Het"
+            ),
+        ]
+    )
+    emit("fig8_real", text)
+    cost = result.relative("cost")
+    # Het must stay competitive on both configurations
+    assert all(cost[("Het", inst)] <= 1.35 for inst in result.instances)
+    # Nov-2006: Het leaves the 256 MB workers out (uses at most the 10 big ones
+    # plus possibly a few small ones -- the paper reports exactly 10)
+    assert enrollment[("Het", "real-nov2006")] <= 14

@@ -1,0 +1,36 @@
+"""Figure 9: cross-experiment summary.
+
+Paper headline numbers: our memory layout alone (ODDOML vs BMM) gains 19%
+of execution time on average; adding resource selection (Het) brings it to
+27%; Het is on average 1% away from the best makespan (14% at worst, vs
+61% for ODDOML and 128% for BMM); Het stays within 2.29x of the
+steady-state throughput bound on average (3.42x at worst).
+"""
+
+from repro.experiments.figures import run_summary
+from repro.experiments.report import format_fig9
+
+
+def test_fig9_summary(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_summary(bench_scale), rounds=1, iterations=1
+    )
+    text = f"[fig9] scale={bench_scale}\n\n" + format_fig9(result)
+    emit("fig9_summary", text)
+
+    per_inst: dict[str, dict[str, float]] = {}
+    for m in result.measurements:
+        per_inst.setdefault(m.instance, {})[m.algorithm] = m.makespan
+
+    def mean_gain(a: str, b: str) -> float:
+        gains = [
+            1 - v[a] / v[b] for v in per_inst.values() if a in v and b in v and v[b] > 0
+        ]
+        return sum(gains) / len(gains)
+
+    assert mean_gain("Het", "BMM") > 0.10  # paper: 27%
+    assert mean_gain("ODDOML", "BMM") > 0.05  # paper: 19%
+    ratios = result.bound_ratios("Het")
+    assert 1.0 <= sum(ratios) / len(ratios) <= 4.5  # paper: 2.29
+    cost = result.summary("cost")
+    assert cost["Het"]["mean"] <= 1.3  # paper: 1.01

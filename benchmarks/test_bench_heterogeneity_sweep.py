@@ -1,0 +1,30 @@
+"""Extension benchmark: relative cost vs degree of heterogeneity.
+
+The paper evaluates ratios 2 and 4 (Figure 7); this sweep varies the
+large/small parameter ratio from ~1 (homogeneous) to 8 and tracks each
+algorithm's relative cost, Het's enrollment and Het's distance to the
+steady-state bound -- showing *where* heterogeneity-awareness starts to pay.
+"""
+
+from repro.experiments.sweeps import heterogeneity_sweep
+
+RATIOS = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def test_heterogeneity_sweep(benchmark, bench_scale, emit):
+    scale = min(bench_scale, 0.5)  # the sweep runs 7 ratios x 7 algorithms
+    sweep = benchmark.pedantic(
+        lambda: heterogeneity_sweep(RATIOS, scale=scale), rounds=1, iterations=1
+    )
+    text = (
+        f"Heterogeneity sweep (fully-het platforms, scale {scale}; relative cost, "
+        "1.000 = best per ratio)\n" + sweep.table() + "\n"
+        "paper data points: ratio 2 and ratio 4 are Figure 7's first two columns"
+    )
+    emit("heterogeneity_sweep", text)
+    # Het remains within a modest envelope of the best at every ratio ...
+    assert all(pt.relative("Het") <= 1.6 for pt in sweep.points)
+    # ... while the heterogeneity-blind baselines degrade sharply with ratio
+    last = sweep.points[-1]
+    assert max(last.relative("BMM"), last.relative("ORROML")) >= 1.8
+    assert last.relative("ORROML") > sweep.points[0].relative("ORROML")

@@ -1,0 +1,54 @@
+"""Table 1 (steady-state LP) and Table 2 (memory infeasibility).
+
+Paper: the LP's bandwidth-centric solution sorts workers by 2c_i/mu_i and
+achieves rho = sum 1/w_i over enrolled workers -- but needs buffers growing
+without bound (Table 2), which is why Het selects resources by simulation.
+"""
+
+from repro.experiments.table2 import achieved_fraction, table2_demo
+from repro.platform.generators import memory_heterogeneous
+from repro.theory.steady_state import bandwidth_centric, steady_state_lp
+
+
+def test_lp_closed_form(benchmark, emit):
+    plat = memory_heterogeneous()
+    sol = benchmark(lambda: bandwidth_centric(plat))
+    lp = steady_state_lp(plat)
+    text = "\n".join(
+        [
+            "Table 1 steady-state LP on the memory-het platform",
+            f"closed-form rho = {sol.rho:.3f} upd/s, scipy rho = {lp.rho:.3f}",
+            "enrollment order (by 2c/mu): " + ", ".join(f"P{i + 1}" for i in sol.order),
+            "rates: "
+            + ", ".join(
+                f"P{r.worker + 1}: x={r.x:.2f} port={r.port_fraction:.2f}"
+                f"{'*' if r.saturated else ''}"
+                for r in sol.rates
+                if r.x > 0
+            ),
+        ]
+    )
+    emit("steady_state_lp", text)
+    assert abs(sol.rho - lp.rho) <= 1e-9 * max(1.0, sol.rho)
+
+
+def test_table2_infeasibility(benchmark, emit):
+    rows = benchmark.pedantic(lambda: table2_demo(), rounds=1, iterations=1)
+    lines = [
+        "Table 2: buffers needed to realize the bandwidth-centric rates",
+        f"{'x':>5}{'rho':>9}{'required mu':>13}{'memory (blocks)':>17}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.x:>5g}{row.rho:>9.4f}"
+            f"{str(row.required_mu):>13}{str(row.required_memory):>17}"
+        )
+    lines.append("fraction of bound at mu=2: " + ", ".join(
+        f"x={x:g}:{achieved_fraction(x, 2):.2f}" for x in (2.0, 4.0, 8.0)
+    ))
+    lines.append("paper: the LP solution cannot be realized with fixed memory as x grows")
+    text = "\n".join(lines)
+    emit("table2_infeasibility", text)
+    mus = [row.required_mu for row in rows]
+    assert all(mu is not None for mu in mus)
+    assert mus[0] < mus[-1]

@@ -1,0 +1,44 @@
+"""Extension benchmark: straggler sensitivity (a negative result for Het).
+
+One worker of an otherwise homogeneous 8-worker platform slows down by a
+growing factor.  Finding: the *threshold* selectors (Hom, HomI) and the
+*completion-time* selector (OMMOML) fence the straggler off completely,
+while Het's ratio-based incremental selection inherits it -- a worker's
+compute speed is invisible to the port-time ratios until it has already
+been granted columns, and at paper scale ``mu >= r`` means a single
+selection hands out a full panel.  The demand-driven and round-robin
+heuristics degrade the same way.  This failure mode is outside the paper's
+evaluation (its Figure 6 slows half the platform by only 4x, where Het
+copes); the benchmark documents it as a limitation of the ratio criteria.
+"""
+
+from repro.experiments.sweeps import straggler_sweep
+
+SLOWDOWNS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_straggler_sweep(benchmark, bench_scale, emit):
+    scale = min(bench_scale, 0.5)
+    sweep = benchmark.pedantic(
+        lambda: straggler_sweep(SLOWDOWNS, scale=scale), rounds=1, iterations=1
+    )
+    text = (
+        f"Straggler sweep (one of 8 workers slowed; scale {scale}; relative cost, "
+        "1.000 = best per slowdown)\n" + sweep.table() + "\n"
+        "finding: threshold (Hom/HomI) and completion-time (OMMOML) selection fence\n"
+        "the straggler off; ratio-based incremental selection (Het) and the blind\n"
+        "heuristics (ORROML/ODDOML) inherit its pace -- see EXPERIMENTS.md"
+    )
+    emit("straggler_sweep", text)
+    base, hit = sweep.points[0], sweep.points[-1]
+
+    def growth(alg: str) -> float:
+        return hit.makespans[alg] / base.makespans[alg]
+
+    # threshold/completion selectors absorb the straggler ...
+    assert growth("Hom") <= 1.2
+    assert growth("HomI") <= 1.2
+    assert growth("OMMOML") <= 1.2
+    # ... the ratio-based and blind algorithms inherit it (documented limitation)
+    assert growth("Het") >= 2.0
+    assert growth("ORROML") >= 2.0

@@ -1,0 +1,57 @@
+"""Section 3: communication-to-computation bounds and the max re-use CCR.
+
+Paper series: lower bound sqrt(27/(8m)) (improving sqrt(1/(8m)) by
+3*sqrt(3)); max re-use achieves 2/t + 2/mu -> 2/sqrt(m), within
+sqrt(32/27) ~ 1.09 of the bound and sqrt(3) better than Toledo's layout.
+The benchmark also *measures* the CCR by simulating the single-worker
+algorithm and checks it equals the formula.
+"""
+
+from repro.core.blocks import BlockGrid
+from repro.core.layout import max_reuse_mu
+from repro.platform.model import Platform, Worker
+from repro.schedulers.single_worker import MaxReuseSingleWorker
+from repro.theory.bounds import ccr_lower_bound, toledo_ccr_lower_bound
+from repro.theory.ccr import (
+    max_reuse_ccr,
+    measured_ccr,
+    optimality_gap,
+    toledo_ccr,
+)
+
+MEMORIES = [21, 93, 453, 5242, 20971]  # mu = 4, 9, 20, 71, 143 (plain layout)
+T = 100
+
+
+def _table() -> str:
+    lines = [
+        "Section 3 bounds (block transfers per block update, t = 100)",
+        f"{'m':>7}{'mu':>5}{'bound 27/8m':>13}{'old 1/8m':>10}{'max-reuse':>11}"
+        f"{'toledo':>9}{'measured':>10}{'gap':>7}",
+    ]
+    for m in MEMORIES:
+        mu = max_reuse_mu(m)
+        grid = BlockGrid(r=mu, t=T, s=2 * mu)
+        plat = Platform([Worker(0, 1.0, 1.0, m)])
+        res = MaxReuseSingleWorker().run(plat, grid, collect_events=False)
+        lines.append(
+            f"{m:>7}{mu:>5}{ccr_lower_bound(m):>13.5f}{toledo_ccr_lower_bound(m):>10.5f}"
+            f"{max_reuse_ccr(m, T):>11.5f}{toledo_ccr(m, T):>9.5f}"
+            f"{measured_ccr(res):>10.5f}{optimality_gap(m):>7.3f}"
+        )
+    lines.append("paper: gap -> sqrt(32/27) = 1.089; toledo/max-reuse -> sqrt(3)")
+    return "\n".join(lines)
+
+
+def test_bounds_table(benchmark, emit):
+    text = benchmark.pedantic(_table, rounds=1, iterations=1)
+    emit("theory_bounds", text)
+    for m in MEMORIES:
+        mu = max_reuse_mu(m)
+        grid = BlockGrid(r=mu, t=T, s=2 * mu)
+        plat = Platform([Worker(0, 1.0, 1.0, m)])
+        res = MaxReuseSingleWorker().run(plat, grid, collect_events=False)
+        got = measured_ccr(res)
+        want = max_reuse_ccr(m, T)
+        assert abs(got - want) < 1e-12
+        assert got > ccr_lower_bound(m)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Extension: LU factorization on the heterogeneous star platform.
+
+The paper's conclusion points at LU as the next kernel for its approach.
+A right-looking blocked LU spends almost all of its time in trailing
+updates ``A[k+1:, k+1:] -= L . U`` -- matrix products with inner dimension
+t = 1 that we schedule with the paper's algorithms.  This example:
+
+1. factorizes a real matrix block by block and verifies ``L @ U = A``;
+2. simulates the same factorization on the memory-heterogeneous platform,
+   comparing the MM scheduler used for the trailing updates;
+3. shows the t = 1 twist: with no C re-use to amortize, the maximum re-use
+   layout loses its sqrt(3) CCR advantage over Toledo's (2 + 2/mu vs
+   2 + 2/sigma, both ~ 2).
+
+Run:  python examples/lu_factorization.py
+"""
+
+from repro.lu import block_lu, diagonally_dominant, simulate_lu, verify_lu
+from repro.platform.generators import memory_heterogeneous, scale_platform
+from repro.theory.ccr import max_reuse_ccr, toledo_ccr
+
+
+def main() -> None:
+    # 1) numerics
+    a = diagonally_dominant(48, rng=11)
+    packed = block_lu(a, q=8)
+    print(f"block LU of a 48x48 dominant matrix (q=8): max|LU - A| = {verify_lu(a, packed):.2e}\n")
+
+    # 2) platform simulation
+    platform = scale_platform(memory_heterogeneous(), 0.12)
+    print(platform.describe())
+    print(f"\n{'MM scheduler':<12}{'LU makespan':>13}{'in updates':>12}")
+    for alg in ("Hom", "Het", "ORROML", "ODDOML", "BMM"):
+        sim = simulate_lu(platform, n_blocks=16, mm_algorithm=alg)
+        print(f"{alg:<12}{sim.makespan:>12.2f}s{sim.update_fraction:>12.0%}")
+
+    # 3) why t=1 changes the layout story
+    m = 5242
+    print("\nCCR at t=1 (LU trailing update) vs t=100 (plain product), m=5242:")
+    print(f"  max re-use : {max_reuse_ccr(m, 1):.3f} vs {max_reuse_ccr(m, 100):.3f}")
+    print(f"  Toledo     : {toledo_ccr(m, 1):.3f} vs {toledo_ccr(m, 100):.3f}")
+    print("  -> at t=1 the C traffic dominates both layouts equally; the paper's")
+    print("     layout advantage is a *re-use* effect that needs t >> 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Extension: the paper's memory layout as an out-of-core algorithm.
+
+Section 8 asks "whether our memory layout could prove useful in the context
+of out-of-core algorithms".  Here the master is the disk, the worker is RAM
+with m block buffers, and communication volume becomes I/O volume.  The
+example multiplies file-backed (numpy.memmap) matrices under an audited
+buffer pool and compares the measured block I/O of the maximum re-use
+layout against Toledo's thirds and the sqrt(27/8m) lower bound.
+
+Run:  python examples/out_of_core.py
+"""
+
+from repro.core.blocks import BlockGrid
+from repro.ooc import OutOfCoreProduct, io_lower_bound
+
+GRID = BlockGrid(r=12, t=10, s=18, q=8)  # 96x80 . 80x144 elements
+MEMORIES = (21, 48, 111, 300)
+
+
+def main() -> None:
+    print(f"out-of-core C += A.B, {GRID} ({GRID.total_updates} block updates)\n")
+    print(
+        f"{'m (blocks)':>11}{'bound':>8}{'max-reuse':>11}{'toledo':>9}"
+        f"{'saved':>8}{'mr err':>10}{'peak<=m':>9}"
+    )
+    for m in MEMORIES:
+        p1 = OutOfCoreProduct(GRID, m)
+        r1 = p1.run_max_reuse(p1.fill_random(rng=m))
+        p2 = OutOfCoreProduct(GRID, m)
+        r2 = p2.run_toledo(p2.fill_random(rng=m))
+        saved = 1 - r1.total_io / r2.total_io
+        print(
+            f"{m:>11}{io_lower_bound(GRID, m):>8.0f}{r1.total_io:>11}{r2.total_io:>9}"
+            f"{saved:>8.0%}{r1.max_error:>10.1e}{str(r1.peak_blocks <= m):>9}"
+        )
+        assert r1.matches_prediction() and r2.matches_prediction()
+        p1.cleanup()
+        p2.cleanup()
+    print(
+        "\nthe measured I/O matches the closed-form model block for block;\n"
+        "the max re-use layout streams ~sqrt(3)x fewer A/B blocks, exactly\n"
+        "the advantage the paper proves for the master-worker setting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation interactively.
+
+Runs the Section 6 figure experiments at a chosen scale and prints the
+relative cost/work tables the paper plots as bar charts, plus the Figure 9
+cross-experiment summary with the headline percentages.
+
+Run:  python examples/platform_comparison.py [scale]
+      (scale defaults to 0.25; 1.0 = the paper's full problem sizes)
+"""
+
+import sys
+
+from repro.experiments.figures import run_figure, run_summary
+from repro.experiments.report import format_fig9, format_relative_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    for fig, blurb in [
+        ("fig4", "heterogeneous memory (256/512/1024 MB)"),
+        ("fig5", "heterogeneous links (10/5/1 Mbps)"),
+        ("fig6", "heterogeneous CPUs (S, S/2, S/4)"),
+    ]:
+        print(f"\n=== {fig}: {blurb}, scale {scale} ===\n")
+        result = run_figure(fig, scale)
+        print(format_relative_table(result, "cost"))
+        print()
+        print(format_relative_table(result, "work"))
+
+    print(f"\n=== fig9 summary over fig4+fig5+fig6, scale {scale} ===\n")
+    summary = run_summary(scale, figures=("fig4", "fig5", "fig6"))
+    print(format_fig9(summary))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on older pips) use the setuptools develop path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

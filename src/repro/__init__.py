@@ -1,0 +1,123 @@
+"""Matrix product on heterogeneous master-worker platforms.
+
+A full reproduction of Dongarra, Pineau, Robert & Vivien, *"Matrix Product
+on Heterogeneous Master-Worker Platforms"*, PPoPP 2008: the maximum re-use
+memory layout, the homogeneous and heterogeneous scheduling algorithms with
+incremental resource selection, the baselines they are compared against
+(round-robin, min-min, demand-driven, Toledo's out-of-core BMM), the
+communication-volume lower bounds, the steady-state throughput bound, a
+one-port discrete-event simulator standing in for the paper's MPI cluster,
+a numerical executor validating every schedule against ``C + A @ B``, and
+the complete Section 6 experiment suite.
+
+Quick start::
+
+    from repro import BlockGrid, memory_heterogeneous, make_scheduler
+
+    platform = memory_heterogeneous()        # the paper's Figure 4 platform
+    grid = BlockGrid.paper_instance(80_000)  # A 8000x8000, B 8000x80000
+    result = make_scheduler("Het").run(platform, grid)
+    print(result.summary())
+"""
+
+from .core.blocks import BlockGrid
+from .core.chunks import Chunk, assert_partition
+from .core.layout import MemoryLayout, max_reuse_mu, overlapped_mu, toledo_sigma
+from .execution import verify_chunks, verify_trace
+from .experiments import (
+    Instance,
+    run_experiment,
+    run_figure,
+    run_summary,
+)
+from .platform import (
+    Platform,
+    Worker,
+    comm_heterogeneous,
+    comp_heterogeneous,
+    fully_heterogeneous,
+    memory_heterogeneous,
+    real_platform_aug2007,
+    real_platform_nov2006,
+)
+from .schedulers import (
+    SCHEDULERS,
+    HetScheduler,
+    Scheduler,
+    SchedulingError,
+    default_suite,
+    make_scheduler,
+)
+from .sim import Plan, SimResult, gantt_ascii, simulate, validate_result
+from .theory import (
+    bandwidth_centric,
+    ccr_lower_bound,
+    makespan_lower_bound,
+    max_reuse_ccr,
+    throughput_upper_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockGrid",
+    "Chunk",
+    "assert_partition",
+    "MemoryLayout",
+    "max_reuse_mu",
+    "overlapped_mu",
+    "toledo_sigma",
+    "verify_chunks",
+    "verify_trace",
+    "Instance",
+    "run_experiment",
+    "run_figure",
+    "run_summary",
+    "Platform",
+    "Worker",
+    "comm_heterogeneous",
+    "comp_heterogeneous",
+    "fully_heterogeneous",
+    "memory_heterogeneous",
+    "real_platform_aug2007",
+    "real_platform_nov2006",
+    "SCHEDULERS",
+    "HetScheduler",
+    "Scheduler",
+    "SchedulingError",
+    "default_suite",
+    "make_scheduler",
+    "Plan",
+    "SimResult",
+    "gantt_ascii",
+    "simulate",
+    "validate_result",
+    "bandwidth_centric",
+    "ccr_lower_bound",
+    "makespan_lower_bound",
+    "max_reuse_ccr",
+    "throughput_upper_bound",
+    "__version__",
+]
+
+# extensions: LU factorization, out-of-core, sweeps, analytics
+from .lu import block_lu, simulate_lu, verify_lu  # noqa: E402
+from .ooc import OutOfCoreProduct, io_lower_bound, max_reuse_io, toledo_io  # noqa: E402
+from .sim.analysis import analyze  # noqa: E402
+from .experiments.sweeps import heterogeneity_sweep  # noqa: E402
+from .utils.persist import load_platform, save_platform, save_result  # noqa: E402
+
+__all__ += [
+    "block_lu",
+    "simulate_lu",
+    "verify_lu",
+    "OutOfCoreProduct",
+    "io_lower_bound",
+    "max_reuse_io",
+    "toledo_io",
+    "analyze",
+    "heterogeneity_sweep",
+    "load_platform",
+    "save_platform",
+    "save_result",
+]

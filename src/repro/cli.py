@@ -1,0 +1,202 @@
+"""Command-line interface: ``repro-mm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``figure``    run one paper figure (fig4..fig8) and print relative tables
+``summary``   run the Figure 9 cross-experiment summary
+``run``       run one algorithm on one platform/grid, print details/Gantt
+``bounds``    print the Section 3 CCR bounds for a memory size
+``table2``    demonstrate the bandwidth-centric memory infeasibility
+``platforms`` list the built-in platform generators
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.blocks import BlockGrid
+from .experiments.figures import FIGURES, run_figure, run_summary
+from .experiments.report import format_fig9, format_relative_table, format_summary
+from .experiments.table2 import table2_demo
+from .platform import generators as gen
+from .schedulers.registry import SCHEDULERS, make_scheduler
+from .sim.trace import gantt_ascii, worker_utilization
+from .theory import bounds as th_bounds
+from .theory import ccr as th_ccr
+
+__all__ = ["main", "build_parser"]
+
+_PLATFORMS = {
+    "memory-het": gen.memory_heterogeneous,
+    "comm-het": gen.comm_heterogeneous,
+    "comp-het": gen.comp_heterogeneous,
+    "fully-het-2": lambda: gen.fully_heterogeneous(2.0),
+    "fully-het-4": lambda: gen.fully_heterogeneous(4.0),
+    "real-aug2007": gen.real_platform_aug2007,
+    "real-nov2006": gen.real_platform_nov2006,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mm",
+        description="Matrix product on heterogeneous master-worker platforms (PPoPP'08)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="run one paper figure")
+    p_fig.add_argument("fig", choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", type=float, default=1.0, help="problem scale (1.0 = paper)")
+    p_fig.add_argument("--algorithms", default=None, help="comma-separated subset")
+    p_fig.add_argument("--validate", action="store_true", help="audit traces")
+
+    p_sum = sub.add_parser("summary", help="run the Figure 9 summary")
+    p_sum.add_argument("--scale", type=float, default=0.3)
+    p_sum.add_argument("--figures", default="fig4,fig5,fig6,fig7,fig8")
+
+    p_run = sub.add_parser("run", help="run one algorithm on one instance")
+    p_run.add_argument("--algorithm", default="Het", choices=sorted(SCHEDULERS))
+    p_run.add_argument("--platform", default="memory-het", choices=sorted(_PLATFORMS))
+    p_run.add_argument("--scale", type=float, default=0.2)
+    p_run.add_argument("--r", type=int, default=None, help="block rows (overrides scale)")
+    p_run.add_argument("--t", type=int, default=None)
+    p_run.add_argument("--s", type=int, default=None)
+    p_run.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_run.add_argument("--save", default=None, metavar="FILE", help="write the result as JSON")
+    p_run.add_argument(
+        "--platform-file", default=None, metavar="FILE", help="load the platform from JSON"
+    )
+
+    p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
+    p_sweep.add_argument("--scale", type=float, default=0.25)
+    p_sweep.add_argument(
+        "--ratios", default="1.01,1.5,2,3,4,6,8", help="comma-separated ratio list"
+    )
+
+    p_bounds = sub.add_parser("bounds", help="Section 3 CCR bounds")
+    p_bounds.add_argument("--memory", type=int, default=5242, help="worker memory in blocks")
+    p_bounds.add_argument("--t", type=int, default=100)
+
+    sub.add_parser("table2", help="bandwidth-centric memory infeasibility demo")
+    sub.add_parser("platforms", help="list built-in platforms")
+    return parser
+
+
+def _algorithms(spec: str | None):
+    if spec is None:
+        return None
+    return [make_scheduler(name.strip()) for name in spec.split(",") if name.strip()]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    res = run_figure(args.fig, args.scale, _algorithms(args.algorithms), validate=args.validate)
+    print(format_relative_table(res, "cost"))
+    print()
+    print(format_relative_table(res, "work"))
+    print()
+    print(format_summary(res, "cost"))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    res = run_summary(args.scale, figures=figures)
+    print(format_fig9(res))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.platform_file:
+        from .utils.persist import load_platform
+
+        platform = load_platform(args.platform_file)
+    else:
+        platform = _PLATFORMS[args.platform]()
+        if args.scale != 1.0:
+            platform = gen.scale_platform(platform, args.scale)
+    base = gen.scale_grid(BlockGrid.paper_instance(), args.scale)
+    grid = BlockGrid(
+        r=args.r or base.r, t=args.t or base.t, s=args.s or base.s, q=base.q
+    )
+    sched = make_scheduler(args.algorithm)
+    res = sched.run(platform, grid)
+    print(platform.describe())
+    print(f"\ngrid: {grid}\nalgorithm: {sched.name}\n")
+    print(res.summary())
+    util = worker_utilization(res)
+    print("worker compute utilization: " + ", ".join(f"P{w + 1}:{u:.0%}" for w, u in util.items()))
+    if res.meta.get("variant"):
+        print(f"selection variant: {res.meta['variant']}")
+    from .sim.analysis import analyze
+
+    print("\n" + analyze(res).report())
+    if args.gantt:
+        print()
+        print(gantt_ascii(res, width=100))
+    if args.save:
+        from .utils.persist import save_result
+
+        save_result(res, args.save, include_events=True)
+        print(f"\nresult written to {args.save}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import heterogeneity_sweep
+
+    ratios = tuple(float(x) for x in args.ratios.split(",") if x.strip())
+    sweep = heterogeneity_sweep(ratios, scale=args.scale)
+    print(
+        f"relative cost vs heterogeneity ratio (fully-het platforms, scale {args.scale})"
+    )
+    print(sweep.table())
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    m, t = args.memory, args.t
+    print(f"memory m = {m} blocks, t = {t}")
+    print(f"  lower bound (this paper)   sqrt(27/8m) : {th_bounds.ccr_lower_bound(m):.6f}")
+    print(f"  lower bound (Toledo et al.) sqrt(1/8m) : {th_bounds.toledo_ccr_lower_bound(m):.6f}")
+    print(f"  maximum re-use CCR      2/t + 2/mu     : {th_ccr.max_reuse_ccr(m, t):.6f}")
+    print(f"  maximum re-use CCR_inf  2/mu           : {th_ccr.max_reuse_ccr_asymptotic(m):.6f}")
+    print(f"  Toledo layout CCR       2/t + 2/sigma  : {th_ccr.toledo_ccr(m, t):.6f}")
+    print(f"  optimality gap of max re-use           : {th_ccr.optimality_gap(m):.4f} (-> sqrt(32/27) = 1.0887)")
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    print("Table 2: minimal chunk side mu to reach 80% of the steady-state bound")
+    print(f"{'x':>6}{'rho (upd/s)':>14}{'required mu':>13}{'memory (blocks)':>17}")
+    for row in table2_demo():
+        mu = "unreached" if row.required_mu is None else str(row.required_mu)
+        mem = "-" if row.required_memory is None else str(row.required_memory)
+        print(f"{row.x:>6g}{row.rho:>14.4f}{mu:>13}{mem:>17}")
+    print("(the requirement grows with x: the LP solution needs unbounded buffers)")
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    for _name, factory in sorted(_PLATFORMS.items()):
+        print(factory().describe())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "summary": _cmd_summary,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "bounds": _cmd_bounds,
+        "table2": _cmd_table2,
+        "platforms": _cmd_platforms,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

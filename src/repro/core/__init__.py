@@ -1,0 +1,49 @@
+"""Block decomposition, memory layouts and chunk plans."""
+
+from .blocks import BlockGrid, block_slices, ceil_div
+from .chunks import (
+    Chunk,
+    Panel,
+    PanelAllocator,
+    PanelCursor,
+    RoundSpec,
+    assert_partition,
+    make_chunk,
+    max_reuse_rounds,
+    toledo_rounds,
+)
+from .layout import (
+    LayoutKind,
+    MemoryLayout,
+    blocks_from_bytes,
+    blocks_from_mb,
+    max_reuse_mu,
+    overlapped_mu,
+    toledo_sigma,
+)
+from .ops import ComputeEvent, MsgKind, PortEvent
+
+__all__ = [
+    "BlockGrid",
+    "block_slices",
+    "ceil_div",
+    "Chunk",
+    "Panel",
+    "PanelAllocator",
+    "PanelCursor",
+    "RoundSpec",
+    "assert_partition",
+    "make_chunk",
+    "max_reuse_rounds",
+    "toledo_rounds",
+    "LayoutKind",
+    "MemoryLayout",
+    "blocks_from_bytes",
+    "blocks_from_mb",
+    "max_reuse_mu",
+    "overlapped_mu",
+    "toledo_sigma",
+    "ComputeEvent",
+    "MsgKind",
+    "PortEvent",
+]

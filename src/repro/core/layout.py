@@ -1,0 +1,181 @@
+"""Worker memory layouts.
+
+A worker ``P_i`` can hold ``m_i`` square blocks (from A, B or C).  How those
+buffers are split between the three matrices is the heart of the paper:
+
+* **maximum re-use** (Section 3, Figure 2): ``1`` buffer for A, ``mu`` for B
+  and ``mu^2`` for C with ``1 + mu + mu^2 <= m``.  A ``mu x mu`` chunk of C
+  is loaded once, fully computed (t passes), then returned; B rows of width
+  ``mu`` stream through, A blocks stream one at a time.  Asymptotic
+  communication-to-computation ratio ``2/sqrt(m)``.
+
+* **overlapped maximum re-use** (Section 4): same C chunk, but two rounds of
+  A/B data may be resident at once (double buffering), so communication of
+  round ``k+1`` overlaps computation of round ``k``:
+  ``mu^2 + 4 mu <= m``.
+
+* **Toledo thirds** (the BMM baseline [17]): memory split in three equal
+  parts, one square chunk of each matrix, side ``sigma = sqrt(m/3)`` blocks.
+  No spare buffers, hence no overlap on the worker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "LayoutKind",
+    "MemoryLayout",
+    "max_reuse_mu",
+    "overlapped_mu",
+    "toledo_sigma",
+    "blocks_from_bytes",
+    "blocks_from_mb",
+]
+
+#: Minimal memory (in blocks) for each layout to make sense (mu/sigma >= 1).
+_MIN_M_PLAIN = 3  # 1 + 1 + 1
+_MIN_M_OVERLAPPED = 5  # 1 + 4
+_MIN_M_TOLEDO = 3  # 3 * 1
+
+
+def max_reuse_mu(m: int) -> int:
+    """Largest integer ``mu >= 1`` with ``1 + mu + mu^2 <= m``.
+
+    This is the chunk side of the plain (single-worker, Section 3) maximum
+    re-use layout.  Raises ``ValueError`` when ``m < 3``.
+    """
+    if m < _MIN_M_PLAIN:
+        raise ValueError(f"need at least {_MIN_M_PLAIN} buffers for max re-use, got {m}")
+    # mu^2 + mu + (1 - m) <= 0  =>  mu <= (-1 + sqrt(4m - 3)) / 2
+    mu = int((-1 + math.isqrt(4 * m - 3)) // 2)
+    # integer-safety adjustment around the float-free isqrt estimate
+    while (mu + 1) ** 2 + (mu + 1) + 1 <= m:
+        mu += 1
+    while mu > 1 and mu * mu + mu + 1 > m:
+        mu -= 1
+    return mu
+
+
+def overlapped_mu(m: int) -> int:
+    """Largest integer ``mu >= 1`` with ``mu^2 + 4 mu <= m``.
+
+    Closed form ``mu = floor(sqrt(m + 4)) - 2`` (paper Algorithm 1).  Raises
+    ``ValueError`` when ``m < 5``.
+    """
+    if m < _MIN_M_OVERLAPPED:
+        raise ValueError(f"need at least {_MIN_M_OVERLAPPED} buffers for overlapped layout, got {m}")
+    mu = math.isqrt(m + 4) - 2
+    while (mu + 1) ** 2 + 4 * (mu + 1) <= m:
+        mu += 1
+    while mu > 1 and mu * mu + 4 * mu > m:
+        mu -= 1
+    return mu
+
+
+def toledo_sigma(m: int) -> int:
+    """Largest integer ``sigma >= 1`` with ``3 sigma^2 <= m`` (Toledo splits
+    the memory equally between one square chunk of each of A, B and C).
+    Raises ``ValueError`` when ``m < 3``."""
+    if m < _MIN_M_TOLEDO:
+        raise ValueError(f"need at least {_MIN_M_TOLEDO} buffers for the Toledo layout, got {m}")
+    sigma = math.isqrt(m // 3)
+    while 3 * (sigma + 1) ** 2 <= m:
+        sigma += 1
+    while sigma > 1 and 3 * sigma * sigma > m:
+        sigma -= 1
+    return sigma
+
+
+class LayoutKind(Enum):
+    """The three worker memory layouts studied in the paper."""
+
+    MAX_REUSE = "max_reuse"  # Section 3, no double buffering
+    OVERLAPPED = "overlapped"  # Section 4/5, double-buffered A/B rounds
+    TOLEDO = "toledo"  # BMM baseline
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """A concrete split of ``m`` buffers for one worker.
+
+    Attributes
+    ----------
+    kind:
+        Which of the paper's layouts this is.
+    m:
+        Total buffers available on the worker.
+    chunk_side:
+        Side (in blocks) of the square C chunk the worker computes at once
+        (``mu`` for the max re-use layouts, ``sigma`` for Toledo).
+    prefetch_depth:
+        Number of *rounds* of input data that may be resident at the same
+        time.  ``2`` for the overlapped layout (current + prefetched), ``1``
+        otherwise (communication and computation do not overlap within a
+        worker).
+    """
+
+    kind: LayoutKind
+    m: int
+    chunk_side: int
+    prefetch_depth: int
+
+    @classmethod
+    def max_reuse(cls, m: int) -> "MemoryLayout":
+        """Plain maximum re-use layout (Section 3): ``1 + mu + mu^2 <= m``."""
+        return cls(LayoutKind.MAX_REUSE, m, max_reuse_mu(m), prefetch_depth=1)
+
+    @classmethod
+    def overlapped(cls, m: int) -> "MemoryLayout":
+        """Overlapped maximum re-use layout (Section 4): ``mu^2 + 4mu <= m``."""
+        return cls(LayoutKind.OVERLAPPED, m, overlapped_mu(m), prefetch_depth=2)
+
+    @classmethod
+    def toledo(cls, m: int) -> "MemoryLayout":
+        """Toledo's equal-thirds layout (the BMM baseline)."""
+        return cls(LayoutKind.TOLEDO, m, toledo_sigma(m), prefetch_depth=1)
+
+    @property
+    def c_buffers(self) -> int:
+        """Buffers devoted to the C chunk."""
+        return self.chunk_side * self.chunk_side
+
+    @property
+    def io_buffers(self) -> int:
+        """Buffers devoted to streaming A/B data."""
+        if self.kind is LayoutKind.MAX_REUSE:
+            return 1 + self.chunk_side
+        if self.kind is LayoutKind.OVERLAPPED:
+            return 4 * self.chunk_side
+        return 2 * self.chunk_side * self.chunk_side  # Toledo: one A chunk + one B chunk
+
+    @property
+    def total_buffers(self) -> int:
+        """Total buffers the layout actually uses (``<= m``)."""
+        return self.c_buffers + self.io_buffers
+
+    def __post_init__(self) -> None:
+        if self.chunk_side < 1:
+            raise ValueError("chunk side must be >= 1")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch depth must be >= 1")
+        if self.total_buffers > self.m:
+            raise ValueError(
+                f"layout uses {self.total_buffers} buffers but only {self.m} available"
+            )
+
+
+def blocks_from_bytes(mem_bytes: int, q: int = 80) -> int:
+    """Number of ``q x q`` float64 block buffers fitting in ``mem_bytes``."""
+    if mem_bytes <= 0:
+        raise ValueError("memory size must be positive")
+    return mem_bytes // (q * q * 8)
+
+
+def blocks_from_mb(mem_mb: float, q: int = 80) -> int:
+    """Number of block buffers fitting in ``mem_mb`` mebibytes (the paper's
+    256 MB / 512 MB / 1 GB worker memories give m = 5242 / 10485 / 20971
+    blocks for q = 80)."""
+    return blocks_from_bytes(int(mem_mb * 2**20), q)

@@ -1,0 +1,83 @@
+"""Message and event vocabulary shared by the simulator, schedulers and
+validators.
+
+Under the one-port model every master action is one of three message kinds:
+
+* ``C_SEND`` -- push a chunk's C blocks to its worker,
+* ``ROUND`` -- push one round of A/B data for the worker's current chunk,
+* ``C_RETURN`` -- pull a finished chunk's C blocks back to the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MsgKind", "PortEvent", "ComputeEvent"]
+
+
+class MsgKind(Enum):
+    """Kind of a master-port message."""
+
+    C_SEND = "c_send"
+    ROUND = "round"
+    C_RETURN = "c_return"
+
+    @property
+    def is_send(self) -> bool:
+        """True when the master is the sender (C_SEND and ROUND)."""
+        return self is not MsgKind.C_RETURN
+
+
+@dataclass(frozen=True)
+class PortEvent:
+    """One occupation of the master port.
+
+    ``round_idx`` is the index of the round within its chunk for ``ROUND``
+    messages and ``-1`` otherwise.  ``nblocks`` is the message size in
+    blocks; its duration is ``nblocks * c_worker``.
+    """
+
+    start: float
+    end: float
+    worker: int
+    kind: MsgKind
+    cid: int
+    round_idx: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event ends before it starts")
+        if self.nblocks < 1:
+            raise ValueError("empty message")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """One round's worth of block updates on a worker.
+
+    Duration is ``updates * w_worker``; the engine schedules it as soon as
+    the round's data (and the worker's previous compute) completes.
+    """
+
+    start: float
+    end: float
+    worker: int
+    cid: int
+    round_idx: int
+    updates: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event ends before it starts")
+        if self.updates < 1:
+            raise ValueError("empty compute")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

@@ -1,0 +1,13 @@
+"""Numerical execution and trace replay (data-level validation)."""
+
+from .executor import execute_chunks, random_instance, reference_product, verify_chunks
+from .replay import replay_trace, verify_trace
+
+__all__ = [
+    "execute_chunks",
+    "random_instance",
+    "reference_product",
+    "verify_chunks",
+    "replay_trace",
+    "verify_trace",
+]

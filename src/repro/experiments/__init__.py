@@ -1,0 +1,45 @@
+"""Experiment harness and the paper's Section 6 evaluation."""
+
+from .harness import ExperimentResult, Instance, run_experiment
+from .figures import (
+    FIGURES,
+    fig4_instances,
+    fig5_instances,
+    fig6_instances,
+    fig7_instances,
+    fig8_instances,
+    run_figure,
+    run_summary,
+)
+from .metrics import Measurement, relative_table, summarize_relative
+from .report import format_fig9, format_relative_table, format_summary
+from .table2 import Table2Row, achieved_fraction, required_mu, table2_demo, table2_platform_mu
+
+__all__ = [
+    "ExperimentResult",
+    "Instance",
+    "run_experiment",
+    "FIGURES",
+    "fig4_instances",
+    "fig5_instances",
+    "fig6_instances",
+    "fig7_instances",
+    "fig8_instances",
+    "run_figure",
+    "run_summary",
+    "Measurement",
+    "relative_table",
+    "summarize_relative",
+    "format_fig9",
+    "format_relative_table",
+    "format_summary",
+    "Table2Row",
+    "achieved_fraction",
+    "required_mu",
+    "table2_demo",
+    "table2_platform_mu",
+]
+
+from .sweeps import HeterogeneitySweep, SweepPoint, heterogeneity_sweep  # noqa: E402
+
+__all__ += ["HeterogeneitySweep", "SweepPoint", "heterogeneity_sweep"]

@@ -1,0 +1,125 @@
+"""Experiment harness: run algorithm suites over instance suites.
+
+An *instance* is a (platform, grid) pair with a label.  The harness runs
+every algorithm on every instance, records makespans / enrollment / the
+steady-state bound, and exposes the paper's relative metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..schedulers.base import Scheduler, SchedulingError
+from ..schedulers.registry import default_suite
+from ..sim.validate import validate_result
+from ..theory.steady_state import makespan_lower_bound
+from .metrics import Measurement, relative_table, summarize_relative
+
+__all__ = ["Instance", "ExperimentResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One experimental configuration."""
+
+    label: str
+    platform: Platform
+    grid: BlockGrid
+
+
+@dataclass
+class ExperimentResult:
+    """All measurements of one experiment (one paper figure)."""
+
+    name: str
+    instances: list[str]
+    algorithms: list[str]
+    measurements: list[Measurement] = field(default_factory=list)
+    failures: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def get(self, algorithm: str, instance: str) -> Measurement:
+        for m in self.measurements:
+            if m.algorithm == algorithm and m.instance == instance:
+                return m
+        raise KeyError((algorithm, instance))
+
+    def relative(self, metric: str = "cost") -> dict[tuple[str, str], float]:
+        return relative_table(self.measurements, metric)
+
+    def summary(self, metric: str = "cost") -> dict[str, dict[str, float]]:
+        return summarize_relative(self.measurements, metric)
+
+    def bound_ratios(self, algorithm: str) -> list[float]:
+        """Makespan / steady-state lower bound for one algorithm."""
+        return [
+            m.bound_ratio
+            for m in self.measurements
+            if m.algorithm == algorithm and m.bound_ratio == m.bound_ratio
+        ]
+
+    def merged_with(self, other: "ExperimentResult", name: str = "") -> "ExperimentResult":
+        """Union of two experiments (instances are prefixed by experiment
+        name to stay unique) -- used by the Figure 9 summary."""
+        merged = ExperimentResult(
+            name=name or f"{self.name}+{other.name}",
+            instances=[],
+            algorithms=sorted(set(self.algorithms) | set(other.algorithms)),
+        )
+        for src in (self, other):
+            for m in src.measurements:
+                label = f"{src.name}:{m.instance}"
+                merged.measurements.append(
+                    Measurement(m.algorithm, label, m.makespan, m.n_enrolled, m.bound, m.meta)
+                )
+                if label not in merged.instances:
+                    merged.instances.append(label)
+        return merged
+
+
+def run_experiment(
+    name: str,
+    instances: Sequence[Instance],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    validate: bool = False,
+    collect_events: bool = False,
+) -> ExperimentResult:
+    """Run ``schedulers`` (default: the paper's seven) on every instance.
+
+    Algorithms that cannot schedule an instance (e.g. not enough memory
+    anywhere) are recorded under ``failures`` instead of aborting the whole
+    experiment.  With ``validate`` the full trace is collected and audited
+    against the one-port/memory/dependency invariants.
+    """
+    scheds = list(schedulers) if schedulers is not None else default_suite()
+    result = ExperimentResult(
+        name=name,
+        instances=[inst.label for inst in instances],
+        algorithms=[s.name for s in scheds],
+    )
+    for inst in instances:
+        bound = makespan_lower_bound(inst.platform, inst.grid)
+        for sched in scheds:
+            try:
+                sim = sched.run(
+                    inst.platform, inst.grid, collect_events=collect_events or validate
+                )
+            except SchedulingError as exc:
+                result.failures[(sched.name, inst.label)] = str(exc)
+                continue
+            if validate:
+                validate_result(sim)
+            result.measurements.append(
+                Measurement(
+                    algorithm=sched.name,
+                    instance=inst.label,
+                    makespan=sim.makespan,
+                    n_enrolled=sim.n_enrolled,
+                    bound=bound,
+                    meta=dict(sim.meta),
+                )
+            )
+    return result

@@ -1,0 +1,78 @@
+"""The paper's comparison metrics.
+
+* **relative cost** of an algorithm on an instance: its makespan divided by
+  the best makespan any studied algorithm achieved on that instance
+  (1.0 = best);
+* **relative work**: makespan times number of enrolled workers, normalized
+  the same way -- the efficiency metric that rewards resource selection;
+* **bound ratio**: makespan divided by the steady-state lower bound
+  (Section 5's "very optimistic" upper bound on throughput); the paper
+  reports Het within 2.29x on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Measurement", "relative_table", "summarize_relative"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (algorithm, instance) outcome."""
+
+    algorithm: str
+    instance: str
+    makespan: float
+    n_enrolled: int
+    bound: float = float("nan")
+    meta: Mapping = field(default_factory=dict)
+
+    @property
+    def work(self) -> float:
+        return self.makespan * self.n_enrolled
+
+    @property
+    def bound_ratio(self) -> float:
+        if not self.bound or self.bound != self.bound or self.bound <= 0:
+            return float("nan")
+        return self.makespan / self.bound
+
+
+def relative_table(
+    measurements: Iterable[Measurement], metric: str = "cost"
+) -> dict[tuple[str, str], float]:
+    """Map ``(algorithm, instance) -> relative metric`` (1.0 = best on the
+    instance).  ``metric`` is ``"cost"`` (makespan) or ``"work"``."""
+    if metric not in ("cost", "work"):
+        raise ValueError(f"unknown metric {metric!r}")
+    rows = list(measurements)
+    best: dict[str, float] = {}
+    for m in rows:
+        value = m.makespan if metric == "cost" else m.work
+        best[m.instance] = min(best.get(m.instance, float("inf")), value)
+    out = {}
+    for m in rows:
+        value = m.makespan if metric == "cost" else m.work
+        out[(m.algorithm, m.instance)] = value / best[m.instance]
+    return out
+
+
+def summarize_relative(
+    measurements: Iterable[Measurement], metric: str = "cost"
+) -> dict[str, dict[str, float]]:
+    """Per-algorithm mean / worst / best relative metric across instances."""
+    table = relative_table(measurements, metric)
+    per_alg: dict[str, list[float]] = {}
+    for (alg, _inst), v in table.items():
+        per_alg.setdefault(alg, []).append(v)
+    return {
+        alg: {
+            "mean": sum(vs) / len(vs),
+            "worst": max(vs),
+            "best": min(vs),
+            "n": float(len(vs)),
+        }
+        for alg, vs in per_alg.items()
+    }

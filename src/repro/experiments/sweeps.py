@@ -1,0 +1,160 @@
+"""Parameter sweeps beyond the paper's fixed configurations.
+
+The paper "assesses the impact of the degree of heterogeneity" with a few
+fixed ratios (2 and 4).  These sweeps systematize that question: vary the
+large/small ratio of every platform dimension continuously and track how
+each algorithm's relative cost, Het's enrollment and the distance to the
+steady-state bound evolve -- the kind of sensitivity study a user deploying
+the library on an unknown platform needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.blocks import BlockGrid
+from ..platform.generators import fully_heterogeneous, scale_grid, scale_platform
+from ..schedulers.base import Scheduler, SchedulingError
+from ..schedulers.registry import make_scheduler
+from ..theory.steady_state import makespan_lower_bound
+
+__all__ = [
+    "SweepPoint",
+    "HeterogeneitySweep",
+    "heterogeneity_sweep",
+    "straggler_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measurements at one heterogeneity ratio."""
+
+    ratio: float
+    makespans: dict[str, float]
+    enrollment: dict[str, int]
+    bound: float
+
+    def relative(self, algorithm: str) -> float:
+        best = min(self.makespans.values())
+        return self.makespans[algorithm] / best
+
+    def gain_over(self, algorithm: str, baseline: str) -> float:
+        return 1.0 - self.makespans[algorithm] / self.makespans[baseline]
+
+
+@dataclass
+class HeterogeneitySweep:
+    """A full ratio sweep."""
+
+    algorithms: list[str]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, algorithm: str) -> list[tuple[float, float]]:
+        """(ratio, relative cost) series for one algorithm."""
+        return [(pt.ratio, pt.relative(algorithm)) for pt in self.points]
+
+    def table(self) -> str:
+        lines = [
+            f"{'ratio':>6}"
+            + "".join(f"{a:>9}" for a in self.algorithms)
+            + f"{'Het/bound':>11}{'Het wrk':>8}"
+        ]
+        for pt in self.points:
+            lines.append(
+                f"{pt.ratio:>6.2f}"
+                + "".join(f"{pt.relative(a):>9.3f}" for a in self.algorithms)
+                + f"{pt.makespans['Het'] / pt.bound:>11.2f}"
+                + f"{pt.enrollment['Het']:>8}"
+            )
+        return "\n".join(lines)
+
+
+def heterogeneity_sweep(
+    ratios: Sequence[float] = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+    *,
+    scale: float = 0.25,
+    algorithms: Sequence[str] = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"),
+    s_elements: int = 80_000,
+) -> HeterogeneitySweep:
+    """Run every algorithm over fully heterogeneous platforms whose
+    large/small parameter ratio sweeps over ``ratios``."""
+    sweep = HeterogeneitySweep(algorithms=list(algorithms))
+    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
+    for ratio in ratios:
+        plat = fully_heterogeneous(ratio)
+        if scale != 1.0:
+            plat = scale_platform(plat, scale)
+        makespans: dict[str, float] = {}
+        enrollment: dict[str, int] = {}
+        for name in algorithms:
+            sched: Scheduler = make_scheduler(name)
+            try:
+                res = sched.run(plat, grid, collect_events=False)
+            except SchedulingError:
+                continue
+            makespans[name] = res.makespan
+            enrollment[name] = res.n_enrolled
+        sweep.points.append(
+            SweepPoint(
+                ratio=ratio,
+                makespans=makespans,
+                enrollment=enrollment,
+                bound=makespan_lower_bound(plat, grid),
+            )
+        )
+    return sweep
+
+
+def straggler_sweep(
+    slowdowns: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    *,
+    scale: float = 0.25,
+    p: int = 8,
+    algorithms: Sequence[str] = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"),
+    s_elements: int = 80_000,
+) -> HeterogeneitySweep:
+    """Degrade one worker of an otherwise homogeneous platform by a growing
+    compute slowdown and watch who copes.
+
+    A selection-aware algorithm should drop (or down-weight) the straggler
+    and converge to the (p-1)-worker makespan; heterogeneity-blind ones keep
+    feeding it panels and inherit its pace.  The returned object reuses the
+    :class:`HeterogeneitySweep` shape with ``ratio`` = the slowdown factor.
+    """
+    from ..platform.generators import BASE_BANDWIDTH_MBPS, BASE_GFLOPS, c_from_mbps, w_from_gflops
+    from ..platform.generators import scaled_memory
+    from ..core.layout import blocks_from_mb
+    from ..platform.model import Platform, Worker
+
+    sweep = HeterogeneitySweep(algorithms=list(algorithms))
+    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
+    c = c_from_mbps(BASE_BANDWIDTH_MBPS)
+    w = w_from_gflops(BASE_GFLOPS) / scale
+    m = scaled_memory(blocks_from_mb(1024), scale)
+    for slowdown in slowdowns:
+        workers = [
+            Worker(i, c, w * (slowdown if i == 0 else 1.0), m, name="straggler" if i == 0 else "")
+            for i in range(p)
+        ]
+        plat = Platform(workers, name=f"straggler-x{slowdown:g}")
+        makespans: dict[str, float] = {}
+        enrollment: dict[str, int] = {}
+        for name in algorithms:
+            sched: Scheduler = make_scheduler(name)
+            try:
+                res = sched.run(plat, grid, collect_events=False)
+            except SchedulingError:
+                continue
+            makespans[name] = res.makespan
+            enrollment[name] = res.n_enrolled
+        sweep.points.append(
+            SweepPoint(
+                ratio=slowdown,
+                makespans=makespans,
+                enrollment=enrollment,
+                bound=makespan_lower_bound(plat, grid),
+            )
+        )
+    return sweep

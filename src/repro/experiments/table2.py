@@ -1,0 +1,81 @@
+"""Table 2 demonstration: the bandwidth-centric solution is not always
+realizable under limited memory.
+
+The paper's platform: ``P1 = (c=1, w=2, mu)`` and ``P2 = (c=x, w=2x, mu)``.
+Both workers have ``2 c_i / (mu_i w_i) = 2/(2 mu) = 1/mu`` -- for ``mu = 2``
+the LP enrolls both fully.  But while the master spends ``2 mu x`` seconds
+feeding one round to P2, P1 must keep computing from its buffers; one
+prefetched round only covers ``mu^2 w1 = 2 mu^2`` seconds, so P1 stalls
+unless ``mu >= x / ...`` -- the buffer need grows with ``x`` without bound.
+
+``required_mu`` makes this executable: for a given ``x`` it finds the
+smallest chunk side ``mu`` (hence memory ``mu^2 + 4 mu``) at which the
+demand-driven schedule achieves a target fraction of the steady-state
+throughput bound.  The test suite asserts the requirement grows with ``x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform, Worker
+from ..schedulers.demand_driven import ODDOMLScheduler
+from ..theory.steady_state import throughput_upper_bound
+
+__all__ = ["Table2Row", "table2_platform_mu", "achieved_fraction", "required_mu", "table2_demo"]
+
+
+def table2_platform_mu(x: float, mu: int) -> Platform:
+    """The Table 2 platform with chunk side ``mu`` on both workers."""
+    if x <= 1 or mu < 1:
+        raise ValueError("need x > 1 and mu >= 1")
+    m = mu * mu + 4 * mu
+    return Platform(
+        [Worker(0, 1.0, 2.0, m, name="P1"), Worker(1, float(x), 2.0 * x, m, name="P2")],
+        name=f"table2-x{x:g}-mu{mu}",
+    )
+
+
+def achieved_fraction(x: float, mu: int, *, t: int = 60, chunks_per_worker: int = 24) -> float:
+    """Fraction of the steady-state throughput bound that the demand-driven
+    schedule achieves with chunk side ``mu`` (grid sized proportionally to
+    ``mu`` so the steady state dominates startup)."""
+    plat = table2_platform_mu(x, mu)
+    grid = BlockGrid(r=mu, t=t, s=max(2, chunks_per_worker) * mu)
+    res = ODDOMLScheduler().run(plat, grid, collect_events=False)
+    bound = throughput_upper_bound(plat)
+    return res.throughput / bound
+
+
+def required_mu(x: float, target: float = 0.8, mu_max: int = 64, **kw) -> int | None:
+    """Smallest ``mu`` achieving ``target`` of the steady-state bound, or
+    ``None`` if not reached by ``mu_max``."""
+    for mu in range(1, mu_max + 1):
+        if achieved_fraction(x, mu, **kw) >= target:
+            return mu
+    return None
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    x: float
+    rho: float
+    required_mu: int | None
+    required_memory: int | None
+
+
+def table2_demo(xs: tuple[float, ...] = (2.0, 4.0, 8.0), target: float = 0.8) -> list[Table2Row]:
+    """Rows showing the buffer requirement growing with ``x``."""
+    rows = []
+    for x in xs:
+        mu = required_mu(x, target)
+        rows.append(
+            Table2Row(
+                x=x,
+                rho=throughput_upper_bound(table2_platform_mu(x, 2)),
+                required_mu=mu,
+                required_memory=None if mu is None else mu * mu + 4 * mu,
+            )
+        )
+    return rows

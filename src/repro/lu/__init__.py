@@ -1,0 +1,16 @@
+"""LU factorization on master-worker platforms (the paper's Section 8
+extension, sketched in the companion research report)."""
+
+from .numeric import block_lu, diagonally_dominant, lu_nopiv, split_lu, verify_lu
+from .schedule import LUSimulation, LUStepBreakdown, simulate_lu
+
+__all__ = [
+    "block_lu",
+    "diagonally_dominant",
+    "lu_nopiv",
+    "split_lu",
+    "verify_lu",
+    "LUSimulation",
+    "LUStepBreakdown",
+    "simulate_lu",
+]

@@ -1,0 +1,101 @@
+"""Blocked LU factorization without pivoting (numerical reference).
+
+The paper's conclusion points to the companion report for "how to adapt the
+approach for LU factorization": the dominant cost of a right-looking
+blocked LU is the trailing-submatrix update ``A[k+1:, k+1:] -= L_panel .
+U_panel`` -- a matrix product with inner block-dimension 1, which is exactly
+the kernel the paper schedules. This module provides the numerics: a
+straightforward Doolittle block LU (no pivoting; use diagonally dominant
+matrices) executed in the same block order the scheduler simulates, so the
+simulated schedule and the computed factors correspond step for step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lu_nopiv", "block_lu", "split_lu", "verify_lu", "diagonally_dominant"]
+
+
+def lu_nopiv(a: np.ndarray) -> np.ndarray:
+    """In-place-style Doolittle LU without pivoting on a small dense block;
+    returns the packed ``L\\U`` matrix (unit diagonal of L implicit).
+
+    Raises ``ZeroDivisionError``-like ``ValueError`` on a (near-)singular
+    pivot -- callers should feed diagonally dominant blocks.
+    """
+    a = a.astype(float, copy=True)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("block must be square")
+    for k in range(n):
+        piv = a[k, k]
+        if abs(piv) < 1e-12 * max(1.0, float(np.abs(a).max())):
+            raise ValueError(f"near-zero pivot at {k}: unpivoted LU needs dominance")
+        a[k + 1 :, k] /= piv
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    return a
+
+
+def _solve_unit_lower(l_packed: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` with L the unit-lower part of a packed block."""
+    n = l_packed.shape[0]
+    l = np.tril(l_packed, -1) + np.eye(n)
+    return np.linalg.solve(l, b)
+
+
+def _solve_upper_right(u_packed: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``x U = b`` with U the upper part of a packed block."""
+    u = np.triu(u_packed)
+    return np.linalg.solve(u.T, b.T).T
+
+
+def block_lu(a: np.ndarray, q: int) -> np.ndarray:
+    """Right-looking blocked LU without pivoting; returns the packed
+    ``L\\U`` of the whole matrix.  ``a`` must be ``(n q) x (n q)``.
+
+    Step ``k``: factor the diagonal block, triangular-solve the row/column
+    panels, then the rank-``q`` trailing update -- the part the platform
+    scheduler distributes.
+    """
+    out = a.astype(float, copy=True)
+    size = out.shape[0]
+    if out.shape != (size, size) or size % q:
+        raise ValueError("matrix must be square with side a multiple of q")
+    n = size // q
+    for k in range(n):
+        kk = slice(k * q, (k + 1) * q)
+        out[kk, kk] = lu_nopiv(out[kk, kk])
+        for i in range(k + 1, n):
+            ii = slice(i * q, (i + 1) * q)
+            out[ii, kk] = _solve_upper_right(out[kk, kk], out[ii, kk])
+        for j in range(k + 1, n):
+            jj = slice(j * q, (j + 1) * q)
+            out[kk, jj] = _solve_unit_lower(out[kk, kk], out[kk, jj])
+        for i in range(k + 1, n):
+            ii = slice(i * q, (i + 1) * q)
+            for j in range(k + 1, n):
+                jj = slice(j * q, (j + 1) * q)
+                out[ii, jj] -= out[ii, kk] @ out[kk, jj]
+    return out
+
+
+def split_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed ``L\\U`` into (unit-lower L, upper U)."""
+    size = packed.shape[0]
+    return np.tril(packed, -1) + np.eye(size), np.triu(packed)
+
+
+def verify_lu(a: np.ndarray, packed: np.ndarray) -> float:
+    """Max absolute elementwise error of ``L @ U - A``."""
+    l, u = split_lu(packed)
+    return float(np.max(np.abs(l @ u - a)))
+
+
+def diagonally_dominant(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Random strictly diagonally dominant matrix (safe for unpivoted LU)."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    a = rng.standard_normal((n, n))
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a

@@ -1,0 +1,14 @@
+"""Out-of-core matrix product (the paper's Section 8 closing question)."""
+
+from .engine import BufferPool, OOCResult, OutOfCoreProduct
+from .model import IOModel, io_lower_bound, max_reuse_io, toledo_io
+
+__all__ = [
+    "BufferPool",
+    "OOCResult",
+    "OutOfCoreProduct",
+    "IOModel",
+    "io_lower_bound",
+    "max_reuse_io",
+    "toledo_io",
+]

@@ -1,0 +1,176 @@
+"""Out-of-core executor with an audited buffer pool.
+
+Matrices live in files (``numpy.memmap``); RAM is a :class:`BufferPool`
+holding at most ``m`` blocks.  Every block that enters RAM counts as a
+read; every dirty block leaving RAM counts as a write; exceeding the pool
+capacity raises.  The two layouts of :mod:`repro.ooc.model` are implemented
+as actual loops over the pool, so the predicted and measured I/O can be
+compared block for block -- and the numerical result checked against
+``C + A @ B``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockGrid
+from ..core.layout import max_reuse_mu, toledo_sigma
+from .model import IOModel, max_reuse_io, toledo_io
+
+__all__ = ["BufferPool", "OOCResult", "OutOfCoreProduct"]
+
+
+class BufferPool:
+    """RAM stand-in: at most ``capacity`` resident blocks, counted I/O."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.resident = 0
+        self.peak = 0
+        self.reads = 0
+        self.writes = 0
+
+    def load(self, blocks: int, data: np.ndarray) -> np.ndarray:
+        """Bring ``blocks`` blocks into RAM (returns an in-RAM copy)."""
+        self.resident += blocks
+        self.peak = max(self.peak, self.resident)
+        if self.resident > self.capacity:
+            raise MemoryError(
+                f"buffer pool overflow: {self.resident} > {self.capacity} blocks"
+            )
+        self.reads += blocks
+        return np.array(data, copy=True)
+
+    def evict(self, blocks: int, *, dirty: bool) -> None:
+        """Drop ``blocks`` blocks from RAM, counting a write when dirty."""
+        if blocks > self.resident:
+            raise RuntimeError("evicting more blocks than resident")
+        self.resident -= blocks
+        if dirty:
+            self.writes += blocks
+
+
+@dataclass(frozen=True)
+class OOCResult:
+    """Outcome of one out-of-core run."""
+
+    layout: str
+    chunk_side: int
+    reads: int
+    writes: int
+    peak_blocks: int
+    max_error: float
+    predicted: IOModel
+
+    @property
+    def total_io(self) -> int:
+        return self.reads + self.writes
+
+    def matches_prediction(self) -> bool:
+        return self.reads == self.predicted.reads and self.writes == self.predicted.writes
+
+
+class OutOfCoreProduct:
+    """File-backed ``C <- C + A.B`` under a block-budgeted RAM pool."""
+
+    def __init__(self, grid: BlockGrid, m: int, workdir: str | pathlib.Path | None = None):
+        if m < 3:
+            raise ValueError("need at least 3 block buffers")
+        self.grid = grid
+        self.m = m
+        self._dir = pathlib.Path(workdir) if workdir else pathlib.Path(tempfile.mkdtemp(prefix="repro-ooc-"))
+        self._dir.mkdir(parents=True, exist_ok=True)
+        q = grid.q
+        self.a = np.memmap(self._dir / "a.dat", dtype=np.float64, mode="w+", shape=(grid.r * q, grid.t * q))
+        self.b = np.memmap(self._dir / "b.dat", dtype=np.float64, mode="w+", shape=(grid.t * q, grid.s * q))
+        self.c = np.memmap(self._dir / "c.dat", dtype=np.float64, mode="w+", shape=(grid.r * q, grid.s * q))
+
+    def fill_random(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Populate the files; returns the dense reference ``C + A @ B``."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.a[:] = rng.standard_normal(self.a.shape)
+        self.b[:] = rng.standard_normal(self.b.shape)
+        self.c[:] = rng.standard_normal(self.c.shape)
+        return np.asarray(self.c) + np.asarray(self.a) @ np.asarray(self.b)
+
+    # ------------------------------------------------------------------
+    def _sl(self, lo: int, n: int) -> slice:
+        return slice(lo * self.grid.q, (lo + n) * self.grid.q)
+
+    def run_max_reuse(self, reference: np.ndarray | None = None) -> OOCResult:
+        """The paper's layout: mu^2 C blocks resident, B rows of mu blocks,
+        single A blocks streaming."""
+        grid, q = self.grid, self.grid.q
+        mu = max_reuse_mu(self.m)
+        pool = BufferPool(self.m)
+        for j0 in range(0, grid.s, mu):
+            w = min(mu, grid.s - j0)
+            for i0 in range(0, grid.r, mu):
+                h = min(mu, grid.r - i0)
+                c_chunk = pool.load(h * w, self.c[self._sl(i0, h), self._sl(j0, w)])
+                for k in range(grid.t):
+                    b_row = pool.load(w, self.b[self._sl(k, 1), self._sl(j0, w)])
+                    for di in range(h):
+                        a_blk = pool.load(1, self.a[self._sl(i0 + di, 1), self._sl(k, 1)])
+                        c_chunk[di * q : (di + 1) * q, :] += a_blk @ b_row
+                        pool.evict(1, dirty=False)
+                    pool.evict(w, dirty=False)
+                self.c[self._sl(i0, h), self._sl(j0, w)] = c_chunk
+                pool.evict(h * w, dirty=True)
+        return self._result("max-reuse", mu, pool, max_reuse_io(grid, self.m), reference)
+
+    def run_toledo(self, reference: np.ndarray | None = None) -> OOCResult:
+        """Toledo thirds: square sigma x sigma tiles of A, B and C."""
+        grid = self.grid
+        sigma = toledo_sigma(self.m)
+        pool = BufferPool(self.m)
+        for j0 in range(0, grid.s, sigma):
+            w = min(sigma, grid.s - j0)
+            for i0 in range(0, grid.r, sigma):
+                h = min(sigma, grid.r - i0)
+                c_chunk = pool.load(h * w, self.c[self._sl(i0, h), self._sl(j0, w)])
+                for k0 in range(0, grid.t, sigma):
+                    d = min(sigma, grid.t - k0)
+                    a_tile = pool.load(h * d, self.a[self._sl(i0, h), self._sl(k0, d)])
+                    b_tile = pool.load(d * w, self.b[self._sl(k0, d), self._sl(j0, w)])
+                    c_chunk += a_tile @ b_tile
+                    pool.evict(h * d, dirty=False)
+                    pool.evict(d * w, dirty=False)
+                self.c[self._sl(i0, h), self._sl(j0, w)] = c_chunk
+                pool.evict(h * w, dirty=True)
+        return self._result("toledo", sigma, pool, toledo_io(grid, self.m), reference)
+
+    def _result(
+        self,
+        layout: str,
+        side: int,
+        pool: BufferPool,
+        predicted: IOModel,
+        reference: np.ndarray | None,
+    ) -> OOCResult:
+        err = float("nan")
+        if reference is not None:
+            err = float(np.max(np.abs(np.asarray(self.c) - reference)))
+        return OOCResult(
+            layout=layout,
+            chunk_side=side,
+            reads=pool.reads,
+            writes=pool.writes,
+            peak_blocks=pool.peak,
+            max_error=err,
+            predicted=predicted,
+        )
+
+    def cleanup(self) -> None:
+        """Release the memmaps and delete the backing files."""
+        paths = [self._dir / name for name in ("a.dat", "b.dat", "c.dat")]
+        del self.a, self.b, self.c
+        for path in paths:
+            path.unlink(missing_ok=True)

@@ -1,0 +1,42 @@
+"""Heterogeneous star platforms and the paper's experimental testbeds."""
+
+from .generators import (
+    BASE_BANDWIDTH_MBPS,
+    BASE_GFLOPS,
+    c_from_mbps,
+    comm_heterogeneous,
+    comp_heterogeneous,
+    fully_heterogeneous,
+    memory_heterogeneous,
+    paper_matrix_sweep,
+    random_platform,
+    random_platforms,
+    real_platform_aug2007,
+    real_platform_nov2006,
+    scale_grid,
+    scale_platform,
+    scaled_memory,
+    w_from_gflops,
+)
+from .model import Platform, Worker
+
+__all__ = [
+    "Platform",
+    "Worker",
+    "BASE_BANDWIDTH_MBPS",
+    "BASE_GFLOPS",
+    "c_from_mbps",
+    "w_from_gflops",
+    "memory_heterogeneous",
+    "comm_heterogeneous",
+    "comp_heterogeneous",
+    "fully_heterogeneous",
+    "random_platform",
+    "random_platforms",
+    "real_platform_aug2007",
+    "real_platform_nov2006",
+    "paper_matrix_sweep",
+    "scale_grid",
+    "scale_platform",
+    "scaled_memory",
+]

@@ -1,0 +1,234 @@
+"""Generators for the paper's experimental platforms (Section 6).
+
+The paper's testbed is a 27-node cluster in Lyon made of four homogeneous
+families of SuperMicro servers (P4 2.4 GHz, P4 Xeon 2.4 GHz, P4 Xeon 2.6 GHz,
+P4 2.8 GHz), 1 GB of memory per node, connected by switched Fast Ethernet.
+Heterogeneity is created artificially by slowing links (resending messages)
+or CPUs (recomputing products), or by limiting memory.
+
+Calibration used here (recorded in EXPERIMENTS.md):
+
+* a block is ``q x q = 80 x 80`` float64 coefficients = 51 200 B;
+* a link of ``beta`` Mbps gives ``c = 51200 * 8 / (beta * 1e6)`` s/block
+  (baseline 100 Mbps Fast Ethernet -> c = 4.096 ms);
+* a CPU sustaining ``gamma`` Gflop/s on DGEMM gives
+  ``w = 2 * 80^3 / (gamma * 1e9)`` s/update (P4 2.4 GHz ~ 2.4 Gflop/s
+  sustained -> w = 0.427 ms);
+* 256 MB / 512 MB / 1 GB of memory hold m = 5242 / 10485 / 20971 blocks.
+
+Absolute times therefore differ from the paper's (whose text reports a
+10 Mbps network, inconsistent with its own makespans); all comparisons in
+the paper and here are *relative* costs, which only depend on the ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.blocks import BlockGrid
+from ..core.layout import blocks_from_mb, overlapped_mu
+from .model import Platform, Worker
+
+__all__ = [
+    "c_from_mbps",
+    "w_from_gflops",
+    "BASE_BANDWIDTH_MBPS",
+    "BASE_GFLOPS",
+    "memory_heterogeneous",
+    "comm_heterogeneous",
+    "comp_heterogeneous",
+    "fully_heterogeneous",
+    "random_platform",
+    "random_platforms",
+    "real_platform_aug2007",
+    "real_platform_nov2006",
+    "paper_matrix_sweep",
+    "scaled_memory",
+    "scale_platform",
+    "scale_grid",
+]
+
+#: Baseline link bandwidth (Fast Ethernet) and sustained DGEMM speed.
+BASE_BANDWIDTH_MBPS = 100.0
+BASE_GFLOPS = 2.4
+
+
+def c_from_mbps(mbps: float, q: int = 80) -> float:
+    """Seconds to move one ``q x q`` float64 block over a ``mbps`` link."""
+    if mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return q * q * 8 * 8 / (mbps * 1e6)
+
+
+def w_from_gflops(gflops: float, q: int = 80) -> float:
+    """Seconds for one block update (``2 q^3`` flops) at ``gflops`` Gflop/s."""
+    if gflops <= 0:
+        raise ValueError("speed must be positive")
+    return 2 * q**3 / (gflops * 1e9)
+
+
+def _spread(values: Sequence[float], counts: Sequence[int]) -> list[float]:
+    out: list[float] = []
+    for v, n in zip(values, counts):
+        out.extend([v] * n)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Single-dimension heterogeneity (Figures 4, 5, 6)
+# ----------------------------------------------------------------------
+def memory_heterogeneous(q: int = 80) -> Platform:
+    """Figure 4 platform: homogeneous links and CPUs, memories of
+    256 MB (x2), 512 MB (x4) and 1024 MB (x2)."""
+    c = c_from_mbps(BASE_BANDWIDTH_MBPS, q)
+    w = w_from_gflops(BASE_GFLOPS, q)
+    ms = _spread([blocks_from_mb(256, q), blocks_from_mb(512, q), blocks_from_mb(1024, q)], [2, 4, 2])
+    return Platform.from_params([c] * 8, [w] * 8, [int(m) for m in ms], name="memory-het")
+
+
+def comm_heterogeneous(q: int = 80) -> Platform:
+    """Figure 5 platform: homogeneous CPUs and memories (1 GB), links of
+    10 Mbps (x2), 5 Mbps (x4) and 1 Mbps (x2) as in the paper."""
+    w = w_from_gflops(BASE_GFLOPS, q)
+    m = blocks_from_mb(1024, q)
+    cs = _spread([c_from_mbps(10, q), c_from_mbps(5, q), c_from_mbps(1, q)], [2, 4, 2])
+    return Platform.from_params(cs, [w] * 8, [m] * 8, name="comm-het")
+
+
+def comp_heterogeneous(q: int = 80) -> Platform:
+    """Figure 6 platform: homogeneous links and memories (1 GB), speeds of
+    S (x2), S/2 (x4) and S/4 (x2)."""
+    c = c_from_mbps(BASE_BANDWIDTH_MBPS, q)
+    m = blocks_from_mb(1024, q)
+    s = BASE_GFLOPS
+    ws = _spread([w_from_gflops(s, q), w_from_gflops(s / 2, q), w_from_gflops(s / 4, q)], [2, 4, 2])
+    return Platform.from_params([c] * 8, ws, [m] * 8, name="comp-het")
+
+
+# ----------------------------------------------------------------------
+# Fully heterogeneous platforms (Figure 7)
+# ----------------------------------------------------------------------
+def fully_heterogeneous(ratio: float = 2.0, q: int = 80) -> Platform:
+    """Figure 7's first two platforms: each of link / CPU / memory takes two
+    values whose large/small ratio is ``ratio``; the 8 workers realize the 8
+    combinations."""
+    if ratio <= 1:
+        raise ValueError("ratio must exceed 1")
+    c_fast = c_from_mbps(BASE_BANDWIDTH_MBPS, q)
+    w_fast = w_from_gflops(BASE_GFLOPS, q)
+    m_big = blocks_from_mb(1024, q)
+    cs, ws, ms = [], [], []
+    for bits in range(8):
+        cs.append(c_fast * (ratio if bits & 1 else 1.0))
+        ws.append(w_fast * (ratio if bits & 2 else 1.0))
+        ms.append(int(m_big / (ratio if bits & 4 else 1.0)))
+    return Platform.from_params(cs, ws, ms, name=f"fully-het-r{ratio:g}")
+
+
+def random_platform(rng: np.random.Generator, p: int = 8, max_ratio: float = 4.0, q: int = 80) -> Platform:
+    """One of Figure 7's random platforms: per-worker link, speed and memory
+    drawn uniformly with min/max ratio up to ``max_ratio``."""
+    c_fast = c_from_mbps(BASE_BANDWIDTH_MBPS, q)
+    w_fast = w_from_gflops(BASE_GFLOPS, q)
+    m_big = blocks_from_mb(1024, q)
+    cs = c_fast * rng.uniform(1.0, max_ratio, size=p)
+    ws = w_fast * rng.uniform(1.0, max_ratio, size=p)
+    ms = (m_big / rng.uniform(1.0, max_ratio, size=p)).astype(int)
+    return Platform.from_params(cs.tolist(), ws.tolist(), ms.tolist(), name="random")
+
+
+def random_platforms(n: int = 10, seed: int = 2008, p: int = 8, q: int = 80) -> list[Platform]:
+    """Figure 7's ten random platforms (deterministic given ``seed``)."""
+    rng = np.random.default_rng(seed)
+    platforms = []
+    for k in range(n):
+        plat = random_platform(rng, p=p, q=q)
+        plat.name = f"random-{k + 1}"
+        platforms.append(plat)
+    return platforms
+
+
+# ----------------------------------------------------------------------
+# The "real platform" (Figure 8)
+# ----------------------------------------------------------------------
+#: (family name, clock-derived sustained Gflop/s) for the four node families.
+_FAMILIES = [
+    ("SuperMicro 5013-GM P4 2.4GHz", 2.4),
+    ("SuperMicro 6013PI Xeon 2.4GHz", 2.4),
+    ("SuperMicro 5013SI Xeon 2.6GHz", 2.6),
+    ("SuperMicro IDE250W P4 2.8GHz", 2.8),
+]
+
+
+def _real_platform(mem_mb: Sequence[float], name: str, q: int = 80) -> Platform:
+    c = c_from_mbps(BASE_BANDWIDTH_MBPS, q)
+    workers = []
+    idx = 0
+    for (fam, gflops), mb in zip(_FAMILIES, mem_mb):
+        for _ in range(5):
+            workers.append(
+                Worker(idx, c, w_from_gflops(gflops, q), blocks_from_mb(mb, q), name=fam)
+            )
+            idx += 1
+    return Platform(workers, name=name)
+
+
+def real_platform_aug2007(q: int = 80) -> Platform:
+    """Figure 8(a): five nodes of each family, all with 1 GB of memory."""
+    return _real_platform([1024, 1024, 1024, 1024], "real-aug2007", q)
+
+
+def real_platform_nov2006(q: int = 80) -> Platform:
+    """Figure 8(b): memory as before the upgrade -- 256 MB on the 5013-GM
+    and IDE250W families, 1 GB on the Xeon families."""
+    return _real_platform([256, 1024, 1024, 256], "real-nov2006", q)
+
+
+# ----------------------------------------------------------------------
+# Matrices
+# ----------------------------------------------------------------------
+def paper_matrix_sweep(q: int = 80) -> list[BlockGrid]:
+    """The five matrix products of Figures 4-6: A is 8000 x 8000, B is
+    8000 x {64000, 80000, 96000, 112000, 128000}."""
+    return [BlockGrid.paper_instance(nb) for nb in (64000, 80000, 96000, 112000, 128000)]
+
+
+# ----------------------------------------------------------------------
+# Scaling helpers (fast test/bench variants that preserve the mu/r ratios)
+# ----------------------------------------------------------------------
+def scaled_memory(m: int, factor: float) -> int:
+    """Scale a memory size so the overlapped chunk side ``mu`` scales by
+    ``factor`` (since ``mu ~ sqrt(m)``, memory scales by ``factor^2``)."""
+    mu = overlapped_mu(m)
+    new_mu = max(1, round(mu * factor))
+    return new_mu * new_mu + 4 * new_mu
+
+
+def scale_platform(platform: Platform, factor: float, name: str = "") -> Platform:
+    """Shrink every worker's memory so chunk sides ``mu_i`` scale by
+    ``factor``, while scaling compute times ``w_i`` by ``1/factor``.
+
+    Together with :func:`scale_grid` this preserves every dimensionless
+    quantity that drives the comparisons: the enrollment count
+    ``P = ceil(mu w / 2c)``, the steady-state port shares
+    ``2 c_i/(mu_i w_i)``, the chunk compute-to-communication ratio
+    ``mu w/(2c)``, and the C-I/O overhead fraction ``2cP/(tw)`` -- so a
+    scaled-down experiment reproduces the paper-scale *relative* results.
+    """
+    workers = [
+        Worker(wk.index, wk.c, wk.w / factor, scaled_memory(wk.m, factor), wk.name)
+        for wk in platform.workers
+    ]
+    return Platform(workers, name=name or f"{platform.name}-x{factor:g}")
+
+
+def scale_grid(grid: BlockGrid, factor: float) -> BlockGrid:
+    """Shrink a block grid by ``factor`` in every dimension (min 1)."""
+    return BlockGrid(
+        r=max(1, round(grid.r * factor)),
+        t=max(1, round(grid.t * factor)),
+        s=max(1, round(grid.s * factor)),
+        q=grid.q,
+    )

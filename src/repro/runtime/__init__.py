@@ -1,0 +1,6 @@
+"""Threaded local runtime: real parallel execution of schedules."""
+
+from .local import RuntimeStats, ThreadedRuntime
+from .messages import CChunkMsg, ReturnRequest, RoundMsg, Shutdown
+
+__all__ = ["RuntimeStats", "ThreadedRuntime", "CChunkMsg", "ReturnRequest", "RoundMsg", "Shutdown"]

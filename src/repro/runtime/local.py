@@ -1,0 +1,154 @@
+"""Threaded local runtime: actually execute a schedule, in parallel.
+
+The simulator predicts timings; this runtime *performs* a schedule with
+real numpy arithmetic on worker threads, the master thread replaying the
+simulated port order:
+
+* the master is the only thread touching the matrices A, B, C (centralized
+  data, as in the paper);
+* sends are master-sequential (the master loop is the one port); a worker
+  blocks on its queue until data arrives and computes concurrently with
+  later sends to other workers -- communication/computation overlap;
+* ``C_RETURN`` blocks the master until the worker hands the chunk back
+  (one-port receive).
+
+With ``delay_scale > 0`` the master also sleeps ``nblocks * c_i * scale``
+per message, turning the runtime into a wall-clock scale model of the
+platform; with the default 0 it runs at full speed and serves as an
+end-to-end correctness harness (its output must equal ``C + A @ B``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.blocks import BlockGrid
+from ..core.ops import MsgKind
+from ..sim.engine import SimResult
+from .messages import CChunkMsg, ReturnRequest, RoundMsg, Shutdown
+
+__all__ = ["RuntimeStats", "ThreadedRuntime"]
+
+
+@dataclass
+class RuntimeStats:
+    """Wall-clock outcome of a threaded execution."""
+
+    wall_seconds: float
+    messages: int
+    updates_per_worker: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(self.updates_per_worker.values())
+
+
+class _WorkerThread(threading.Thread):
+    """One worker: owns chunk buffers, applies round updates."""
+
+    def __init__(self, widx: int) -> None:
+        super().__init__(name=f"worker-{widx}", daemon=True)
+        self.widx = widx
+        self.inbox: queue.Queue = queue.Queue()
+        self.buffers: dict[int, np.ndarray] = {}
+        self.updates = 0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via ThreadedRuntime
+        try:
+            while True:
+                msg = self.inbox.get()
+                if isinstance(msg, Shutdown):
+                    return
+                if isinstance(msg, CChunkMsg):
+                    self.buffers[msg.cid] = msg.data
+                elif isinstance(msg, RoundMsg):
+                    buf = self.buffers[msg.cid]
+                    buf += msg.a_data @ msg.b_data
+                    self.updates += msg.updates
+                elif isinstance(msg, ReturnRequest):
+                    msg.reply.put((msg.cid, self.buffers.pop(msg.cid)))
+                else:
+                    raise TypeError(f"unknown message {msg!r}")
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the master
+            self.error = exc
+
+
+class ThreadedRuntime:
+    """Execute a simulated schedule with real data on worker threads."""
+
+    def __init__(self, delay_scale: float = 0.0) -> None:
+        if delay_scale < 0:
+            raise ValueError("delay_scale must be >= 0")
+        self.delay_scale = delay_scale
+
+    def execute(
+        self,
+        result: SimResult,
+        grid: BlockGrid,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+    ) -> tuple[np.ndarray, RuntimeStats]:
+        """Replay ``result``'s port order; returns (final C, stats)."""
+        if not result.port_events:
+            raise ValueError("result has no events (collect_events was disabled?)")
+        q = grid.q
+        chunk_by_id = {ch.cid: ch for ch in result.chunks}
+        master_c = c.copy()
+        workers = [_WorkerThread(i) for i in range(result.platform.p)]
+        for wt in workers:
+            wt.start()
+        reply: queue.Queue = queue.Queue()
+        t0 = time.perf_counter()
+        n_msgs = 0
+        try:
+            for evt in result.port_events:
+                wt = workers[evt.worker]
+                if wt.error is not None:
+                    raise RuntimeError(f"worker {evt.worker} failed") from wt.error
+                ch = chunk_by_id[evt.cid]
+                rows = slice(ch.i0 * q, (ch.i0 + ch.h) * q)
+                cols = slice(ch.j0 * q, (ch.j0 + ch.w) * q)
+                if self.delay_scale > 0:
+                    time.sleep(evt.nblocks * result.platform[evt.worker].c * self.delay_scale)
+                if evt.kind is MsgKind.C_SEND:
+                    wt.inbox.put(CChunkMsg(evt.cid, rows, cols, master_c[rows, cols].copy()))
+                elif evt.kind is MsgKind.ROUND:
+                    rd = ch.rounds[evt.round_idx]
+                    ks = slice(rd.k_lo * q, rd.k_hi * q)
+                    wt.inbox.put(
+                        RoundMsg(
+                            evt.cid,
+                            evt.round_idx,
+                            a[rows, ks].copy(),
+                            b[ks, cols].copy(),
+                            updates=rd.updates,
+                        )
+                    )
+                else:  # C_RETURN: one-port receive, master blocks
+                    wt.inbox.put(ReturnRequest(evt.cid, reply))
+                    cid, data = reply.get()
+                    if cid != evt.cid:  # pragma: no cover - defensive
+                        raise RuntimeError(f"expected chunk {evt.cid}, got {cid}")
+                    master_c[rows, cols] = data
+                n_msgs += 1
+        finally:
+            for wt in workers:
+                wt.inbox.put(Shutdown())
+            for wt in workers:
+                wt.join(timeout=30)
+        for wt in workers:
+            if wt.error is not None:
+                raise RuntimeError(f"worker {wt.widx} failed") from wt.error
+        stats = RuntimeStats(
+            wall_seconds=time.perf_counter() - t0,
+            messages=n_msgs,
+            updates_per_worker={wt.widx: wt.updates for wt in workers},
+        )
+        return master_c, stats

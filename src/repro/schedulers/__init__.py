@@ -1,0 +1,47 @@
+"""The paper's scheduling algorithms (Sections 4-6)."""
+
+from .base import Scheduler, SchedulingError
+from .bmm import BMMScheduler
+from .demand_driven import ODDOMLScheduler
+from .heterogeneous import HetScheduler
+from .homogeneous import HomIScheduler, HomScheduler, homogeneous_plan, homogeneous_worker_count
+from .min_min import OMMOMLScheduler
+from .registry import SCHEDULERS, default_suite, make_scheduler
+from .round_robin import ORROMLScheduler
+from .selection import (
+    ALL_VARIANTS,
+    SelectionOutcome,
+    Variant,
+    build_plan_from_sequence,
+    incremental_selection,
+    min_min_selection,
+    round_robin_sequence,
+    usable_mus,
+)
+from .single_worker import MaxReuseSingleWorker
+
+__all__ = [
+    "Scheduler",
+    "SchedulingError",
+    "BMMScheduler",
+    "ODDOMLScheduler",
+    "HetScheduler",
+    "HomIScheduler",
+    "HomScheduler",
+    "homogeneous_plan",
+    "homogeneous_worker_count",
+    "OMMOMLScheduler",
+    "SCHEDULERS",
+    "default_suite",
+    "make_scheduler",
+    "ORROMLScheduler",
+    "ALL_VARIANTS",
+    "SelectionOutcome",
+    "Variant",
+    "build_plan_from_sequence",
+    "incremental_selection",
+    "min_min_selection",
+    "round_robin_sequence",
+    "usable_mus",
+    "MaxReuseSingleWorker",
+]

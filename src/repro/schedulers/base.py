@@ -1,0 +1,58 @@
+"""Scheduler interface.
+
+A scheduler compiles ``(platform, grid)`` into a :class:`~repro.sim.plan.Plan`
+(chunk assignments + port policy); running it through the one-port engine
+yields a :class:`~repro.sim.engine.SimResult`.  All of the paper's seven
+algorithms (Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM) implement this
+interface, so experiments treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..sim.engine import SimResult, simulate
+from ..sim.plan import Plan
+
+__all__ = ["Scheduler", "SchedulingError"]
+
+
+class SchedulingError(RuntimeError):
+    """The algorithm cannot produce a schedule (e.g. no worker has enough
+    memory for its layout)."""
+
+
+class Scheduler(ABC):
+    """Base class of all scheduling algorithms."""
+
+    #: Short name used in reports (e.g. ``"Het"``); subclasses override.
+    name: str = "?"
+
+    @abstractmethod
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        """Compile a plan for ``grid`` on ``platform``.
+
+        Raises :class:`SchedulingError` when the platform cannot support
+        the algorithm's memory layout at all.
+        """
+
+    def run(
+        self, platform: Platform, grid: BlockGrid, *, collect_events: bool = True
+    ) -> SimResult:
+        """Plan and simulate; the result's ``meta`` records the algorithm
+        name and the wall-clock planning time (the paper includes each
+        algorithm's decision process in its measured times)."""
+        t0 = time.perf_counter()
+        plan = self.plan(platform, grid)
+        planning = time.perf_counter() - t0
+        plan.collect_events = collect_events
+        result = simulate(platform, plan, grid)
+        result.meta.setdefault("algorithm", self.name)
+        result.meta["planning_seconds"] = planning
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

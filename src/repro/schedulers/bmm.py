@@ -1,0 +1,45 @@
+"""BMM: Toledo's Block Matrix Multiply baseline [17].
+
+Each worker's memory is split into three equal parts holding one square
+chunk of A, of B and of C (side ``sigma_i = sqrt(m_i / 3)`` blocks).  A
+worker first receives a C chunk, then repeatedly receives matching A and B
+chunks until the C chunk is fully updated, then returns it -- demand-driven,
+no resource selection, and *no spare buffers*, so a worker's communication
+never overlaps its own computation (prefetch depth 1).
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..core.layout import toledo_sigma
+from ..platform.model import Platform
+from ..sim.allocator import PanelDemandAllocator
+from ..sim.plan import Plan
+from ..sim.policies import ReadyPolicy, demand_priority
+from .base import Scheduler, SchedulingError
+
+__all__ = ["BMMScheduler"]
+
+
+class BMMScheduler(Scheduler):
+    """Toledo's out-of-core algorithm under the one-port master."""
+
+    name = "BMM"
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        sigmas = []
+        for wk in platform:
+            try:
+                sigmas.append(toledo_sigma(wk.m))
+            except ValueError:
+                sigmas.append(0)
+        if not any(s >= 1 for s in sigmas):
+            raise SchedulingError("no worker has enough memory for the Toledo layout")
+        allocator = PanelDemandAllocator(grid, sigmas, toledo=True)
+        return Plan(
+            assignments=[[] for _ in range(platform.p)],
+            policy=ReadyPolicy(demand_priority),
+            depths=[1] * platform.p,
+            allocator=allocator,
+            meta={"algorithm": self.name, "sigmas": sigmas},
+        )

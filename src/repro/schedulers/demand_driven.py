@@ -1,0 +1,40 @@
+"""ODDOML: Overlapped Demand-Driven with the paper's Optimized Memory Layout.
+
+Fully dynamic: whenever the master port frees, the next message goes to the
+worker that has been able to receive it the longest ("the first worker
+which can receive it" -- the spare A/B buffers of the overlapped layout are
+what makes a worker receivable ahead of its compute).  Workers that drain
+their pipeline are handed the next free column panel on demand; there is no
+resource selection, every worker with enough memory participates.
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..sim.allocator import PanelDemandAllocator
+from ..sim.plan import Plan
+from ..sim.policies import ReadyPolicy, demand_priority
+from .base import Scheduler, SchedulingError
+from .selection import usable_mus
+
+__all__ = ["ODDOMLScheduler"]
+
+
+class ODDOMLScheduler(Scheduler):
+    """Demand-driven dynamic scheduling over the overlapped layout."""
+
+    name = "ODDOML"
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        mus = usable_mus(platform)
+        if not any(mu >= 1 for mu in mus):
+            raise SchedulingError("no worker has enough memory for the overlapped layout")
+        allocator = PanelDemandAllocator(grid, mus)
+        return Plan(
+            assignments=[[] for _ in range(platform.p)],
+            policy=ReadyPolicy(demand_priority),
+            depths=[2] * platform.p,
+            allocator=allocator,
+            meta={"algorithm": self.name, "mus": mus},
+        )

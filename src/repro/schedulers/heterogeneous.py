@@ -1,0 +1,61 @@
+"""Het: the paper's heterogeneous algorithm (Section 5).
+
+Eight selection variants ({global, local} x {look-ahead, not} x {count C
+cost, not}) are each run through the incremental selection simulation; the
+resulting plans are simulated and the best variant is executed -- exactly
+the paper's procedure ("in a first step we simulate the eight versions, and
+then we pick and run the best one").
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..sim.engine import simulate
+from ..sim.plan import Plan
+from .base import Scheduler, SchedulingError
+from .selection import ALL_VARIANTS, Variant, build_plan_from_sequence, incremental_selection
+
+__all__ = ["HetScheduler"]
+
+
+class HetScheduler(Scheduler):
+    """The heterogeneous algorithm with automatic variant choice.
+
+    Parameters
+    ----------
+    variants:
+        Subset of variants to consider (default: all eight).
+    """
+
+    name = "Het"
+
+    def __init__(self, variants: tuple[Variant, ...] = ALL_VARIANTS) -> None:
+        if not variants:
+            raise ValueError("need at least one variant")
+        self.variants = tuple(variants)
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        best_plan: Plan | None = None
+        best_makespan = float("inf")
+        scores: dict[str, float] = {}
+        for variant in self.variants:
+            outcome = incremental_selection(platform, grid, variant)
+            candidate = build_plan_from_sequence(platform, grid, outcome)
+            candidate.collect_events = False
+            res = simulate(platform, candidate, grid)
+            scores[variant.label] = res.makespan
+            if res.makespan < best_makespan:
+                best_makespan = res.makespan
+                best_plan = build_plan_from_sequence(platform, grid, outcome)
+                best_plan.meta["variant"] = variant.label
+        if best_plan is None:
+            raise SchedulingError("no Het variant produced a plan")
+        best_plan.meta.update(
+            {
+                "algorithm": self.name,
+                "variant_makespans": scores,
+                "predicted_makespan": best_makespan,
+            }
+        )
+        return best_plan

@@ -1,0 +1,212 @@
+"""The paper's homogeneous algorithm (Section 4) and its Hom/HomI wrappers.
+
+Core algorithm (paper Algorithms 1 and 2): with ``mu`` the largest integer
+such that ``mu^2 + 4 mu <= m``, enroll ``P = min(p, ceil(mu w / (2c)))``
+workers -- the smallest number that saturates the master's port while
+keeping every enrolled worker busy.  C is split into ``mu``-wide column
+panels dealt round-robin to the ``P`` workers; each panel is walked top to
+bottom in ``mu x mu`` chunks.  The master's program is a fixed message
+order: for every batch of ``P`` chunks, send the C chunks, then interleave
+the ``t`` rounds across the ``P`` workers (so each worker's round ``k+1``
+arrives while it computes round ``k``), then collect the C chunks.
+
+On a heterogeneous platform the wrappers first *extract* a virtual
+homogeneous platform:
+
+* **Hom** tries every memory size present; enrolled workers are those with
+  at least that much memory, and their apparent speed/bandwidth is the
+  worst among them.
+* **HomI** ("improved") tries every (memory, bandwidth, speed) threshold
+  triple present; enrolled workers must be at least as good on *all three*
+  dimensions, and apparent parameters are the thresholds themselves.
+
+Each virtual platform is evaluated by simulating the homogeneous algorithm
+on it; the best one wins and the schedule is then executed on the *real*
+(heterogeneous) workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.blocks import BlockGrid, ceil_div
+from ..core.chunks import Chunk, make_chunk
+from ..core.layout import overlapped_mu
+from ..platform.model import Platform
+from ..sim.engine import simulate
+from ..sim.plan import Plan
+from ..sim.policies import StrictOrderPolicy
+from .base import Scheduler, SchedulingError
+
+__all__ = ["homogeneous_worker_count", "homogeneous_plan", "HomScheduler", "HomIScheduler"]
+
+
+def homogeneous_worker_count(p: int, mu: int, c: float, w: float) -> int:
+    """The paper's resource selection ``P = min(p, ceil(mu w / (2c)))``:
+    the smallest worker count whose aggregate round time
+    ``P * 2 mu t c`` covers one worker's chunk compute time ``mu^2 t w``."""
+    if p < 1 or mu < 1:
+        raise ValueError("need p >= 1 and mu >= 1")
+    return max(1, min(p, math.ceil(mu * w / (2 * c))))
+
+
+def homogeneous_plan(
+    grid: BlockGrid,
+    *,
+    n_workers: int,
+    mu: int,
+    enrolled: list[int],
+    total_workers: int,
+) -> Plan:
+    """Build the strict-order plan of Algorithm 1.
+
+    ``enrolled`` lists the *real* worker indices that participate, already
+    restricted to the selected ``P = n_workers`` (``len(enrolled)``); chunks
+    are dealt to them round-robin by column panel.
+    """
+    if len(enrolled) != n_workers:
+        raise ValueError("enrolled list must have exactly n_workers entries")
+    if mu < 1:
+        raise SchedulingError("mu < 1: not enough memory for the overlapped layout")
+    panels = [(j0, min(mu, grid.s - j0)) for j0 in range(0, grid.s, mu)]
+    row_chunks = [(i0, min(mu, grid.r - i0)) for i0 in range(0, grid.r, mu)]
+    assignments: list[list[Chunk]] = [[] for _ in range(total_workers)]
+    order: list[int] = []
+    cid = 0
+    # batches: one cycle of P panels, walked row-band by row-band
+    for cycle_start in range(0, len(panels), n_workers):
+        batch_panels = panels[cycle_start : cycle_start + n_workers]
+        for i0, h in row_chunks:
+            batch: list[tuple[int, Chunk]] = []
+            for slot, (j0, width) in enumerate(batch_panels):
+                widx = enrolled[slot]
+                ch = make_chunk(cid, widx, i0, h, j0, width, grid.t)
+                cid += 1
+                assignments[widx].append(ch)
+                batch.append((widx, ch))
+            # Algorithm 1 message order: C sends, interleaved rounds, C receives
+            for widx, _ in batch:
+                order.append(widx)  # C_SEND
+            for _k in range(grid.t):
+                for widx, _ in batch:
+                    order.append(widx)  # ROUND k
+            for widx, _ in batch:
+                order.append(widx)  # C_RETURN
+    return Plan(
+        assignments=assignments,
+        policy=StrictOrderPolicy(order),
+        depths=[2] * total_workers,
+        meta={"mu": mu, "P": n_workers, "enrolled": list(enrolled)},
+    )
+
+
+@dataclass(frozen=True)
+class _VirtualChoice:
+    """One candidate virtual homogeneous platform."""
+
+    enrolled: tuple[int, ...]
+    c: float
+    w: float
+    m: int
+    estimate: float
+    mu: int
+    n_workers: int
+
+
+def _evaluate_virtual(
+    platform: Platform, grid: BlockGrid, enrolled: list[int], c: float, w: float, m: int
+) -> _VirtualChoice | None:
+    """Estimate the homogeneous algorithm's makespan on the virtual platform
+    made of ``len(enrolled)`` workers of apparent parameters ``(c, w, m)``."""
+    try:
+        mu = overlapped_mu(m)
+    except ValueError:
+        return None
+    n = homogeneous_worker_count(len(enrolled), mu, c, w)
+    virtual = Platform.homogeneous(n, c, w, m, name="virtual")
+    plan = homogeneous_plan(
+        grid, n_workers=n, mu=mu, enrolled=list(range(n)), total_workers=n
+    )
+    plan.collect_events = False
+    res = simulate(virtual, plan, grid)
+    # rank candidate real workers: fastest compute, then fastest link
+    ranked = sorted(enrolled, key=lambda i: (platform[i].w, platform[i].c, i))
+    return _VirtualChoice(
+        enrolled=tuple(ranked[:n]),
+        c=c,
+        w=w,
+        m=m,
+        estimate=res.makespan,
+        mu=mu,
+        n_workers=n,
+    )
+
+
+class HomScheduler(Scheduler):
+    """Hom: homogeneous algorithm with memory-threshold platform extraction."""
+
+    name = "Hom"
+
+    def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
+        out = []
+        for m_thr in sorted(set(platform.ms)):
+            enrolled = [i for i in range(platform.p) if platform[i].m >= m_thr]
+            c_app = max(platform[i].c for i in enrolled)
+            w_app = max(platform[i].w for i in enrolled)
+            choice = _evaluate_virtual(platform, grid, enrolled, c_app, w_app, m_thr)
+            if choice is not None:
+                out.append(choice)
+        return out
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        candidates = self._candidates(platform, grid)
+        if not candidates:
+            raise SchedulingError(f"{self.name}: no feasible virtual platform")
+        best = min(candidates, key=lambda ch: ch.estimate)
+        plan = homogeneous_plan(
+            grid,
+            n_workers=best.n_workers,
+            mu=best.mu,
+            enrolled=list(best.enrolled),
+            total_workers=platform.p,
+        )
+        plan.meta.update(
+            {
+                "algorithm": self.name,
+                "virtual_estimate": best.estimate,
+                "apparent": {"c": best.c, "w": best.w, "m": best.m},
+            }
+        )
+        return plan
+
+
+class HomIScheduler(HomScheduler):
+    """HomI: homogeneous algorithm with (memory, bandwidth, speed) threshold
+    triples -- a finer-grained virtual platform search."""
+
+    name = "HomI"
+
+    def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
+        out = []
+        seen: set[tuple[tuple[int, ...], float, float, int]] = set()
+        for m_thr in sorted(set(platform.ms)):
+            for c_thr in sorted(set(platform.cs)):
+                for w_thr in sorted(set(platform.ws)):
+                    enrolled = [
+                        i
+                        for i in range(platform.p)
+                        if platform[i].m >= m_thr
+                        and platform[i].c <= c_thr
+                        and platform[i].w <= w_thr
+                    ]
+                    if not enrolled:
+                        continue
+                    key = (tuple(enrolled), c_thr, w_thr, m_thr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    choice = _evaluate_virtual(platform, grid, enrolled, c_thr, w_thr, m_thr)
+                    if choice is not None:
+                        out.append(choice)
+        return out

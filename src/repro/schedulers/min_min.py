@@ -1,0 +1,31 @@
+"""OMMOML: Overlapped Min-Min with the paper's Optimized Memory Layout.
+
+A static scheduling heuristic [Maheswaran et al. 1999]: the next chunk goes
+to the worker that would *finish it first* given everything already
+scheduled (port availability, buffer stalls and compute backlog included).
+Because workers are scanned in a fixed order, ties go to the first workers,
+which yields an implicit resource selection: on platforms where a few
+workers absorb the whole load, the others are never enrolled.
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..sim.plan import Plan
+from .base import Scheduler
+from .selection import build_plan_from_sequence, min_min_selection
+
+__all__ = ["OMMOMLScheduler"]
+
+
+class OMMOMLScheduler(Scheduler):
+    """Static min-min chunk assignment."""
+
+    name = "OMMOML"
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        outcome = min_min_selection(platform, grid)
+        plan = build_plan_from_sequence(platform, grid, outcome)
+        plan.meta["algorithm"] = self.name
+        return plan

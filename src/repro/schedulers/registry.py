@@ -1,0 +1,47 @@
+"""Name-based scheduler registry.
+
+The experiment harness, the CLI and the benchmarks look algorithms up by
+their paper names.  ``default_suite()`` returns the seven algorithms of
+Section 6 in the paper's presentation order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Scheduler
+from .bmm import BMMScheduler
+from .demand_driven import ODDOMLScheduler
+from .heterogeneous import HetScheduler
+from .homogeneous import HomIScheduler, HomScheduler
+from .min_min import OMMOMLScheduler
+from .round_robin import ORROMLScheduler
+from .single_worker import MaxReuseSingleWorker
+
+__all__ = ["SCHEDULERS", "make_scheduler", "default_suite"]
+
+#: Factory per algorithm name.
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "Hom": HomScheduler,
+    "HomI": HomIScheduler,
+    "Het": HetScheduler,
+    "ORROML": ORROMLScheduler,
+    "OMMOML": OMMOMLScheduler,
+    "ODDOML": ODDOMLScheduler,
+    "BMM": BMMScheduler,
+    "MaxReuse1": MaxReuseSingleWorker,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by its paper name (case-sensitive)."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(SCHEDULERS)}") from None
+    return factory()
+
+
+def default_suite() -> list[Scheduler]:
+    """The seven algorithms compared throughout Section 6."""
+    return [make_scheduler(n) for n in ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM")]

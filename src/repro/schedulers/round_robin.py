@@ -1,0 +1,29 @@
+"""ORROML: Overlapped Round-Robin with the paper's Optimized Memory Layout.
+
+Chunks (each worker's own ``mu_i x mu_i``) are dealt to *all* workers in a
+round-robin cycle -- no resource selection whatsoever.  Execution uses the
+same overlapped layout and earliest-selected-first port policy as Het, so
+the only difference from Het is the selection order.
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..sim.plan import Plan
+from .base import Scheduler
+from .selection import build_plan_from_sequence, round_robin_sequence
+
+__all__ = ["ORROMLScheduler"]
+
+
+class ORROMLScheduler(Scheduler):
+    """Round-robin chunk distribution over every usable worker."""
+
+    name = "ORROML"
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        outcome = round_robin_sequence(platform, grid)
+        plan = build_plan_from_sequence(platform, grid, outcome)
+        plan.meta["algorithm"] = self.name
+        return plan

@@ -1,0 +1,346 @@
+"""Incremental resource selection (Section 5).
+
+Worker memories differ, so workers receive chunks of different sizes
+(``mu_i x mu_i``) and no closed-form allocation exists.  The paper
+pre-computes the allocation with a *step-by-step simulation*: selections
+are made one chunk at a time against a model of the master port and of the
+workers' ready times.
+
+**Selection-time model** (chunk granularity).  Assigning the next chunk to
+``P_i`` occupies the port for ``D_i = 2 mu_i t c_i`` seconds of A/B traffic
+(plus ``mu_i^2 c_i`` when the variant counts the C-chunk send), starting at
+
+    start = max(port_free, ready_i)
+
+because the overlapped layout has no cross-chunk prefetch: a worker's next
+chunk cannot stream in before the worker finished computing the previous
+one (its C buffers and round buffers are still in use) -- this is the
+"ready time" the paper insists on.  The worker then computes the chunk in
+``mu_i^2 t w_i`` seconds, throttled by data arrival:
+
+    comp_end = max(ready_i, start + lead) + mu_i^2 t w_i   (compute-bound)
+    comp_end = start + D_i + mu_i^2 w_i                    (port-bound)
+
+whichever is later, where ``lead`` is the time of the first round's
+arrival.  In the port-bound limit the *local* ratio (chunk work over port
+time consumed) reduces to ``mu_i / (2 c_i)`` -- precisely the
+bandwidth-centric LP ordering key -- while overloading a worker degrades
+both ratios through ``ready_i``, which is what makes the selection
+memory-feasible where the LP is not.
+
+Selection criteria (the paper's eight Het variants plus min-min):
+
+* **global**: total work assigned so far divided by the completion time of
+  the candidate chunk's last communication (maximize);
+* **local**: the candidate chunk's work divided by the port time it
+  occupies, idle waits included (maximize);
+* each optionally with one-selection **look-ahead** (a candidate's score is
+  the best pair score over all possible next selections), and optionally
+  **counting the C-chunk send** in the simulated timeline;
+* **min-min** (OMMOML): minimize the candidate chunk's completion time.
+
+Grant bookkeeping: a worker selected ``ceil(r / mu_i)`` times has earned
+``mu_i`` block columns of the real matrix and is granted the next free
+column panel; the phase stops when every column is granted.  The same
+machinery replays arbitrary sequences (e.g. round-robin for ORROML), so all
+chunk-ordered algorithms share one phase-2 plan builder
+(:func:`build_plan_from_sequence`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.blocks import BlockGrid, ceil_div
+from ..core.chunks import Chunk, PanelAllocator, PanelCursor
+from ..core.layout import overlapped_mu
+from ..platform.model import Platform
+from ..sim.plan import Plan
+from ..sim.policies import ReadyPolicy, selection_order_priority
+from .base import SchedulingError
+
+__all__ = [
+    "Variant",
+    "ALL_VARIANTS",
+    "usable_mus",
+    "SelectionOutcome",
+    "SelectionState",
+    "incremental_selection",
+    "min_min_selection",
+    "round_robin_sequence",
+    "build_plan_from_sequence",
+]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One of the eight Het selection variants."""
+
+    scope: str  # "global" or "local"
+    lookahead: bool
+    count_c: bool
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("global", "local"):
+            raise ValueError(f"unknown scope {self.scope!r}")
+
+    @property
+    def label(self) -> str:
+        la = "+la" if self.lookahead else ""
+        cc = "+c" if self.count_c else ""
+        return f"{self.scope}{la}{cc}"
+
+
+#: The paper's eight variants: {global, local} x {look-ahead, not} x {C cost, not}.
+ALL_VARIANTS: tuple[Variant, ...] = tuple(
+    Variant(scope, la, cc)
+    for scope in ("global", "local")
+    for la in (False, True)
+    for cc in (False, True)
+)
+
+
+def usable_mus(platform: Platform) -> list[int]:
+    """Per-worker overlapped chunk side ``mu_i`` (0 when the worker lacks
+    the minimum memory and must be excluded)."""
+    mus = []
+    for wk in platform:
+        try:
+            mus.append(overlapped_mu(wk.m))
+        except ValueError:
+            mus.append(0)
+    return mus
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of a selection phase."""
+
+    sequence: list[int]  # worker index per selection, in order
+    mus: list[int]
+    variant: Variant | None = None
+    meta: dict = field(default_factory=dict)
+
+
+class SelectionState:
+    """O(p) analytic state of the selection-time model (see module doc)."""
+
+    __slots__ = ("platform", "grid", "mus", "count_c", "port_free", "ready", "total_work")
+
+    def __init__(
+        self, platform: Platform, grid: BlockGrid, mus: Sequence[int], count_c: bool
+    ) -> None:
+        self.platform = platform
+        self.grid = grid
+        self.mus = list(mus)
+        self.count_c = count_c
+        self.port_free = 0.0
+        self.ready = [0.0] * platform.p
+        self.total_work = 0
+
+    def copy(self) -> "SelectionState":
+        other = SelectionState.__new__(SelectionState)
+        other.platform = self.platform
+        other.grid = self.grid
+        other.mus = self.mus
+        other.count_c = self.count_c
+        other.port_free = self.port_free
+        other.ready = list(self.ready)
+        other.total_work = self.total_work
+        return other
+
+    def chunk_work(self, widx: int) -> int:
+        """Block updates of one idealized chunk on ``widx`` (clipped to r)."""
+        mu = self.mus[widx]
+        return min(mu, self.grid.r) * mu * self.grid.t
+
+    def assign(self, widx: int) -> tuple[float, float]:
+        """Commit one chunk to ``widx``; returns ``(comm_end, comp_end)``."""
+        wk = self.platform[widx]
+        mu = self.mus[widx]
+        h = min(mu, self.grid.r)
+        t = self.grid.t
+        c_cost = (h * mu * wk.c) if self.count_c else 0.0
+        data = (h + mu) * t * wk.c  # per round: h A blocks + mu B blocks
+        start = max(self.port_free, self.ready[widx])
+        comm_end = start + c_cost + data
+        lead = c_cost + (h + mu) * wk.c  # first round delivered
+        per_round = h * mu * wk.w
+        comp_begin = max(self.ready[widx], start + lead)
+        comp_end = max(comp_begin + t * per_round, comm_end + per_round)
+        self.port_free = comm_end
+        self.ready[widx] = comp_end
+        self.total_work += self.chunk_work(widx)
+        return comm_end, comp_end
+
+
+def _score(state: SelectionState, widx: int, scope: str) -> tuple[float, SelectionState]:
+    """Score of selecting ``widx`` next on ``state`` (higher = better)."""
+    trial = state.copy()
+    before = state.port_free
+    comm_end, _ = trial.assign(widx)
+    if scope == "global":
+        score = trial.total_work / comm_end if comm_end > 0 else float("inf")
+    else:
+        elapsed = comm_end - before
+        score = state.chunk_work(widx) / elapsed if elapsed > 0 else float("inf")
+    return score, trial
+
+
+def incremental_selection(
+    platform: Platform, grid: BlockGrid, variant: Variant
+) -> SelectionOutcome:
+    """Run the paper's incremental selection under ``variant``."""
+    mus = usable_mus(platform)
+    usable = [i for i, mu in enumerate(mus) if mu >= 1]
+    if not usable:
+        raise SchedulingError("no worker has enough memory for the overlapped layout")
+
+    state = SelectionState(platform, grid, mus, variant.count_c)
+
+    def candidate_score(widx: int) -> float:
+        first, trial = _score(state, widx, variant.scope)
+        if not variant.lookahead:
+            return first
+        before = state.port_free
+        before_work = state.total_work
+        best_pair = -float("inf")
+        for j in usable:
+            trial2 = trial.copy()
+            comm_end2, _ = trial2.assign(j)
+            if variant.scope == "global":
+                pair = trial2.total_work / comm_end2 if comm_end2 > 0 else float("inf")
+            else:
+                gained = trial2.total_work - before_work
+                elapsed = comm_end2 - before
+                pair = gained / elapsed if elapsed > 0 else float("inf")
+            best_pair = max(best_pair, pair)
+        return best_pair
+
+    sequence: list[int] = []
+    panels = PanelAllocator(grid.s)
+    since_grant = [0] * platform.p
+    need = [ceil_div(grid.r, mu) if mu >= 1 else 0 for mu in mus]
+    while not panels.exhausted:
+        best_w = max(usable, key=lambda i: (candidate_score(i), -i))
+        sequence.append(best_w)
+        state.assign(best_w)
+        since_grant[best_w] += 1
+        if since_grant[best_w] == need[best_w]:
+            since_grant[best_w] = 0
+            panels.grant(mus[best_w])
+    return SelectionOutcome(sequence=sequence, mus=mus, variant=variant)
+
+
+def min_min_selection(platform: Platform, grid: BlockGrid) -> SelectionOutcome:
+    """OMMOML's selection: repeatedly give the next chunk to the worker that
+    would finish it first (port availability and compute backlog included;
+    the C-chunk send is counted, ties go to the first worker in index
+    order)."""
+    mus = usable_mus(platform)
+    usable = [i for i, mu in enumerate(mus) if mu >= 1]
+    if not usable:
+        raise SchedulingError("no worker has enough memory for the overlapped layout")
+    state = SelectionState(platform, grid, mus, count_c=True)
+    sequence: list[int] = []
+    panels = PanelAllocator(grid.s)
+    since_grant = [0] * platform.p
+    need = [ceil_div(grid.r, mu) if mu >= 1 else 0 for mu in mus]
+    while not panels.exhausted:
+        best_w, best_done = -1, float("inf")
+        for i in usable:
+            trial = state.copy()
+            _, comp_end = trial.assign(i)
+            if comp_end < best_done:
+                best_w, best_done = i, comp_end
+        sequence.append(best_w)
+        state.assign(best_w)
+        since_grant[best_w] += 1
+        if since_grant[best_w] == need[best_w]:
+            since_grant[best_w] = 0
+            panels.grant(mus[best_w])
+    return SelectionOutcome(sequence=sequence, mus=mus, meta={"criterion": "min-min"})
+
+
+def round_robin_sequence(platform: Platform, grid: BlockGrid) -> SelectionOutcome:
+    """ORROML's 'selection': cycle over every usable worker until all
+    columns are granted (no resource selection at all)."""
+    mus = usable_mus(platform)
+    usable = [i for i, mu in enumerate(mus) if mu >= 1]
+    if not usable:
+        raise SchedulingError("no worker has enough memory for the overlapped layout")
+    sequence: list[int] = []
+    panels = PanelAllocator(grid.s)
+    since_grant = [0] * platform.p
+    need = [ceil_div(grid.r, mu) if mu >= 1 else 0 for mu in mus]
+    for widx in itertools.cycle(usable):
+        if panels.exhausted:
+            break
+        sequence.append(widx)
+        since_grant[widx] += 1
+        if since_grant[widx] == need[widx]:
+            since_grant[widx] = 0
+            panels.grant(mus[widx])
+    return SelectionOutcome(sequence=sequence, mus=mus, meta={"criterion": "round-robin"})
+
+
+# ----------------------------------------------------------------------
+# phase 2: sequence -> executable plan
+# ----------------------------------------------------------------------
+def build_plan_from_sequence(
+    platform: Platform, grid: BlockGrid, outcome: SelectionOutcome
+) -> Plan:
+    """Convert a selection sequence into a runnable plan.
+
+    Replays the sequence to reproduce the panel grants, walks each worker's
+    granted panels with a :class:`PanelCursor` (ragged edges become
+    rectangular chunks), assigns chunk ids in selection order, and installs
+    the earliest-selected-first port policy.  Trailing selections that never
+    earned a grant are dropped (the paper stops as soon as all blocks are
+    allocated columnwise).
+    """
+    mus = outcome.mus
+    panels = PanelAllocator(grid.s)
+    cursors: list[PanelCursor | None] = [
+        PanelCursor(i, mu, grid) if mu >= 1 else None for i, mu in enumerate(mus)
+    ]
+    since_grant = [0] * platform.p
+    need = [ceil_div(grid.r, mu) if mu >= 1 else 0 for mu in mus]
+    for widx in outcome.sequence:
+        if panels.exhausted:
+            break
+        since_grant[widx] += 1
+        if since_grant[widx] == need[widx]:
+            since_grant[widx] = 0
+            panel = panels.grant(mus[widx])
+            if panel is not None:
+                cursor = cursors[widx]
+                assert cursor is not None
+                cursor.add_panel(panel)
+    if not panels.exhausted:
+        raise SchedulingError("selection sequence did not cover all columns")
+
+    assignments: list[list[Chunk]] = [[] for _ in range(platform.p)]
+    cid = 0
+    for widx in outcome.sequence:
+        cursor = cursors[widx]
+        if cursor is None:
+            continue
+        chunk = cursor.next_chunk(cid)
+        if chunk is None:
+            continue  # trailing selection past this worker's real supply
+        cid += 1
+        assignments[widx].append(chunk)
+    enrolled = [i for i, chunks in enumerate(assignments) if chunks]
+    return Plan(
+        assignments=assignments,
+        policy=ReadyPolicy(selection_order_priority),
+        depths=[2] * platform.p,
+        meta={
+            "enrolled": enrolled,
+            "selections": len(outcome.sequence),
+            "variant": outcome.variant.label if outcome.variant else outcome.meta.get("criterion"),
+        },
+    )

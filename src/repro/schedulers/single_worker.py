@@ -1,0 +1,71 @@
+"""The single-worker maximum re-use algorithm of Section 3.
+
+Used for the communication-volume study: all chunks go to one worker with
+the *plain* maximum re-use layout (``1 + mu + mu^2 <= m``, no spare
+buffers).  Per chunk the master sends ``mu^2`` C blocks, then for each
+``k`` a row of ``mu`` B blocks followed by ``mu`` A blocks, and finally
+retrieves the C blocks, for a communication-to-computation ratio of
+``2/t + 2/mu`` block transfers per block update -- within a factor
+``sqrt(32/27)`` of the lower bound ``sqrt(27/(8m))``.
+
+Note on buffer accounting: the engine models a whole ``k``-round (``mu`` A
+blocks + ``mu`` B blocks) as one message, so its transient occupancy is
+``mu^2 + 2 mu`` blocks instead of the paper's ``mu^2 + mu + 1`` (A blocks
+are streamed one at a time in the paper).  Port traffic, computation and
+hence the CCR are identical; callers who want strict occupancy accounting
+should provision ``m' = mu^2 + 2mu`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import BlockGrid
+from ..core.chunks import Chunk, PanelAllocator, PanelCursor
+from ..core.layout import max_reuse_mu
+from ..platform.model import Platform
+from ..sim.plan import Plan
+from ..sim.policies import StrictOrderPolicy
+from .base import Scheduler, SchedulingError
+
+__all__ = ["MaxReuseSingleWorker"]
+
+
+class MaxReuseSingleWorker(Scheduler):
+    """Section 3's algorithm on a one-worker platform."""
+
+    name = "MaxReuse1"
+
+    def __init__(self, worker: int = 0) -> None:
+        self.worker = worker
+
+    def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        widx = self.worker
+        if not 0 <= widx < platform.p:
+            raise SchedulingError(f"worker {widx} not on the platform")
+        try:
+            mu = max_reuse_mu(platform[widx].m)
+        except ValueError as exc:
+            raise SchedulingError(str(exc)) from exc
+        panels = PanelAllocator(grid.s)
+        cursor = PanelCursor(widx, mu, grid)
+        while not panels.exhausted:
+            panel = panels.grant(mu)
+            assert panel is not None
+            cursor.add_panel(panel)
+        chunks: list[Chunk] = []
+        cid = 0
+        while cursor.has_next:
+            ch = cursor.next_chunk(cid)
+            assert ch is not None
+            chunks.append(ch)
+            cid += 1
+        order: list[int] = []
+        for ch in chunks:
+            order.extend([widx] * (2 + len(ch.rounds)))  # C_SEND, rounds, C_RETURN
+        assignments: list[list[Chunk]] = [[] for _ in range(platform.p)]
+        assignments[widx] = chunks
+        return Plan(
+            assignments=assignments,
+            policy=StrictOrderPolicy(order),
+            depths=[1] * platform.p,
+            meta={"algorithm": self.name, "mu": mu},
+        )

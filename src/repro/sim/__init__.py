@@ -1,0 +1,40 @@
+"""One-port discrete-event simulation of star master-worker platforms."""
+
+from .allocator import Allocator, PanelDemandAllocator
+from .engine import Engine, SimResult, WorkerStats, simulate
+from .plan import Plan
+from .policies import (
+    PortPolicy,
+    ReadyPolicy,
+    StrictOrderPolicy,
+    demand_priority,
+    selection_order_priority,
+)
+from .trace import compute_records, gantt_ascii, port_records, worker_utilization
+from .validate import InvariantViolation, ValidationReport, validate_result
+from .worker_state import CMode, HeadMsg, WorkerSim
+
+__all__ = [
+    "Allocator",
+    "PanelDemandAllocator",
+    "Engine",
+    "SimResult",
+    "WorkerStats",
+    "simulate",
+    "Plan",
+    "PortPolicy",
+    "ReadyPolicy",
+    "StrictOrderPolicy",
+    "demand_priority",
+    "selection_order_priority",
+    "compute_records",
+    "gantt_ascii",
+    "port_records",
+    "worker_utilization",
+    "InvariantViolation",
+    "ValidationReport",
+    "validate_result",
+    "CMode",
+    "HeadMsg",
+    "WorkerSim",
+]

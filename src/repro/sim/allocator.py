@@ -1,0 +1,74 @@
+"""Dynamic chunk allocation for the demand-driven algorithms.
+
+ODDOML and BMM do not pre-compute an assignment of C blocks to workers: a
+worker that drained its pipeline asks the master for more work and receives
+the next free column panel (its own chunk-side wide), which it then walks
+top to bottom.  The allocator materializes exactly one chunk per drained
+worker per engine iteration, so panel hand-out order follows the demand
+order of the simulation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..core.blocks import BlockGrid
+from ..core.chunks import PanelAllocator, PanelCursor
+from .engine import Engine
+
+__all__ = ["Allocator", "PanelDemandAllocator"]
+
+
+class Allocator(ABC):
+    """Hook the engine consults before every policy decision."""
+
+    @abstractmethod
+    def refill(self, engine: Engine) -> None:
+        """Assign new chunks to drained workers (may be a no-op)."""
+
+
+class PanelDemandAllocator(Allocator):
+    """Hand out column panels on demand.
+
+    Parameters
+    ----------
+    grid:
+        The block grid being computed.
+    sides:
+        Per-worker chunk side (``mu_i`` for the max re-use layout,
+        ``sigma_i`` for Toledo's).  Workers whose side is 0 are excluded
+        (insufficient memory).
+    toledo:
+        Whether chunks use Toledo's round structure.
+    """
+
+    def __init__(self, grid: BlockGrid, sides: Sequence[int], *, toledo: bool = False) -> None:
+        self.grid = grid
+        self.panels = PanelAllocator(grid.s)
+        self.cursors: list[PanelCursor | None] = [
+            PanelCursor(w, side, grid, toledo=toledo) if side >= 1 else None
+            for w, side in enumerate(sides)
+        ]
+        self._next_cid = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every C column has been granted."""
+        return self.panels.exhausted
+
+    def refill(self, engine: Engine) -> None:
+        for widx, cursor in enumerate(self.cursors):
+            if cursor is None:
+                continue
+            if engine.workers[widx].has_pending:
+                continue
+            if not cursor.has_next:
+                panel = self.panels.grant(cursor.side)
+                if panel is None:
+                    continue
+                cursor.add_panel(panel)
+            chunk = cursor.next_chunk(self._next_cid)
+            if chunk is not None:
+                self._next_cid += 1
+                engine.assign_chunk(widx, chunk)

@@ -1,0 +1,69 @@
+"""Execution plans: everything the engine needs to run one algorithm.
+
+A scheduler (see :mod:`repro.schedulers`) compiles a platform + block grid
+into a :class:`Plan`: static per-worker chunk assignments and/or a dynamic
+allocator, a port policy, and per-worker prefetch depths.  ``simulate``
+executes plans; schedulers stay free of simulation mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.chunks import Chunk
+from .allocator import Allocator
+from .policies import PortPolicy
+from .worker_state import CMode
+
+__all__ = ["Plan"]
+
+
+@dataclass
+class Plan:
+    """A ready-to-simulate schedule.
+
+    Attributes
+    ----------
+    assignments:
+        ``assignments[w]`` is the ordered chunk list pre-assigned to worker
+        ``w`` (empty for dynamic algorithms).
+    policy:
+        Port service policy.
+    depths:
+        Per-worker prefetch depth (2 = double-buffered rounds, 1 = no
+        overlap).
+    allocator:
+        Optional on-demand chunk source (ODDOML / BMM).
+    c_mode:
+        Which C messages to simulate; real executions use ``CMode.BOTH``.
+    collect_events:
+        Whether the simulation keeps full traces.
+    meta:
+        Free-form scheduler annotations (algorithm name, variant, ...).
+    """
+
+    assignments: list[list[Chunk]]
+    policy: PortPolicy
+    depths: list[int]
+    allocator: Allocator | None = None
+    c_mode: CMode = CMode.BOTH
+    collect_events: bool = True
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.assignments) != len(self.depths):
+            raise ValueError("assignments and depths must cover the same workers")
+        for widx, chunks in enumerate(self.assignments):
+            for ch in chunks:
+                if ch.worker != widx:
+                    raise ValueError(
+                        f"chunk {ch.cid} owned by worker {ch.worker} listed under {widx}"
+                    )
+
+    @property
+    def static_chunks(self) -> list[Chunk]:
+        """All statically assigned chunks in cid order."""
+        out = [ch for chunks in self.assignments for ch in chunks]
+        out.sort(key=lambda ch: ch.cid)
+        return out

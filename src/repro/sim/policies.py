@@ -1,0 +1,117 @@
+"""Port service policies.
+
+The one-port master must decide, whenever its port frees, which worker's
+next pipeline message to post.  Two families cover all the paper's
+algorithms:
+
+* :class:`StrictOrderPolicy` -- a fixed total order of messages (the MPI
+  master posts blocking sends in program order); the port idles when the
+  head message is not yet receivable.  This is the paper's homogeneous
+  Algorithm 1 and the phase-1 selection simulation of Section 5.
+
+* :class:`ReadyPolicy` -- serve, among receivable messages, the one ranked
+  first by a priority function; used by the heterogeneous execution
+  (priority = selection order) and by the demand-driven heuristics
+  (priority = how long the worker has been able to receive).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from .engine import Engine
+
+__all__ = [
+    "PortPolicy",
+    "StrictOrderPolicy",
+    "ReadyPolicy",
+    "selection_order_priority",
+    "demand_priority",
+]
+
+
+class PortPolicy(ABC):
+    """Chooses which worker the master serves next."""
+
+    @abstractmethod
+    def next_choice(self, engine: Engine) -> int | None:
+        """Index of the worker whose head message to post, or ``None`` when
+        the schedule is complete."""
+
+    def fresh(self) -> "PortPolicy":
+        """Return a reset copy safe to drive a new simulation (stateful
+        policies override)."""
+        return self
+
+
+class StrictOrderPolicy(PortPolicy):
+    """Post messages in a fixed global order of worker indices.
+
+    Each occurrence of a worker index consumes that worker's next pipeline
+    message.  The engine idles the port whenever the head message's buffers
+    are not free yet -- exactly an MPI master issuing blocking sends in
+    program order.
+    """
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self.order = list(order)
+        self._pos = 0
+
+    def next_choice(self, engine: Engine) -> int | None:
+        if self._pos >= len(self.order):
+            return None
+        widx = self.order[self._pos]
+        self._pos += 1
+        if engine.head(widx) is None:
+            raise RuntimeError(
+                f"strict order names worker {widx} at position {self._pos - 1} "
+                "but it has no pending message"
+            )
+        return widx
+
+    def fresh(self) -> "StrictOrderPolicy":
+        return StrictOrderPolicy(self.order)
+
+
+#: Priority functions return a sortable key; *lower* is served first.
+PriorityFn = Callable[[Engine, int], tuple]
+
+
+def selection_order_priority(engine: Engine, widx: int) -> tuple:
+    """Serve the earliest-selected chunk first (heterogeneous execution:
+    chunk ids are allocated in selection order)."""
+    msg = engine.head(widx)
+    assert msg is not None
+    return (msg.chunk.cid, widx)
+
+
+def demand_priority(engine: Engine, widx: int) -> tuple:
+    """Serve the worker that has been ready to receive the longest
+    (demand-driven heuristics: 'the first worker which can receive it')."""
+    return (engine.legal_start(widx), widx)
+
+
+class ReadyPolicy(PortPolicy):
+    """Serve pending workers ordered by ``(effective start, priority)``.
+
+    The effective start is ``max(port_free, legal_start)``: among messages
+    receivable at the earliest possible moment, the priority function breaks
+    ties; when nothing is receivable now, the port jumps to the earliest
+    legal start.
+    """
+
+    def __init__(self, priority: PriorityFn) -> None:
+        self.priority = priority
+
+    def next_choice(self, engine: Engine) -> int | None:
+        best: tuple | None = None
+        best_widx: int | None = None
+        for widx in range(engine.platform.p):
+            if engine.head(widx) is None:
+                continue
+            key = (engine.effective_start(widx), self.priority(engine, widx))
+            if best is None or key < best:
+                best = key
+                best_widx = widx
+        return best_widx

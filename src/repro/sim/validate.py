@@ -1,0 +1,199 @@
+"""Trace invariant validation.
+
+Every simulation with event collection enabled can be audited against the
+model's ground rules.  The validator recomputes, from the raw event trace:
+
+1. **one-port**: master port events never overlap;
+2. **message timing**: each message's duration is ``nblocks * c_i``;
+3. **worker sequentiality**: per-worker compute events never overlap and
+   each lasts ``updates * w_i``;
+4. **dependencies**: a round's compute starts at/after its message ended;
+   a chunk's ``C_RETURN`` starts at/after its last compute ended; a chunk's
+   ``C_SEND`` starts at/after the previous chunk's ``C_RETURN`` ended (on
+   the same worker); a chunk's first compute starts after its ``C_SEND``;
+5. **memory**: the sweep-line block occupancy of every worker never exceeds
+   its memory capacity ``m_i`` (C chunks resident from ``C_SEND`` start to
+   ``C_RETURN`` end; round data resident from message start to compute end);
+6. **prefetch depth**: at most ``depth`` rounds of data resident at once.
+
+These checks back both the unit tests and the hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ops import ComputeEvent, MsgKind, PortEvent
+from .engine import SimResult
+
+__all__ = ["InvariantViolation", "ValidationReport", "validate_result"]
+
+_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A simulation trace broke one of the model's ground rules."""
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Summary of a successful validation."""
+
+    n_port_events: int
+    n_compute_events: int
+    max_occupancy: dict[int, int]
+    peak_resident_rounds: dict[int, int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        occ = ", ".join(f"P{w + 1}:{v}" for w, v in sorted(self.max_occupancy.items()))
+        return (
+            f"validated {self.n_port_events} port events / "
+            f"{self.n_compute_events} compute events; peak occupancy {occ}"
+        )
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise InvariantViolation(msg)
+
+
+def validate_result(result: SimResult, *, check_memory: bool = True) -> ValidationReport:
+    """Audit a :class:`SimResult`; raises :class:`InvariantViolation` on any
+    breach, otherwise returns a :class:`ValidationReport`."""
+    port = sorted(result.port_events, key=lambda e: (e.start, e.end))
+    comps = sorted(result.compute_events, key=lambda e: (e.worker, e.start))
+    _check(bool(port), "no port events collected (was collect_events disabled?)")
+
+    # 1-2: one-port and message durations ------------------------------
+    prev_end = 0.0
+    for evt in port:
+        _check(evt.start >= prev_end - _EPS, f"port events overlap at t={evt.start}")
+        prev_end = evt.end
+        c = result.platform[evt.worker].c
+        _check(
+            abs(evt.duration - evt.nblocks * c) <= _EPS * max(1.0, evt.end),
+            f"message duration {evt.duration} != {evt.nblocks} * c_{evt.worker}",
+        )
+
+    # index events for dependency checks -------------------------------
+    chunk_by_id = {ch.cid: ch for ch in result.chunks}
+    round_msg_end: dict[tuple[int, int], float] = {}
+    c_send: dict[int, PortEvent] = {}
+    c_return: dict[int, PortEvent] = {}
+    per_worker_c_events: dict[int, list[PortEvent]] = {}
+    for evt in port:
+        if evt.kind is MsgKind.ROUND:
+            _check(
+                (evt.cid, evt.round_idx) not in round_msg_end,
+                f"round ({evt.cid},{evt.round_idx}) sent twice",
+            )
+            round_msg_end[(evt.cid, evt.round_idx)] = evt.end
+        elif evt.kind is MsgKind.C_SEND:
+            _check(evt.cid not in c_send, f"chunk {evt.cid} C sent twice")
+            c_send[evt.cid] = evt
+            per_worker_c_events.setdefault(evt.worker, []).append(evt)
+        else:
+            _check(evt.cid not in c_return, f"chunk {evt.cid} C returned twice")
+            c_return[evt.cid] = evt
+            per_worker_c_events.setdefault(evt.worker, []).append(evt)
+
+    # 3: worker compute sequentiality and durations ---------------------
+    last_comp_end_by_worker: dict[int, float] = {}
+    last_comp_end_by_chunk: dict[int, float] = {}
+    first_comp_start_by_chunk: dict[int, float] = {}
+    for evt in comps:
+        w = result.platform[evt.worker].w
+        _check(
+            abs(evt.duration - evt.updates * w) <= _EPS * max(1.0, evt.end),
+            f"compute duration {evt.duration} != {evt.updates} * w_{evt.worker}",
+        )
+        prev = last_comp_end_by_worker.get(evt.worker, 0.0)
+        _check(
+            evt.start >= prev - _EPS,
+            f"worker {evt.worker} computes overlap at t={evt.start}",
+        )
+        last_comp_end_by_worker[evt.worker] = evt.end
+        # 4a: round data arrived before compute
+        end = round_msg_end.get((evt.cid, evt.round_idx))
+        _check(end is not None, f"compute of unsent round ({evt.cid},{evt.round_idx})")
+        _check(
+            evt.start >= end - _EPS,
+            f"round ({evt.cid},{evt.round_idx}) computed before its data arrived",
+        )
+        last_comp_end_by_chunk[evt.cid] = max(last_comp_end_by_chunk.get(evt.cid, 0.0), evt.end)
+        first_comp_start_by_chunk.setdefault(evt.cid, evt.start)
+
+    # 4b: C dependencies -------------------------------------------------
+    for cid, ret in c_return.items():
+        _check(cid in c_send, f"chunk {cid} returned but never sent")
+        _check(
+            ret.start >= last_comp_end_by_chunk.get(cid, float("inf")) - _EPS,
+            f"chunk {cid} returned before its last compute finished",
+        )
+    for cid, first in first_comp_start_by_chunk.items():
+        if cid in c_send:
+            _check(
+                first >= c_send[cid].end - _EPS,
+                f"chunk {cid} computed before its C blocks arrived",
+            )
+    for widx, evts in per_worker_c_events.items():
+        evts.sort(key=lambda e: e.start)
+        open_cid: int | None = None
+        for evt in evts:
+            if evt.kind is MsgKind.C_SEND:
+                _check(
+                    open_cid is None,
+                    f"worker {widx}: C chunk {evt.cid} sent while chunk {open_cid} still resident",
+                )
+                open_cid = evt.cid
+            else:
+                _check(open_cid == evt.cid, f"worker {widx}: C return order broken at {evt.cid}")
+                open_cid = None
+
+    # 5-6: memory occupancy sweep ---------------------------------------
+    max_occ: dict[int, int] = {}
+    peak_rounds: dict[int, int] = {}
+    if check_memory:
+        deltas: dict[int, list[tuple[float, int, int]]] = {}
+
+        def add(widx: int, time: float, blocks: int, rounds: int) -> None:
+            deltas.setdefault(widx, []).append((time, blocks, rounds))
+
+        comp_end_by_round = {(e.cid, e.round_idx): e.end for e in comps}
+        for evt in port:
+            ch = chunk_by_id.get(evt.cid)
+            _check(ch is not None, f"event references unknown chunk {evt.cid}")
+            if evt.kind is MsgKind.C_SEND:
+                add(evt.worker, evt.start, ch.c_blocks, 0)
+            elif evt.kind is MsgKind.C_RETURN:
+                add(evt.worker, evt.end, -ch.c_blocks, 0)
+            else:
+                free_at = comp_end_by_round.get((evt.cid, evt.round_idx))
+                _check(
+                    free_at is not None,
+                    f"round ({evt.cid},{evt.round_idx}) sent but never computed",
+                )
+                add(evt.worker, evt.start, evt.nblocks, +1)
+                add(evt.worker, free_at, -evt.nblocks, -1)
+        for widx, events in deltas.items():
+            events.sort(key=lambda x: (x[0], x[1]))  # frees (negative) before grabs at ties
+            occ = rounds = 0
+            m_i = result.platform[widx].m
+            depth = None
+            for time, dblocks, drounds in events:
+                occ += dblocks
+                rounds += drounds
+                max_occ[widx] = max(max_occ.get(widx, 0), occ)
+                peak_rounds[widx] = max(peak_rounds.get(widx, 0), rounds)
+                _check(
+                    occ <= m_i,
+                    f"worker {widx} holds {occ} blocks at t={time} but m={m_i}",
+                )
+            _check(occ == 0, f"worker {widx} ends with {occ} resident blocks")
+
+    return ValidationReport(
+        n_port_events=len(port),
+        n_compute_events=len(comps),
+        max_occupancy=max_occ,
+        peak_resident_rounds=peak_rounds,
+    )

@@ -1,0 +1,53 @@
+"""Theoretical results of the paper: bounds, CCRs, steady state, overhead."""
+
+from .bounds import (
+    bound_improvement_factor,
+    ccr_lower_bound,
+    loomis_whitney,
+    max_updates_per_window,
+    toledo_ccr_lower_bound,
+)
+from .ccr import (
+    max_reuse_ccr,
+    max_reuse_ccr_asymptotic,
+    maxreuse_vs_toledo_factor,
+    measured_ccr,
+    optimality_gap,
+    toledo_ccr,
+    toledo_ccr_asymptotic,
+)
+from .overhead import OverheadEstimate, c_io_overhead, paper_example
+from .steady_state import (
+    SteadyStateSolution,
+    WorkerRate,
+    bandwidth_centric,
+    makespan_lower_bound,
+    steady_state_lp,
+    table2_platform,
+    throughput_upper_bound,
+)
+
+__all__ = [
+    "bound_improvement_factor",
+    "ccr_lower_bound",
+    "loomis_whitney",
+    "max_updates_per_window",
+    "toledo_ccr_lower_bound",
+    "max_reuse_ccr",
+    "max_reuse_ccr_asymptotic",
+    "maxreuse_vs_toledo_factor",
+    "measured_ccr",
+    "optimality_gap",
+    "toledo_ccr",
+    "toledo_ccr_asymptotic",
+    "OverheadEstimate",
+    "c_io_overhead",
+    "paper_example",
+    "SteadyStateSolution",
+    "WorkerRate",
+    "bandwidth_centric",
+    "makespan_lower_bound",
+    "steady_state_lp",
+    "table2_platform",
+    "throughput_upper_bound",
+]

@@ -1,0 +1,70 @@
+"""Communication-volume lower bounds (Section 3).
+
+For a worker with ``m`` block buffers, consider any window of ``m``
+consecutive communications.  With ``alpha/beta/gamma`` the A/B/C blocks
+resident before the window and ``recv/send`` the traffic during it,
+
+* ``alpha_old + beta_old + gamma_old <= m`` (memory),
+* ``alpha_recv + beta_recv + gamma_recv + gamma_send = m`` (window size),
+
+and by the Loomis-Whitney inequality at most
+``K = sqrt(N_A * N_B * N_C)`` block updates can touch ``N_A/N_B/N_C``
+accessible blocks.  ``K`` is maximized when each matrix has ``2m/3``
+accessible blocks, giving ``K = (2m/3)^{3/2}`` updates per ``m``
+communications and hence
+
+    CCR_opt >= sqrt(27 / (8 m)),
+
+which improves the Ironya-Toledo-Tiskin bound ``sqrt(1/(8m))`` by a factor
+``3 sqrt(3)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "loomis_whitney",
+    "max_updates_per_window",
+    "ccr_lower_bound",
+    "toledo_ccr_lower_bound",
+    "bound_improvement_factor",
+]
+
+
+def loomis_whitney(n_a: float, n_b: float, n_c: float) -> float:
+    """Maximum number of standard-algorithm block updates that can touch
+    ``n_a`` blocks of A, ``n_b`` of B and ``n_c`` of C (Loomis-Whitney /
+    Ironya-Toledo-Tiskin): ``sqrt(n_a * n_b * n_c)``."""
+    if min(n_a, n_b, n_c) < 0:
+        raise ValueError("block counts must be non-negative")
+    return math.sqrt(n_a * n_b * n_c)
+
+
+def max_updates_per_window(m: int) -> float:
+    """Maximum block updates performable during any ``m`` consecutive
+    communications with ``m`` buffers: ``(2m/3)^{3/2}``."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return (2 * m / 3) ** 1.5
+
+
+def ccr_lower_bound(m: int) -> float:
+    """The paper's improved lower bound on the communication-to-computation
+    ratio under ``m`` buffers: ``sqrt(27 / (8 m))`` block transfers per
+    block update."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return math.sqrt(27.0 / (8.0 * m))
+
+
+def toledo_ccr_lower_bound(m: int) -> float:
+    """The previous best bound ``sqrt(1 / (8 m))`` [Ironya-Toledo-Tiskin]."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return math.sqrt(1.0 / (8.0 * m))
+
+
+def bound_improvement_factor() -> float:
+    """Ratio between the new and old bounds: ``sqrt(27) = 3 sqrt(3)``."""
+    return math.sqrt(27.0)

@@ -1,0 +1,76 @@
+"""Communication-to-computation ratios of the concrete algorithms.
+
+All ratios are in *block* units: blocks through the master port per block
+update performed.  (In element units everything is divided by ``q`` because
+a block carries ``q^2`` coefficients but an update performs ``q^3``
+multiply-adds.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.layout import max_reuse_mu, toledo_sigma
+from ..sim.engine import SimResult
+from .bounds import ccr_lower_bound
+
+__all__ = [
+    "max_reuse_ccr",
+    "max_reuse_ccr_asymptotic",
+    "toledo_ccr",
+    "toledo_ccr_asymptotic",
+    "measured_ccr",
+    "optimality_gap",
+    "maxreuse_vs_toledo_factor",
+]
+
+
+def max_reuse_ccr(m: int, t: int) -> float:
+    """Exact CCR of the maximum re-use algorithm: per chunk, ``2 mu^2``
+    C transfers plus ``2 mu t`` A/B transfers for ``mu^2 t`` updates,
+    i.e. ``2/t + 2/mu`` with ``mu`` from ``1 + mu + mu^2 <= m``."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    mu = max_reuse_mu(m)
+    return 2.0 / t + 2.0 / mu
+
+
+def max_reuse_ccr_asymptotic(m: int) -> float:
+    """Large-``t`` limit ``2 / mu ~ 2 / sqrt(m)`` (the paper's CCR_inf)."""
+    return 2.0 / max_reuse_mu(m)
+
+
+def toledo_ccr(m: int, t: int) -> float:
+    """Exact CCR of Toledo's thirds layout: chunks of side
+    ``sigma = sqrt(m/3)`` give ``2/t + 2/sigma``."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    sigma = toledo_sigma(m)
+    return 2.0 / t + 2.0 / sigma
+
+
+def toledo_ccr_asymptotic(m: int) -> float:
+    """Large-``t`` limit ``2 / sigma ~ 2 sqrt(3) / sqrt(m)`` -- a factor
+    ``sqrt(3)`` above the maximum re-use algorithm."""
+    return 2.0 / toledo_sigma(m)
+
+
+def measured_ccr(result: SimResult) -> float:
+    """CCR actually realized by a simulation: blocks through the port per
+    block update performed."""
+    if result.total_updates == 0:
+        raise ValueError("simulation performed no updates")
+    return result.blocks_through_port / result.total_updates
+
+
+def optimality_gap(m: int) -> float:
+    """Asymptotic CCR of maximum re-use over the lower bound:
+    ``(2/sqrt(m)) / sqrt(27/(8m)) -> sqrt(32/27) ~ 1.0887`` (using the exact
+    integer ``mu`` the gap is slightly larger for small ``m``)."""
+    return max_reuse_ccr_asymptotic(m) / ccr_lower_bound(m)
+
+
+def maxreuse_vs_toledo_factor() -> float:
+    """Asymptotic advantage of the maximum re-use layout over Toledo's:
+    ``sqrt(3)``."""
+    return math.sqrt(3.0)

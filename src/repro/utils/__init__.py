@@ -1,0 +1,19 @@
+"""Utilities: persistence and misc helpers."""
+
+from .persist import (
+    load_platform,
+    platform_from_dict,
+    platform_to_dict,
+    result_to_dict,
+    save_platform,
+    save_result,
+)
+
+__all__ = [
+    "load_platform",
+    "platform_from_dict",
+    "platform_to_dict",
+    "result_to_dict",
+    "save_platform",
+    "save_result",
+]

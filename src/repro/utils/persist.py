@@ -1,0 +1,112 @@
+"""JSON persistence for platforms and simulation outcomes.
+
+Lets users archive calibrated platforms, share experiment configurations,
+and post-process simulation results outside Python.  Round-tripping is
+exact for platforms; results serialize the summary quantities plus
+(optionally) the full event trace.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from ..platform.model import Platform, Worker
+from ..sim.engine import SimResult
+from ..sim.trace import compute_records, port_records
+
+__all__ = [
+    "platform_to_dict",
+    "platform_from_dict",
+    "save_platform",
+    "load_platform",
+    "result_to_dict",
+    "save_result",
+]
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """JSON-ready description of a platform."""
+    return {
+        "name": platform.name,
+        "workers": [
+            {"index": wk.index, "c": wk.c, "w": wk.w, "m": wk.m, "name": wk.name}
+            for wk in platform
+        ],
+    }
+
+
+def platform_from_dict(data: dict[str, Any]) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    try:
+        workers = [
+            Worker(d["index"], d["c"], d["w"], d["m"], d.get("name", ""))
+            for d in data["workers"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed platform document: {exc}") from exc
+    return Platform(workers, name=data.get("name", ""))
+
+
+def save_platform(platform: Platform, path: str | pathlib.Path) -> None:
+    """Write a platform as JSON."""
+    pathlib.Path(path).write_text(json.dumps(platform_to_dict(platform), indent=2))
+
+
+def load_platform(path: str | pathlib.Path) -> Platform:
+    """Read a platform back from JSON."""
+    return platform_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def result_to_dict(result: SimResult, *, include_events: bool = False) -> dict[str, Any]:
+    """JSON-ready summary of a simulation result."""
+    out: dict[str, Any] = {
+        "makespan": result.makespan,
+        "enrolled": result.enrolled,
+        "total_updates": result.total_updates,
+        "blocks_through_port": result.blocks_through_port,
+        "port_busy": result.port_busy,
+        "throughput": result.throughput,
+        "platform": platform_to_dict(result.platform),
+        "grid": None
+        if result.grid is None
+        else {"r": result.grid.r, "t": result.grid.t, "s": result.grid.s, "q": result.grid.q},
+        "meta": _jsonable(result.meta),
+        "worker_stats": [
+            {
+                "worker": st.worker,
+                "chunks": st.chunks,
+                "blocks_in": st.blocks_in,
+                "blocks_out": st.blocks_out,
+                "updates": st.updates,
+                "compute_busy": st.compute_busy,
+                "finish": st.finish,
+            }
+            for st in result.worker_stats
+        ],
+    }
+    if include_events:
+        out["port_events"] = port_records(result)
+        out["compute_events"] = compute_records(result)
+    return out
+
+
+def save_result(
+    result: SimResult, path: str | pathlib.Path, *, include_events: bool = False
+) -> None:
+    """Write a result summary (optionally with the full trace) as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(result_to_dict(result, include_events=include_events), indent=2)
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of meta entries to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small platforms and grids that keep tests fast while
+exercising heterogeneity, ragged edges and every algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.platform.model import Platform, Worker
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid() -> BlockGrid:
+    """Divisible-friendly grid."""
+    return BlockGrid(r=6, t=5, s=12, q=2)
+
+
+@pytest.fixture
+def ragged_grid() -> BlockGrid:
+    """Nothing divides anything."""
+    return BlockGrid(r=7, t=6, s=13, q=3)
+
+
+@pytest.fixture
+def hom_platform() -> Platform:
+    """Four identical workers, mu = 3 (m = 21)."""
+    return Platform.homogeneous(4, c=1.0, w=1.0, m=21)
+
+
+@pytest.fixture
+def het_platform() -> Platform:
+    """Heterogeneous in all three dimensions; mu = 3, 4, 2, 5."""
+    return Platform(
+        [
+            Worker(0, c=1.0, w=1.0, m=21),  # mu 3
+            Worker(1, c=0.5, w=2.0, m=32),  # mu 4
+            Worker(2, c=2.0, w=0.5, m=12),  # mu 2
+            Worker(3, c=1.5, w=1.5, m=45),  # mu 5
+        ],
+        name="het-4",
+    )
+
+
+@pytest.fixture
+def comm_bound_platform() -> Platform:
+    """Communication strongly dominates computation."""
+    return Platform.homogeneous(3, c=5.0, w=0.01, m=21)
+
+
+@pytest.fixture
+def comp_bound_platform() -> Platform:
+    """Computation strongly dominates communication."""
+    return Platform.homogeneous(3, c=0.01, w=5.0, m=21)

@@ -1,0 +1,65 @@
+"""Trace analysis decomposition tests."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+from repro.sim.analysis import analyze
+from repro.theory.ccr import max_reuse_ccr
+
+
+def _run(name="ODDOML", plat=None, grid=None):
+    plat = plat or Platform([Worker(0, 1.0, 1.0, 45), Worker(1, 0.5, 2.0, 32)])
+    grid = grid or BlockGrid(r=5, t=4, s=8)
+    return make_scheduler(name).run(plat, grid)
+
+
+class TestAnalyze:
+    def test_port_sums_to_makespan(self):
+        ana = analyze(_run())
+        assert ana.port.total == pytest.approx(ana.makespan, rel=1e-9)
+
+    def test_busy_matches_result(self):
+        res = _run()
+        ana = analyze(res)
+        assert ana.port.busy == pytest.approx(res.port_busy)
+
+    def test_overall_ccr_matches_counts(self):
+        res = _run()
+        ana = analyze(res)
+        assert ana.overall_ccr == pytest.approx(res.blocks_through_port / res.total_updates)
+
+    def test_single_worker_ccr_is_formula(self):
+        """The single-worker max re-use analysis reproduces 2/t + 2/mu."""
+        m, t = 21, 10
+        grid = BlockGrid(r=4, t=t, s=8)  # divisible by mu=4
+        plat = Platform([Worker(0, 1.0, 1.0, m)])
+        ana = analyze(_run("MaxReuse1", plat, grid))
+        assert ana.overall_ccr == pytest.approx(max_reuse_ccr(m, t))
+
+    def test_workers_cover_platform(self):
+        ana = analyze(_run())
+        assert [wb.worker for wb in ana.workers] == [0, 1]
+        assert all(wb.computing >= 0 and wb.waiting >= 0 for wb in ana.workers)
+
+    def test_comm_bound_port_never_idles_much(self):
+        plat = Platform.homogeneous(2, c=5.0, w=0.01, m=21)
+        ana = analyze(_run("ODDOML", plat))
+        assert ana.port.idle / ana.makespan < 0.1
+
+    def test_comp_bound_port_mostly_idle(self):
+        plat = Platform.homogeneous(2, c=0.01, w=5.0, m=21)
+        ana = analyze(_run("ODDOML", plat))
+        assert ana.port.idle / ana.makespan > 0.5
+
+    def test_report_text(self):
+        text = analyze(_run()).report()
+        assert "makespan" in text and "CCR" in text and "P1" in text
+
+    def test_requires_events(self):
+        res = _run()
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            analyze(dataclasses.replace(res, port_events=()))

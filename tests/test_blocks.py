@@ -1,0 +1,105 @@
+"""Unit tests for the block decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid, block_slices, ceil_div
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 5) == 1
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 5)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestBlockGrid:
+    def test_paper_instance(self):
+        g = BlockGrid.paper_instance(80_000)
+        assert (g.r, g.t, g.s, g.q) == (100, 100, 1000, 80)
+
+    def test_from_elements_exact(self):
+        g = BlockGrid.from_elements(8000, 8000, 64000, q=80)
+        assert (g.r, g.t, g.s) == (100, 100, 800)
+
+    def test_from_elements_rounds_up(self):
+        g = BlockGrid.from_elements(81, 80, 80, q=80)
+        assert g.r == 2
+
+    def test_counts(self):
+        g = BlockGrid(r=3, t=4, s=5)
+        assert g.a_blocks == 12
+        assert g.b_blocks == 20
+        assert g.c_blocks == 15
+        assert g.total_updates == 60
+
+    def test_minimal_io(self):
+        g = BlockGrid(r=3, t=4, s=5)
+        assert g.minimal_io_blocks() == 12 + 20 + 2 * 15
+
+    def test_block_bytes(self):
+        assert BlockGrid(r=1, t=1, s=1, q=80).block_bytes == 80 * 80 * 8
+
+    def test_flops(self):
+        assert BlockGrid(r=1, t=1, s=1, q=80).flops_per_update == 2 * 80**3
+
+    @pytest.mark.parametrize("field", ["r", "t", "s", "q"])
+    def test_rejects_nonpositive(self, field):
+        kw = dict(r=2, t=2, s=2, q=2)
+        kw[field] = 0
+        with pytest.raises(ValueError):
+            BlockGrid(**kw)
+
+    def test_rejects_nonint(self):
+        with pytest.raises(ValueError):
+            BlockGrid(r=2.5, t=2, s=2)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        g = BlockGrid(r=2, t=2, s=2)
+        with pytest.raises(AttributeError):
+            g.r = 3  # type: ignore[misc]
+
+    @given(st.integers(1, 500), st.integers(1, 500), st.integers(1, 500), st.integers(1, 128))
+    def test_from_elements_covers(self, na, nab, nb, q):
+        g = BlockGrid.from_elements(na, nab, nb, q)
+        assert g.r * q >= na > (g.r - 1) * q
+        assert g.t * q >= nab > (g.t - 1) * q
+        assert g.s * q >= nb > (g.s - 1) * q
+
+
+class TestBlockSlices:
+    def test_interior(self):
+        assert block_slices(1, 4, 10, 40) == slice(10, 20)
+
+    def test_ragged_last(self):
+        assert block_slices(3, 4, 10, 35) == slice(30, 35)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            block_slices(4, 4, 10, 40)
+
+    def test_beyond_matrix(self):
+        with pytest.raises(IndexError):
+            block_slices(3, 4, 10, 30)

@@ -1,0 +1,54 @@
+"""Unit tests for the platform calibration step."""
+
+import pytest
+
+from repro.platform.calibration import calibrate, calibrate_platform, noisy_probe
+from repro.platform.model import Platform
+
+
+class TestNoisyProbe:
+    def test_zero_noise_exact(self):
+        plat = Platform.homogeneous(2, c=0.5, w=0.25, m=21)
+        probe = noisy_probe(plat, noise=0.0)
+        assert probe.time_send(0) == 0.5
+        assert probe.time_update(1) == 0.25
+        assert probe.memory_blocks(0) == 21
+
+    def test_noise_bounded(self):
+        plat = Platform.homogeneous(1, c=1.0, w=1.0, m=21)
+        probe = noisy_probe(plat, noise=0.1, seed=3)
+        for _ in range(100):
+            assert 0.9 <= probe.time_send(0) <= 1.1
+
+    def test_invalid_noise(self):
+        plat = Platform.homogeneous(1, c=1.0, w=1.0, m=21)
+        with pytest.raises(ValueError):
+            noisy_probe(plat, noise=1.5)
+
+
+class TestCalibrate:
+    def test_recovers_exact_without_noise(self):
+        plat = Platform.from_params([1.0, 2.0], [0.1, 0.2], [21, 45])
+        res = calibrate_platform(plat, noise=0.0)
+        assert res.platform.cs == plat.cs
+        assert res.platform.ws == plat.ws
+        assert res.platform.ms == plat.ms
+
+    def test_median_within_noise(self):
+        plat = Platform.from_params([1.0, 4.0], [0.5, 0.25], [21, 21])
+        res = calibrate_platform(plat, noise=0.05, seed=11, repetitions=10)
+        for est, true in zip(res.platform.cs, plat.cs):
+            assert est == pytest.approx(true, rel=0.05)
+        for est, true in zip(res.platform.ws, plat.ws):
+            assert est == pytest.approx(true, rel=0.05)
+
+    def test_samples_recorded(self):
+        plat = Platform.homogeneous(2, 1.0, 1.0, 21)
+        res = calibrate_platform(plat, repetitions=7)
+        assert len(res.send_samples[0]) == 7
+        assert len(res.update_samples[1]) == 7
+
+    def test_rejects_zero_repetitions(self):
+        plat = Platform.homogeneous(1, 1.0, 1.0, 21)
+        with pytest.raises(ValueError):
+            calibrate(noisy_probe(plat), 1, repetitions=0)

@@ -1,0 +1,161 @@
+"""Unit and property tests for chunk plans and panel allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid, ceil_div
+from repro.core.chunks import (
+    Chunk,
+    Panel,
+    PanelAllocator,
+    PanelCursor,
+    RoundSpec,
+    assert_partition,
+    make_chunk,
+    max_reuse_rounds,
+    toledo_rounds,
+)
+
+
+class TestRoundSpec:
+    def test_in_blocks(self):
+        rd = RoundSpec(k_lo=0, k_hi=1, a_blocks=3, b_blocks=4, updates=12)
+        assert rd.in_blocks == 7
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RoundSpec(k_lo=2, k_hi=2, a_blocks=1, b_blocks=1, updates=1)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            RoundSpec(k_lo=0, k_hi=1, a_blocks=0, b_blocks=1, updates=1)
+
+
+class TestRoundStructures:
+    def test_max_reuse_counts(self):
+        rounds = max_reuse_rounds(h=3, w=4, t=5)
+        assert len(rounds) == 5
+        for k, rd in enumerate(rounds):
+            assert (rd.k_lo, rd.k_hi) == (k, k + 1)
+            assert rd.a_blocks == 3 and rd.b_blocks == 4 and rd.updates == 12
+
+    def test_toledo_counts(self):
+        rounds = toledo_rounds(h=2, w=2, t=7, sigma=3)
+        assert [(rd.k_lo, rd.k_hi) for rd in rounds] == [(0, 3), (3, 6), (6, 7)]
+        assert rounds[0].updates == 2 * 2 * 3
+        assert rounds[-1].updates == 2 * 2 * 1
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 30), st.integers(1, 8))
+    def test_toledo_covers_t(self, h, w, t, sigma):
+        rounds = toledo_rounds(h, w, t, sigma)
+        assert rounds[0].k_lo == 0 and rounds[-1].k_hi == t
+        assert sum(rd.updates for rd in rounds) == h * w * t
+        assert sum(rd.a_blocks for rd in rounds) == h * t
+
+
+class TestChunk:
+    def test_totals(self):
+        ch = make_chunk(0, 1, i0=2, h=3, j0=4, w=2, t=5)
+        assert ch.c_blocks == 6
+        assert ch.total_updates == 30
+        assert ch.input_blocks == 5 * (3 + 2)
+        assert ch.comm_blocks == 2 * 6 + 25
+
+    def test_ranges(self):
+        ch = make_chunk(0, 0, i0=2, h=3, j0=4, w=2, t=1)
+        assert list(ch.row_range()) == [2, 3, 4]
+        assert list(ch.col_range()) == [4, 5]
+
+    def test_toledo_needs_sigma(self):
+        with pytest.raises(ValueError):
+            make_chunk(0, 0, 0, 2, 0, 2, 5, toledo=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(cid=0, worker=0, i0=0, h=0, j0=0, w=1, rounds=max_reuse_rounds(1, 1, 1))
+
+
+class TestPanelAllocator:
+    def test_grants_sequential(self):
+        pa = PanelAllocator(10)
+        assert pa.grant(4) == Panel(0, 4)
+        assert pa.grant(4) == Panel(4, 4)
+        assert pa.grant(4) == Panel(8, 2)  # clipped
+        assert pa.grant(4) is None
+        assert pa.exhausted
+
+    def test_columns_left(self):
+        pa = PanelAllocator(5)
+        pa.grant(2)
+        assert pa.columns_left == 3
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PanelAllocator(5).grant(0)
+
+
+class TestPanelCursor:
+    def test_walks_panel_rows(self):
+        grid = BlockGrid(r=7, t=3, s=10)
+        cur = PanelCursor(worker=1, side=3, grid=grid)
+        cur.add_panel(Panel(0, 3))
+        chunks = []
+        while cur.has_next:
+            chunks.append(cur.next_chunk(len(chunks)))
+        assert [(c.i0, c.h) for c in chunks] == [(0, 3), (3, 3), (6, 1)]
+        assert all(c.j0 == 0 and c.w == 3 for c in chunks)
+        assert len(chunks) == cur.chunks_per_panel == ceil_div(7, 3)
+
+    def test_empty_cursor(self):
+        cur = PanelCursor(0, 2, BlockGrid(r=4, t=2, s=4))
+        assert cur.next_chunk(0) is None
+
+    @given(
+        st.integers(1, 12),  # r
+        st.integers(1, 12),  # s
+        st.integers(1, 6),  # side
+        st.integers(1, 5),  # t
+    )
+    def test_cursor_partitions_grid(self, r, s, side, t):
+        """Chunks from panels covering all columns tile the whole grid."""
+        grid = BlockGrid(r=r, t=t, s=s)
+        pa = PanelAllocator(s)
+        cur = PanelCursor(0, side, grid)
+        while not pa.exhausted:
+            panel = pa.grant(side)
+            assert panel is not None
+            cur.add_panel(panel)
+        chunks = []
+        while cur.has_next:
+            chunks.append(cur.next_chunk(len(chunks)))
+        assert_partition(chunks, grid)
+
+
+class TestAssertPartition:
+    def _full_chunk(self, grid, **kw):
+        return make_chunk(0, 0, 0, grid.r, 0, grid.s, grid.t, **kw)
+
+    def test_accepts_single_cover(self):
+        grid = BlockGrid(r=3, t=2, s=4)
+        assert_partition([self._full_chunk(grid)], grid)
+
+    def test_rejects_overlap(self):
+        grid = BlockGrid(r=3, t=2, s=4)
+        with pytest.raises(AssertionError, match="covered by chunks"):
+            assert_partition([self._full_chunk(grid), make_chunk(1, 0, 0, 1, 0, 1, 2)], grid)
+
+    def test_rejects_hole(self):
+        grid = BlockGrid(r=3, t=2, s=4)
+        with pytest.raises(AssertionError, match="not covered"):
+            assert_partition([make_chunk(0, 0, 0, 3, 0, 3, 2)], grid)
+
+    def test_rejects_out_of_grid(self):
+        grid = BlockGrid(r=2, t=2, s=2)
+        with pytest.raises(AssertionError, match="outside the grid"):
+            assert_partition([make_chunk(0, 0, 0, 3, 0, 2, 2)], grid)
+
+    def test_rejects_wrong_t(self):
+        grid = BlockGrid(r=1, t=3, s=1)
+        with pytest.raises(AssertionError, match="stop at k=2"):
+            assert_partition([make_chunk(0, 0, 0, 1, 0, 1, 2)], grid)

@@ -1,0 +1,92 @@
+"""CLI smoke tests for every subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig4", "--scale", "0.1"])
+        assert args.fig == "fig4" and args.scale == 0.1
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--memory", "21", "--t", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out and "optimality gap" in out
+
+    def test_run_with_gantt(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "Hom", "--platform", "memory-het",
+             "--scale", "0.05", "--gantt"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "port" in out
+
+    def test_figure_subset(self, capsys):
+        rc = main(["figure", "fig4", "--scale", "0.06", "--algorithms", "Hom,BMM"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relative cost" in out and "BMM" in out
+
+    def test_summary(self, capsys):
+        rc = main(["summary", "--scale", "0.06", "--figures", "fig4"])
+        assert rc == 0
+        assert "Figure 9 summary" in capsys.readouterr().out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out.lower() or "P1" in out
+
+    def test_run_explicit_grid(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "ODDOML", "--platform", "comp-het",
+             "--scale", "0.05", "--r", "6", "--t", "5", "--s", "12"]
+        )
+        assert rc == 0
+        assert "enrolled" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--scale", "0.08", "--ratios", "1.5,3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Het/bound" in out
+
+    def test_run_save_and_reload(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        rc = main(
+            ["run", "--algorithm", "Hom", "--platform", "memory-het",
+             "--scale", "0.05", "--save", str(target)]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(target.read_text())
+        assert doc["makespan"] > 0 and doc["port_events"]
+
+    def test_run_platform_file(self, tmp_path, capsys):
+        from repro.platform.model import Platform
+        from repro.utils.persist import save_platform
+
+        plat_file = tmp_path / "plat.json"
+        save_platform(Platform.homogeneous(3, 0.01, 0.01, 96), plat_file)
+        rc = main(
+            ["run", "--algorithm", "ODDOML", "--platform-file", str(plat_file),
+             "--r", "6", "--t", "5", "--s", "12"]
+        )
+        assert rc == 0
+        assert "enrolled" in capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Numerical executor and trace replay: schedules must compute C + A@B."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.chunks import make_chunk
+from repro.execution.executor import (
+    execute_chunks,
+    random_instance,
+    reference_product,
+    verify_chunks,
+)
+from repro.execution.replay import replay_trace, verify_trace
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import default_suite, make_scheduler
+
+ALGOS = ["Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM", "MaxReuse1"]
+
+
+class TestRandomInstance:
+    def test_shapes(self):
+        grid = BlockGrid(r=3, t=4, s=5, q=2)
+        a, b, c = random_instance(grid, rng=0)
+        assert a.shape == (6, 8) and b.shape == (8, 10) and c.shape == (6, 10)
+
+    def test_deterministic_with_seed(self):
+        grid = BlockGrid(r=2, t=2, s=2, q=2)
+        a1, _, _ = random_instance(grid, rng=7)
+        a2, _, _ = random_instance(grid, rng=7)
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestExecuteChunks:
+    def test_single_full_chunk(self):
+        grid = BlockGrid(r=2, t=3, s=2, q=2)
+        ch = make_chunk(0, 0, 0, 2, 0, 2, 3)
+        a, b, c = random_instance(grid, rng=1)
+        got = execute_chunks([ch], grid, a, b, c)
+        np.testing.assert_allclose(got, reference_product(a, b, c), atol=1e-12)
+
+    def test_c_not_modified_in_place(self):
+        grid = BlockGrid(r=1, t=1, s=1, q=2)
+        ch = make_chunk(0, 0, 0, 1, 0, 1, 1)
+        a, b, c = random_instance(grid, rng=2)
+        c0 = c.copy()
+        execute_chunks([ch], grid, a, b, c)
+        np.testing.assert_array_equal(c, c0)
+
+    def test_shape_mismatch_rejected(self):
+        grid = BlockGrid(r=2, t=2, s=2, q=2)
+        a, b, c = random_instance(grid, rng=0)
+        with pytest.raises(ValueError):
+            execute_chunks([], grid, a[:2], b, c)
+
+    def test_partition_violation_caught(self):
+        grid = BlockGrid(r=2, t=2, s=2, q=2)
+        ch = make_chunk(0, 0, 0, 1, 0, 2, 2)  # misses a row
+        with pytest.raises(AssertionError):
+            verify_chunks([ch], grid, rng=0)
+
+
+@pytest.mark.parametrize("name", ALGOS)
+class TestEndToEndNumerics:
+    def test_chunks_compute_product(self, name, het_platform, ragged_grid):
+        res = make_scheduler(name).run(het_platform, ragged_grid)
+        err = verify_chunks(res.chunks, ragged_grid, rng=10)
+        assert err < 1e-10
+
+    def test_trace_replay(self, name, het_platform, ragged_grid):
+        res = make_scheduler(name).run(het_platform, ragged_grid)
+        err = verify_trace(res, ragged_grid, rng=11)
+        assert err < 1e-10
+
+
+class TestReplayCatchesCorruption:
+    def _result(self):
+        grid = BlockGrid(r=4, t=3, s=4, q=2)
+        plat = Platform([Worker(0, 1.0, 1.0, 45), Worker(1, 1.0, 1.0, 45)])
+        res = make_scheduler("ODDOML").run(plat, grid)
+        return res, grid
+
+    def test_reordered_compute_rejected(self):
+        import dataclasses
+
+        res, grid = self._result()
+        comps = list(res.compute_events)
+        first = comps[0]
+        # pretend the first compute happened before its data arrived
+        comps[0] = dataclasses.replace(first, start=first.start - 100, end=first.end - 100)
+        bad = dataclasses.replace(res, compute_events=tuple(comps))
+        with pytest.raises(AssertionError):
+            verify_trace(bad, grid, rng=3)
+
+    def test_missing_events_rejected(self):
+        import dataclasses
+
+        res, grid = self._result()
+        bad = dataclasses.replace(res, port_events=())
+        with pytest.raises(ValueError):
+            verify_trace(bad, grid, rng=3)

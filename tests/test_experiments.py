@@ -1,0 +1,170 @@
+"""Tests for metrics, harness, figure definitions and reports."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.experiments.figures import (
+    FIGURES,
+    fig4_instances,
+    fig5_instances,
+    fig6_instances,
+    fig7_instances,
+    fig8_instances,
+    run_figure,
+)
+from repro.experiments.harness import ExperimentResult, Instance, run_experiment
+from repro.experiments.metrics import Measurement, relative_table, summarize_relative
+from repro.experiments.report import format_fig9, format_relative_table, format_summary
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+
+
+class TestMetrics:
+    def _measurements(self):
+        return [
+            Measurement("A", "i1", makespan=10.0, n_enrolled=2, bound=5.0),
+            Measurement("B", "i1", makespan=20.0, n_enrolled=1, bound=5.0),
+            Measurement("A", "i2", makespan=8.0, n_enrolled=4, bound=4.0),
+            Measurement("B", "i2", makespan=4.0, n_enrolled=4, bound=4.0),
+        ]
+
+    def test_relative_cost(self):
+        table = relative_table(self._measurements(), "cost")
+        assert table[("A", "i1")] == 1.0
+        assert table[("B", "i1")] == 2.0
+        assert table[("A", "i2")] == 2.0
+
+    def test_relative_work(self):
+        table = relative_table(self._measurements(), "work")
+        assert table[("A", "i1")] == pytest.approx(20 / 20)
+        assert table[("B", "i1")] == pytest.approx(20 / 20)
+        assert table[("A", "i2")] == pytest.approx(2.0)
+
+    def test_summary(self):
+        summ = summarize_relative(self._measurements(), "cost")
+        assert summ["A"]["mean"] == pytest.approx(1.5)
+        assert summ["A"]["worst"] == 2.0
+        assert summ["B"]["best"] == 1.0
+
+    def test_bound_ratio(self):
+        m = self._measurements()[0]
+        assert m.bound_ratio == pytest.approx(2.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            relative_table([], "speed")
+
+
+class TestHarness:
+    def _instances(self):
+        plat = Platform.homogeneous(2, 1.0, 1.0, 45)
+        return [
+            Instance("g1", plat, BlockGrid(r=4, t=3, s=6)),
+            Instance("g2", plat, BlockGrid(r=4, t=3, s=8)),
+        ]
+
+    def test_runs_all(self):
+        scheds = [make_scheduler("Hom"), make_scheduler("BMM")]
+        res = run_experiment("t", self._instances(), scheds)
+        assert len(res.measurements) == 4
+        assert res.get("Hom", "g1").makespan > 0
+        assert not res.failures
+
+    def test_records_failures(self):
+        plat = Platform([Worker(0, 1.0, 1.0, 4)])  # infeasible for everyone
+        res = run_experiment(
+            "t", [Instance("x", plat, BlockGrid(r=2, t=2, s=2))], [make_scheduler("Het")]
+        )
+        assert ("Het", "x") in res.failures
+        assert not res.measurements
+
+    def test_validate_mode(self):
+        res = run_experiment(
+            "t", self._instances()[:1], [make_scheduler("ODDOML")], validate=True
+        )
+        assert len(res.measurements) == 1
+
+    def test_merged_with(self):
+        scheds = [make_scheduler("Hom")]
+        a = run_experiment("expA", self._instances()[:1], scheds)
+        b = run_experiment("expB", self._instances()[1:], scheds)
+        merged = a.merged_with(b)
+        assert len(merged.measurements) == 2
+        assert merged.instances == ["expA:g1", "expB:g2"]
+
+    def test_bound_ratios(self):
+        res = run_experiment("t", self._instances(), [make_scheduler("Hom")])
+        ratios = res.bound_ratios("Hom")
+        assert len(ratios) == 2
+        assert all(r >= 1.0 for r in ratios)
+
+    def test_get_missing_raises(self):
+        res = run_experiment("t", self._instances()[:1], [make_scheduler("Hom")])
+        with pytest.raises(KeyError):
+            res.get("Hom", "nope")
+
+
+class TestFigureDefinitions:
+    def test_fig4_shape(self):
+        insts = fig4_instances(scale=0.1)
+        assert len(insts) == 5
+        assert all(inst.platform.p == 8 for inst in insts)
+        # memory heterogeneity preserved under scaling
+        assert len(set(insts[0].platform.ms)) == 3
+
+    def test_fig5_links(self):
+        insts = fig5_instances(scale=0.1)
+        assert len(set(insts[0].platform.cs)) == 3
+
+    def test_fig6_speeds(self):
+        insts = fig6_instances(scale=0.1)
+        assert len(set(insts[0].platform.ws)) == 3
+
+    def test_fig7_platform_count(self):
+        insts = fig7_instances(scale=0.1)
+        assert len(insts) == 12
+        labels = [i.label for i in insts]
+        assert "fully-het-r2" in labels and "random-10" in labels
+
+    def test_fig8_configs(self):
+        insts = fig8_instances(scale=0.05)
+        assert [i.label for i in insts] == ["real-aug2007", "real-nov2006"]
+        assert all(i.platform.p == 20 for i in insts)
+
+    def test_figures_registry(self):
+        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7", "fig8"}
+
+    def test_run_figure_unknown(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+
+class TestReports:
+    def _result(self):
+        plat = Platform.homogeneous(2, 1.0, 1.0, 45)
+        insts = [Instance("g1", plat, BlockGrid(r=4, t=3, s=6))]
+        return run_experiment(
+            "demo", insts, [make_scheduler(n) for n in ("Het", "ODDOML", "BMM")]
+        )
+
+    def test_relative_table_text(self):
+        text = format_relative_table(self._result(), "cost")
+        assert "Het" in text and "g1" in text and "1.000" in text
+
+    def test_summary_text(self):
+        text = format_summary(self._result(), "work")
+        assert "mean" in text and "worst" in text
+
+    def test_fig9_text(self):
+        text = format_fig9(self._result())
+        assert "ODDOML vs BMM" in text
+        assert "steady-state bound" in text
+
+
+class TestValidatedFigure:
+    def test_fig4_small_scale_fully_validated(self):
+        """Every algorithm's trace on a whole (scaled) figure passes the
+        one-port/memory/dependency audit."""
+        res = run_figure("fig4", scale=0.06, validate=True)
+        assert len(res.measurements) == 7 * 5
+        assert not res.failures

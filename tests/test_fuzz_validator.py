@@ -1,0 +1,109 @@
+"""Failure injection: the validator must catch random trace corruption.
+
+A validator that only ever sees correct traces is untested by construction.
+Here we generate a real trace, apply a random structured mutation (shift an
+event, shrink a duration, drop a message, swap workers, inflate a payload)
+and require that *either* the mutation was semantically harmless (some
+shifts are) *or* the validator flags it.  Critically, a large class of
+mutations must be flagged -- we count detections to ensure the oracle has
+teeth.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.ops import ComputeEvent, MsgKind, PortEvent
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+from repro.sim.validate import InvariantViolation, validate_result
+
+
+def _base_result():
+    plat = Platform([Worker(0, 1.0, 1.0, 45), Worker(1, 0.5, 2.0, 32)])
+    grid = BlockGrid(r=5, t=4, s=8)
+    return make_scheduler("ODDOML").run(plat, grid)
+
+
+def _mutate(res, rng: random.Random):
+    """Apply one random structured mutation; returns (result, kind)."""
+    kind = rng.choice(["shift", "shrink", "drop", "swap_worker", "inflate", "dup_compute"])
+    ports = list(res.port_events)
+    comps = list(res.compute_events)
+    if kind == "shift":
+        i = rng.randrange(len(ports))
+        e = ports[i]
+        delta = rng.uniform(-0.5, 0.5) * (e.end - e.start + 1)
+        ports[i] = PortEvent(
+            max(0.0, e.start + delta), max(0.0, e.start + delta) + e.duration,
+            e.worker, e.kind, e.cid, e.round_idx, e.nblocks,
+        )
+    elif kind == "shrink":
+        i = rng.randrange(len(ports))
+        e = ports[i]
+        ports[i] = PortEvent(e.start, e.start + e.duration * 0.5, e.worker, e.kind,
+                             e.cid, e.round_idx, e.nblocks)
+    elif kind == "drop":
+        del ports[rng.randrange(len(ports))]
+    elif kind == "swap_worker":
+        i = rng.randrange(len(ports))
+        e = ports[i]
+        ports[i] = PortEvent(e.start, e.end, 1 - e.worker, e.kind, e.cid,
+                             e.round_idx, e.nblocks)
+    elif kind == "inflate":
+        i = rng.randrange(len(ports))
+        e = ports[i]
+        ports[i] = PortEvent(e.start, e.end, e.worker, e.kind, e.cid,
+                             e.round_idx, e.nblocks + 7)
+    else:  # dup_compute
+        c = comps[rng.randrange(len(comps))]
+        comps.append(
+            ComputeEvent(c.start + 0.1, c.end + 0.1, c.worker, c.cid, c.round_idx, c.updates)
+        )
+    return (
+        dataclasses.replace(res, port_events=tuple(ports), compute_events=tuple(comps)),
+        kind,
+    )
+
+
+class TestFuzzValidator:
+    def test_clean_trace_validates(self):
+        validate_result(_base_result())
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_mutations_never_crash(self, seed):
+        """The validator either accepts or raises InvariantViolation --
+        no other exception types leak out."""
+        res = _base_result()
+        mutated, _kind = _mutate(res, random.Random(seed))
+        try:
+            validate_result(mutated)
+        except InvariantViolation:
+            pass
+
+    def test_detection_rate(self):
+        """Most structured corruptions must be caught."""
+        res = _base_result()
+        detected = total = 0
+        for seed in range(120):
+            mutated, _ = _mutate(res, random.Random(1000 + seed))
+            total += 1
+            try:
+                validate_result(mutated)
+            except InvariantViolation:
+                detected += 1
+        assert detected / total >= 0.8, f"only {detected}/{total} corruptions caught"
+
+    def test_every_mutation_kind_detectable(self):
+        """Each mutation family is caught at least once across seeds."""
+        res = _base_result()
+        caught: set[str] = set()
+        for seed in range(200):
+            mutated, kind = _mutate(res, random.Random(seed))
+            try:
+                validate_result(mutated)
+            except InvariantViolation:
+                caught.add(kind)
+        assert caught == {"shift", "shrink", "drop", "swap_worker", "inflate", "dup_compute"}

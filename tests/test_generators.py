@@ -1,0 +1,150 @@
+"""Unit tests for the paper's platform generators and unit conversions."""
+
+import math
+
+import pytest
+
+from repro.core.layout import overlapped_mu
+from repro.platform.generators import (
+    BASE_BANDWIDTH_MBPS,
+    c_from_mbps,
+    comm_heterogeneous,
+    comp_heterogeneous,
+    fully_heterogeneous,
+    memory_heterogeneous,
+    paper_matrix_sweep,
+    random_platform,
+    random_platforms,
+    real_platform_aug2007,
+    real_platform_nov2006,
+    scale_grid,
+    scale_platform,
+    scaled_memory,
+    w_from_gflops,
+)
+from repro.schedulers.homogeneous import homogeneous_worker_count
+import numpy as np
+
+
+class TestConversions:
+    def test_c_fast_ethernet(self):
+        # 51200 B * 8 bits at 100 Mbps = 4.096 ms
+        assert c_from_mbps(100) == pytest.approx(4.096e-3)
+
+    def test_c_scales_inverse(self):
+        assert c_from_mbps(10) == pytest.approx(10 * c_from_mbps(100))
+
+    def test_w_gflops(self):
+        # 2*80^3 flops at 1 Gflop/s
+        assert w_from_gflops(1.0) == pytest.approx(1.024e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            c_from_mbps(0)
+        with pytest.raises(ValueError):
+            w_from_gflops(-1)
+
+
+class TestPaperPlatforms:
+    def test_memory_het_composition(self):
+        plat = memory_heterogeneous()
+        assert plat.p == 8
+        assert sorted(set(plat.ms)) == [5242, 10485, 20971]
+        assert [plat.ms.count(m) for m in (5242, 10485, 20971)] == [2, 4, 2]
+        assert len(set(plat.cs)) == 1 and len(set(plat.ws)) == 1
+
+    def test_comm_het_composition(self):
+        plat = comm_heterogeneous()
+        cs = sorted(set(plat.cs))
+        assert len(cs) == 3
+        # 10 / 5 / 1 Mbps
+        assert cs[0] == pytest.approx(c_from_mbps(10))
+        assert cs[2] == pytest.approx(c_from_mbps(1))
+        assert len(set(plat.ws)) == 1 and len(set(plat.ms)) == 1
+
+    def test_comp_het_composition(self):
+        plat = comp_heterogeneous()
+        ws = sorted(set(plat.ws))
+        assert len(ws) == 3
+        assert ws[1] == pytest.approx(2 * ws[0])
+        assert ws[2] == pytest.approx(4 * ws[0])
+
+    @pytest.mark.parametrize("ratio", [2.0, 4.0])
+    def test_fully_het_covers_combinations(self, ratio):
+        plat = fully_heterogeneous(ratio)
+        assert plat.p == 8
+        assert len(set(plat.cs)) == 2
+        assert len(set(plat.ws)) == 2
+        assert len(set(plat.ms)) == 2
+        combos = {(wk.c, wk.w, wk.m) for wk in plat}
+        assert len(combos) == 8  # all eight combinations distinct
+
+    def test_fully_het_ratio_validated(self):
+        with pytest.raises(ValueError):
+            fully_heterogeneous(1.0)
+
+    def test_random_platform_ratios(self):
+        rngs = np.random.default_rng(7)
+        plat = random_platform(rngs, p=20, max_ratio=4.0)
+        assert max(plat.cs) / min(plat.cs) <= 4.0
+        assert max(plat.ws) / min(plat.ws) <= 4.0
+
+    def test_random_platforms_deterministic(self):
+        a = random_platforms(3, seed=5)
+        b = random_platforms(3, seed=5)
+        assert [p.cs for p in a] == [p.cs for p in b]
+        assert a[0].name == "random-1"
+
+    def test_real_platforms(self):
+        aug = real_platform_aug2007()
+        nov = real_platform_nov2006()
+        assert aug.p == nov.p == 20
+        assert len(set(aug.ms)) == 1  # all 1 GB
+        assert sorted(set(nov.ms)) == [5242, 20971]
+        assert nov.ms.count(5242) == 10  # two families downgraded
+        # four CPU families
+        assert len(set(aug.ws)) == 3  # 2.4 appears twice
+
+    def test_matrix_sweep(self):
+        grids = paper_matrix_sweep()
+        assert [g.s for g in grids] == [800, 1000, 1200, 1400, 1600]
+        assert all(g.r == 100 and g.t == 100 for g in grids)
+
+
+class TestScaling:
+    def test_scaled_memory_halves_mu(self):
+        m = 20971  # mu = 142
+        m2 = scaled_memory(m, 0.5)
+        assert overlapped_mu(m2) == 71
+
+    def test_scale_platform_preserves_worker_count_P(self):
+        """The regime-preserving property: P = ceil(mu w / 2c) is invariant."""
+        plat = memory_heterogeneous()
+        scaled = scale_platform(plat, 0.2)
+        for wk, swk in zip(plat, scaled):
+            mu = overlapped_mu(wk.m)
+            smu = overlapped_mu(swk.m)
+            assert homogeneous_worker_count(100, mu, wk.c, wk.w) == pytest.approx(
+                homogeneous_worker_count(100, smu, swk.c, swk.w), abs=1
+            )
+
+    def test_scale_platform_preserves_port_shares(self):
+        """Steady-state port share 2c/(mu w) is invariant under scaling."""
+        plat = comp_heterogeneous()
+        scaled = scale_platform(plat, 0.25)
+        for wk, swk in zip(plat, scaled):
+            share = 2 * wk.c / (overlapped_mu(wk.m) * wk.w)
+            sshare = 2 * swk.c / (overlapped_mu(swk.m) * swk.w)
+            assert sshare == pytest.approx(share, rel=0.15)  # integer mu rounding
+
+    def test_scale_grid(self):
+        from repro.core.blocks import BlockGrid
+
+        g = scale_grid(BlockGrid(r=100, t=100, s=800), 0.1)
+        assert (g.r, g.t, g.s) == (10, 10, 80)
+
+    def test_scale_grid_floor_one(self):
+        from repro.core.blocks import BlockGrid
+
+        g = scale_grid(BlockGrid(r=2, t=2, s=2), 0.01)
+        assert (g.r, g.t, g.s) == (1, 1, 1)

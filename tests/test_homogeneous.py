@@ -1,0 +1,144 @@
+"""Tests for the homogeneous algorithm (Section 4) and Hom/HomI wrappers."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.chunks import assert_partition
+from repro.core.ops import MsgKind
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.homogeneous import (
+    HomIScheduler,
+    HomScheduler,
+    homogeneous_plan,
+    homogeneous_worker_count,
+)
+from repro.sim.engine import simulate
+from repro.sim.validate import validate_result
+
+
+class TestWorkerCount:
+    def test_paper_example(self):
+        """Section 4: c=2, w=4.5, mu=4 -> P=5."""
+        assert homogeneous_worker_count(100, mu=4, c=2.0, w=4.5) == 5
+
+    def test_clamped_by_p(self):
+        assert homogeneous_worker_count(3, mu=4, c=2.0, w=4.5) == 3
+
+    def test_at_least_one(self):
+        assert homogeneous_worker_count(10, mu=1, c=100.0, w=0.001) == 1
+
+    def test_comm_bound_uses_few(self):
+        # very slow links: a single worker saturates the port
+        assert homogeneous_worker_count(10, mu=4, c=10.0, w=1.0) == 1
+
+    def test_comp_bound_uses_many(self):
+        assert homogeneous_worker_count(10, mu=4, c=0.1, w=1.0) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            homogeneous_worker_count(0, 1, 1.0, 1.0)
+
+
+class TestHomogeneousPlan:
+    def test_round_robin_panels(self):
+        grid = BlockGrid(r=4, t=3, s=8)
+        plan = homogeneous_plan(grid, n_workers=2, mu=2, enrolled=[0, 1], total_workers=2)
+        # panels 0,2 -> worker 0; panels 1,3 -> worker 1
+        w0_cols = {(ch.j0, ch.w) for ch in plan.assignments[0]}
+        w1_cols = {(ch.j0, ch.w) for ch in plan.assignments[1]}
+        assert w0_cols == {(0, 2), (4, 2)}
+        assert w1_cols == {(2, 2), (6, 2)}
+
+    def test_partition_ragged(self):
+        grid = BlockGrid(r=5, t=3, s=7)
+        plan = homogeneous_plan(grid, n_workers=2, mu=2, enrolled=[0, 1], total_workers=2)
+        chunks = [ch for lst in plan.assignments for ch in lst]
+        assert_partition(chunks, grid)
+
+    def test_message_order_is_algorithm1(self):
+        """Per batch: C sends, interleaved rounds, C receives."""
+        grid = BlockGrid(r=2, t=2, s=4)
+        plan = homogeneous_plan(grid, n_workers=2, mu=2, enrolled=[0, 1], total_workers=2)
+        plat = Platform.homogeneous(2, 1.0, 1.0, 21)
+        res = simulate(plat, plan, grid)
+        kinds = [(e.worker, e.kind) for e in res.port_events]
+        assert kinds == [
+            (0, MsgKind.C_SEND),
+            (1, MsgKind.C_SEND),
+            (0, MsgKind.ROUND),
+            (1, MsgKind.ROUND),
+            (0, MsgKind.ROUND),
+            (1, MsgKind.ROUND),
+            (0, MsgKind.C_RETURN),
+            (1, MsgKind.C_RETURN),
+        ]
+
+    def test_enrolled_subset_of_real_platform(self):
+        grid = BlockGrid(r=2, t=2, s=4)
+        plan = homogeneous_plan(grid, n_workers=2, mu=2, enrolled=[1, 3], total_workers=4)
+        assert plan.assignments[0] == [] and plan.assignments[2] == []
+        assert len(plan.assignments[1]) == 1 and len(plan.assignments[3]) == 1
+
+    def test_invalid_mu(self):
+        with pytest.raises(SchedulingError):
+            homogeneous_plan(BlockGrid(r=2, t=2, s=2), n_workers=1, mu=0, enrolled=[0], total_workers=1)
+
+
+class TestHomScheduler:
+    def test_homogeneous_platform_validates(self, hom_platform, small_grid):
+        res = HomScheduler().run(hom_platform, small_grid)
+        validate_result(res)
+        assert res.total_updates == small_grid.total_updates
+
+    def test_memory_threshold_selection(self, small_grid):
+        """Workers below the chosen memory threshold are not enrolled."""
+        plat = Platform(
+            [
+                Worker(0, 1.0, 1.0, 96),
+                Worker(1, 1.0, 1.0, 96),
+                Worker(2, 1.0, 1.0, 5),  # tiny memory
+            ]
+        )
+        res = HomScheduler().run(plat, small_grid)
+        meta = res.meta
+        assert meta["apparent"]["m"] in (5, 96)
+        validate_result(res)
+
+    def test_raises_when_infeasible(self, small_grid):
+        plat = Platform([Worker(0, 1.0, 1.0, 4)])  # below overlapped minimum
+        with pytest.raises(SchedulingError):
+            HomScheduler().plan(plat, small_grid)
+
+    def test_apparent_params_are_worst_case(self, small_grid):
+        plat = Platform(
+            [Worker(0, 1.0, 2.0, 96), Worker(1, 3.0, 1.0, 96)]
+        )
+        plan = HomScheduler().plan(plat, small_grid)
+        assert plan.meta["apparent"]["c"] == 3.0
+        assert plan.meta["apparent"]["w"] == 2.0
+
+
+class TestHomIScheduler:
+    def test_estimate_at_least_as_good_as_hom(self, het_platform, small_grid):
+        """HomI's search space contains Hom's virtual platforms."""
+        hom = HomScheduler().plan(het_platform, small_grid)
+        homi = HomIScheduler().plan(het_platform, small_grid)
+        assert homi.meta["virtual_estimate"] <= hom.meta["virtual_estimate"] + 1e-9
+
+    def test_runs_and_validates(self, het_platform, ragged_grid):
+        res = HomIScheduler().run(het_platform, ragged_grid)
+        validate_result(res)
+        assert res.total_updates == ragged_grid.total_updates
+
+    def test_can_trade_memory_for_speed(self, small_grid):
+        """HomI may enroll fewer, faster workers than Hom."""
+        plat = Platform(
+            [
+                Worker(0, 0.2, 0.2, 96),
+                Worker(1, 5.0, 5.0, 96),  # terrible but same memory
+            ]
+        )
+        homi = HomIScheduler().plan(plat, small_grid)
+        # the all-workers virtual platform would be dragged to c=5, w=5
+        assert homi.meta["apparent"]["c"] == 0.2

@@ -1,0 +1,135 @@
+"""Unit and property tests for the memory layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    LayoutKind,
+    MemoryLayout,
+    blocks_from_mb,
+    max_reuse_mu,
+    overlapped_mu,
+    toledo_sigma,
+)
+
+
+class TestMaxReuseMu:
+    def test_paper_figure2(self):
+        """Figure 2: m = 21 gives mu = 4 (1 + 4 + 16 = 21)."""
+        assert max_reuse_mu(21) == 4
+
+    def test_minimum(self):
+        assert max_reuse_mu(3) == 1
+
+    def test_below_minimum(self):
+        with pytest.raises(ValueError):
+            max_reuse_mu(2)
+
+    @given(st.integers(3, 10**7))
+    def test_maximality(self, m):
+        mu = max_reuse_mu(m)
+        assert 1 + mu + mu * mu <= m
+        assert 1 + (mu + 1) + (mu + 1) ** 2 > m
+
+    @given(st.integers(3, 10**6))
+    def test_monotone(self, m):
+        assert max_reuse_mu(m + 1) >= max_reuse_mu(m)
+
+
+class TestOverlappedMu:
+    def test_algorithm1_closed_form(self):
+        """Algorithm 1: mu = floor(sqrt(m + 4)) - 2."""
+        import math
+
+        for m in (5, 12, 21, 96, 5242, 20971):
+            assert overlapped_mu(m) == math.isqrt(m + 4) - 2
+
+    def test_paper_memories(self):
+        """256 MB / 512 MB / 1 GB -> mu = 70 / 100 / 142."""
+        assert overlapped_mu(blocks_from_mb(256)) == 70
+        assert overlapped_mu(blocks_from_mb(512)) == 100
+        assert overlapped_mu(blocks_from_mb(1024)) == 142
+
+    def test_minimum(self):
+        assert overlapped_mu(5) == 1
+
+    def test_below_minimum(self):
+        with pytest.raises(ValueError):
+            overlapped_mu(4)
+
+    @given(st.integers(5, 10**7))
+    def test_maximality(self, m):
+        mu = overlapped_mu(m)
+        assert mu * mu + 4 * mu <= m
+        assert (mu + 1) ** 2 + 4 * (mu + 1) > m
+
+
+class TestToledoSigma:
+    def test_exact_thirds(self):
+        assert toledo_sigma(12) == 2  # 3 * 4 = 12
+
+    def test_minimum(self):
+        assert toledo_sigma(3) == 1
+
+    def test_below_minimum(self):
+        with pytest.raises(ValueError):
+            toledo_sigma(2)
+
+    @given(st.integers(3, 10**7))
+    def test_maximality(self, m):
+        s = toledo_sigma(m)
+        assert 3 * s * s <= m
+        assert 3 * (s + 1) ** 2 > m
+
+    @given(st.integers(27, 10**6))
+    def test_smaller_than_max_reuse(self, m):
+        """Toledo's chunk side is ~sqrt(3) smaller, hence its higher CCR."""
+        assert toledo_sigma(m) <= max_reuse_mu(m)
+
+
+class TestMemoryLayout:
+    def test_max_reuse_buffers(self):
+        lay = MemoryLayout.max_reuse(21)
+        assert lay.chunk_side == 4
+        assert lay.c_buffers == 16
+        assert lay.io_buffers == 5
+        assert lay.total_buffers == 21
+        assert lay.prefetch_depth == 1
+
+    def test_overlapped_buffers(self):
+        lay = MemoryLayout.overlapped(21)
+        assert lay.chunk_side == 3
+        assert lay.c_buffers == 9
+        assert lay.io_buffers == 12
+        assert lay.total_buffers == 21
+        assert lay.prefetch_depth == 2
+
+    def test_toledo_buffers(self):
+        lay = MemoryLayout.toledo(12)
+        assert lay.chunk_side == 2
+        assert lay.total_buffers == 12
+        assert lay.prefetch_depth == 1
+
+    @given(st.integers(5, 10**6))
+    def test_fits_memory(self, m):
+        for lay in (MemoryLayout.max_reuse(m), MemoryLayout.overlapped(m), MemoryLayout.toledo(m)):
+            assert lay.total_buffers <= m
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(LayoutKind.OVERLAPPED, m=5, chunk_side=10, prefetch_depth=2)
+
+
+class TestConversions:
+    def test_paper_block_counts(self):
+        assert blocks_from_mb(256) == 5242
+        assert blocks_from_mb(512) == 10485
+        assert blocks_from_mb(1024) == 20971
+
+    def test_q_dependence(self):
+        assert blocks_from_mb(1, q=100) == 2**20 // 80000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            blocks_from_mb(0)

@@ -1,0 +1,112 @@
+"""LU extension: numerics and platform scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lu.numeric import block_lu, diagonally_dominant, lu_nopiv, split_lu, verify_lu
+from repro.lu.schedule import LUStepBreakdown, simulate_lu
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+
+
+class TestLuNopiv:
+    def test_small_known(self):
+        a = np.array([[4.0, 3.0], [6.0, 3.0]])
+        packed = lu_nopiv(a)
+        l, u = split_lu(packed)
+        np.testing.assert_allclose(l @ u, a, atol=1e-12)
+        assert l[1, 0] == pytest.approx(1.5)
+
+    def test_singular_pivot_rejected(self):
+        with pytest.raises(ValueError):
+            lu_nopiv(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            lu_nopiv(np.ones((2, 3)))
+
+    @given(st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_factorizes_dominant(self, n, seed):
+        a = diagonally_dominant(n, rng=seed)
+        packed = lu_nopiv(a)
+        l, u = split_lu(packed)
+        assert np.max(np.abs(l @ u - a)) < 1e-8 * max(1.0, np.abs(a).max())
+
+
+class TestBlockLU:
+    @pytest.mark.parametrize("n,q", [(1, 3), (3, 2), (4, 4), (6, 3)])
+    def test_matches_dense(self, n, q):
+        a = diagonally_dominant(n * q, rng=n * 100 + q)
+        packed = block_lu(a, q)
+        assert verify_lu(a, packed) < 1e-8
+
+    def test_block_equals_unblocked(self):
+        a = diagonally_dominant(12, rng=9)
+        np.testing.assert_allclose(block_lu(a, 3), lu_nopiv(a), atol=1e-9)
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            block_lu(np.eye(7), 2)
+
+    def test_l_unit_lower_u_upper(self):
+        a = diagonally_dominant(8, rng=4)
+        l, u = split_lu(block_lu(a, 2))
+        np.testing.assert_allclose(np.diag(l), 1.0)
+        assert np.max(np.abs(np.tril(u, -1))) == 0.0
+        assert np.max(np.abs(np.triu(l, 1))) == 0.0
+
+
+class TestSimulateLU:
+    @pytest.fixture
+    def platform(self):
+        return Platform(
+            [Worker(0, 0.5, 1.0, 45), Worker(1, 1.0, 0.5, 32), Worker(2, 1.5, 1.5, 21)]
+        )
+
+    def test_step_count_and_shrinkage(self, platform):
+        sim = simulate_lu(platform, 6, "ODDOML")
+        assert len(sim.steps) == 6
+        updates = [st.update_time for st in sim.steps]
+        assert updates[-1] == 0.0  # last step has no trailing matrix
+        assert updates[0] > updates[-2]  # trailing work shrinks
+
+    def test_makespan_is_sum(self, platform):
+        sim = simulate_lu(platform, 4, "ODDOML")
+        assert sim.makespan == pytest.approx(sum(st.total for st in sim.steps))
+
+    @pytest.mark.parametrize("alg", ["Hom", "Het", "ORROML", "ODDOML", "BMM"])
+    def test_every_mm_scheduler_works(self, platform, alg):
+        sim = simulate_lu(platform, 4, alg)
+        assert sim.makespan > 0
+        assert sim.mm_algorithm == alg
+
+    def test_update_fraction_grows_with_n(self, platform):
+        small = simulate_lu(platform, 3, "ODDOML")
+        large = simulate_lu(platform, 10, "ODDOML")
+        assert large.update_fraction > small.update_fraction
+
+    def test_bigger_matrix_takes_longer(self, platform):
+        assert (
+            simulate_lu(platform, 8, "ODDOML").makespan
+            > simulate_lu(platform, 4, "ODDOML").makespan
+        )
+
+    def test_infeasible_platform_raises(self):
+        plat = Platform([Worker(0, 1.0, 1.0, 4)])
+        with pytest.raises(SchedulingError):
+            simulate_lu(plat, 3, "ODDOML")
+
+    def test_invalid_n(self, platform):
+        with pytest.raises(ValueError):
+            simulate_lu(platform, 0)
+
+    def test_breakdown_totals(self):
+        st = LUStepBreakdown(0, 1.0, 2.0, 3.0)
+        assert st.total == 6.0
+
+    def test_summary_text(self, platform):
+        text = simulate_lu(platform, 3, "ODDOML").summary()
+        assert "trailing updates" in text

@@ -1,0 +1,114 @@
+"""Out-of-core subsystem: buffer pool, I/O models, file-backed execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid
+from repro.ooc.engine import BufferPool, OutOfCoreProduct
+from repro.ooc.model import io_lower_bound, max_reuse_io, toledo_io
+
+
+class TestBufferPool:
+    def test_counts_reads_and_writes(self):
+        pool = BufferPool(4)
+        pool.load(3, np.zeros((1, 1)))
+        pool.evict(2, dirty=True)
+        pool.evict(1, dirty=False)
+        assert pool.reads == 3 and pool.writes == 2
+        assert pool.peak == 3 and pool.resident == 0
+
+    def test_overflow_raises(self):
+        pool = BufferPool(2)
+        with pytest.raises(MemoryError):
+            pool.load(3, np.zeros((1, 1)))
+
+    def test_over_evict_raises(self):
+        pool = BufferPool(2)
+        with pytest.raises(RuntimeError):
+            pool.evict(1, dirty=False)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestIOModels:
+    def test_divisible_closed_form(self):
+        """For divisible shapes the model equals 2rs + t*rs*(2/mu)."""
+        grid = BlockGrid(r=8, t=5, s=12)
+        m = 21  # mu = 4
+        model = max_reuse_io(grid, m)
+        rs = grid.r * grid.s
+        assert model.total == 2 * rs + grid.t * 2 * rs // 4
+
+    def test_max_reuse_beats_toledo(self):
+        grid = BlockGrid(r=12, t=10, s=12)
+        for m in (21, 48, 93, 300):
+            assert max_reuse_io(grid, m).total <= toledo_io(grid, m).total
+
+    def test_bound_below_both(self):
+        grid = BlockGrid(r=12, t=10, s=12)
+        for m in (21, 48, 93):
+            lb = io_lower_bound(grid, m)
+            assert lb <= max_reuse_io(grid, m).total
+            assert lb <= toledo_io(grid, m).total
+
+    def test_bound_at_least_compulsory(self):
+        grid = BlockGrid(r=4, t=3, s=4)
+        assert io_lower_bound(grid, 10**9) >= grid.minimal_io_blocks()
+
+    @given(st.integers(1, 10), st.integers(1, 8), st.integers(1, 10), st.integers(3, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_term_shrinks_with_memory(self, r, t, s, m):
+        grid = BlockGrid(r=r, t=t, s=s)
+        bigger = max_reuse_io(grid, m + 200)
+        smaller = max_reuse_io(grid, m)
+        assert bigger.total <= smaller.total
+
+
+class TestOutOfCoreProduct:
+    @pytest.mark.parametrize("m", [21, 45])
+    def test_max_reuse_correct_and_predicted(self, tmp_path, m):
+        grid = BlockGrid(r=5, t=4, s=7, q=3)
+        prod = OutOfCoreProduct(grid, m, workdir=tmp_path)
+        ref = prod.fill_random(rng=1)
+        res = prod.run_max_reuse(ref)
+        assert res.max_error < 1e-10
+        assert res.matches_prediction()
+        assert res.peak_blocks <= m
+        prod.cleanup()
+
+    def test_toledo_correct_and_predicted(self, tmp_path):
+        grid = BlockGrid(r=5, t=4, s=7, q=3)
+        prod = OutOfCoreProduct(grid, 27, workdir=tmp_path)
+        ref = prod.fill_random(rng=2)
+        res = prod.run_toledo(ref)
+        assert res.max_error < 1e-10
+        assert res.matches_prediction()
+        assert res.peak_blocks <= 27
+        prod.cleanup()
+
+    def test_max_reuse_does_less_io(self, tmp_path):
+        grid = BlockGrid(r=6, t=6, s=6, q=2)
+        m = 48
+        p1 = OutOfCoreProduct(grid, m, workdir=tmp_path / "a")
+        r1 = p1.run_max_reuse(p1.fill_random(rng=3))
+        p2 = OutOfCoreProduct(grid, m, workdir=tmp_path / "b")
+        r2 = p2.run_toledo(p2.fill_random(rng=3))
+        assert r1.total_io < r2.total_io
+        p1.cleanup()
+        p2.cleanup()
+
+    def test_min_memory_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            OutOfCoreProduct(BlockGrid(r=2, t=2, s=2, q=2), 2, workdir=tmp_path)
+
+    def test_files_backed(self, tmp_path):
+        grid = BlockGrid(r=2, t=2, s=2, q=2)
+        prod = OutOfCoreProduct(grid, 21, workdir=tmp_path)
+        prod.fill_random(rng=0)
+        assert (tmp_path / "a.dat").exists()
+        prod.cleanup()
+        assert not (tmp_path / "a.dat").exists()

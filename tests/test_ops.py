@@ -1,0 +1,40 @@
+"""Unit tests for the message/event vocabulary."""
+
+import pytest
+
+from repro.core.ops import ComputeEvent, MsgKind, PortEvent
+
+
+class TestMsgKind:
+    def test_sends(self):
+        assert MsgKind.C_SEND.is_send
+        assert MsgKind.ROUND.is_send
+        assert not MsgKind.C_RETURN.is_send
+
+
+class TestPortEvent:
+    def test_duration(self):
+        evt = PortEvent(1.0, 3.5, worker=0, kind=MsgKind.ROUND, cid=0, round_idx=0, nblocks=5)
+        assert evt.duration == 2.5
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            PortEvent(2.0, 1.0, 0, MsgKind.ROUND, 0, 0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PortEvent(0.0, 1.0, 0, MsgKind.ROUND, 0, 0, 0)
+
+
+class TestComputeEvent:
+    def test_duration(self):
+        evt = ComputeEvent(0.0, 4.0, worker=1, cid=2, round_idx=3, updates=4)
+        assert evt.duration == 4.0
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            ComputeEvent(2.0, 1.0, 0, 0, 0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ComputeEvent(0.0, 1.0, 0, 0, 0, 0)

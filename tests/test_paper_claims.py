@@ -1,0 +1,147 @@
+"""Directional reproduction of the paper's experimental claims.
+
+These run the Section 6 experiments at a reduced (regime-preserving) scale
+and assert the *shape* of the results: who wins, who loses, and by roughly
+what kind of margin.  Exact percentages depend on the testbed and are
+recorded in EXPERIMENTS.md instead.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_figure, run_summary
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_figure("fig4", SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure("fig5", SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_figure("fig6", SCALE)
+
+
+class TestFig4MemoryHeterogeneity:
+    def test_het_and_oddoml_near_best(self, fig4):
+        """Paper: 'ODDOML and our heterogeneous algorithm Het have the best
+        makespans.'"""
+        cost = fig4.summary("cost")
+        assert cost["ODDOML"]["mean"] <= 1.15
+        assert cost["Het"]["mean"] <= 1.25
+
+    def test_ommoml_clearly_worst_cost(self, fig4):
+        """Paper: 'OMMOML is twice as bad.'"""
+        cost = fig4.summary("cost")
+        worst_others = max(
+            cost[a]["mean"] for a in ("Het", "ODDOML", "Hom", "HomI", "ORROML")
+        )
+        assert cost["OMMOML"]["mean"] > worst_others
+        assert cost["OMMOML"]["mean"] >= 1.4
+
+    def test_ommoml_thriftiest_work(self, fig4):
+        """Paper: relative work ranking starts with OMMOML."""
+        work = fig4.summary("work")
+        assert work["OMMOML"]["mean"] == min(v["mean"] for v in work.values())
+
+    def test_no_selection_algorithms_waste_work(self, fig4):
+        """Paper: ORROML and BMM 'achieve very bad relative work'."""
+        work = fig4.summary("work")
+        assert work["BMM"]["mean"] > work["Het"]["mean"]
+        assert work["ORROML"]["mean"] > work["Het"]["mean"]
+
+    def test_bmm_beaten_by_our_layout(self, fig4):
+        cost = fig4.summary("cost")
+        assert cost["BMM"]["mean"] > cost["ODDOML"]["mean"]
+
+
+class TestFig5LinkHeterogeneity:
+    def test_bmm_worst(self, fig5):
+        """Paper: 'BMM has the worst makespan... 70 to 90 percent worse.'"""
+        cost = fig5.summary("cost")
+        assert cost["BMM"]["mean"] == max(v["mean"] for v in cost.values())
+        assert cost["BMM"]["mean"] >= 1.5
+
+    def test_het_and_selectors_excellent(self, fig5):
+        """Paper: 'Het, HomI, and OMMOML have excellent makespans.'"""
+        cost = fig5.summary("cost")
+        assert cost["Het"]["mean"] <= 1.1
+        assert cost["HomI"]["mean"] <= 1.15
+        assert cost["OMMOML"]["mean"] <= 1.15
+
+    def test_selection_pays_in_work(self, fig5):
+        work = fig5.summary("work")
+        assert work["BMM"]["mean"] > 3 * work["HomI"]["mean"]
+
+
+class TestFig6ComputeHeterogeneity:
+    def test_oddoml_performs_well(self, fig6):
+        """Paper: 'ODDOML performs well.'"""
+        assert fig6.summary("cost")["ODDOML"]["mean"] <= 1.3
+
+    def test_bmm_reasonable_but_not_best(self, fig6):
+        """Paper: 'BMM performs rather well, but its makespan is larger
+        than Het's' (on average here)."""
+        cost = fig6.summary("cost")
+        assert cost["BMM"]["mean"] <= 2.0
+        assert cost["BMM"]["mean"] >= cost["Het"]["mean"] * 0.95
+
+    def test_ommoml_thriftiest_work(self, fig6):
+        work = fig6.summary("work")
+        assert work["OMMOML"]["mean"] == min(v["mean"] for v in work.values())
+
+
+class TestFig9Summary:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return run_summary(SCALE, figures=("fig4", "fig5", "fig6"))
+
+    def test_het_close_to_best_overall(self, fig9):
+        """Paper: Het on average within 1% of best, worst case 14%; we allow
+        a looser envelope at reduced scale."""
+        summ = fig9.summary("cost")["Het"]
+        assert summ["mean"] <= 1.25
+        assert summ["worst"] <= 1.8
+
+    def test_het_gains_over_bmm(self, fig9):
+        """Paper: 27% average gain over BMM (memory layout + selection)."""
+        per_inst: dict[str, dict[str, float]] = {}
+        for m in fig9.measurements:
+            per_inst.setdefault(m.instance, {})[m.algorithm] = m.makespan
+        gains = [
+            1 - v["Het"] / v["BMM"] for v in per_inst.values() if "Het" in v and "BMM" in v
+        ]
+        assert sum(gains) / len(gains) > 0.10
+
+    def test_oddoml_gains_over_bmm(self, fig9):
+        """Paper: 19% average gain of our memory layout alone."""
+        per_inst: dict[str, dict[str, float]] = {}
+        for m in fig9.measurements:
+            per_inst.setdefault(m.instance, {})[m.algorithm] = m.makespan
+        gains = [
+            1 - v["ODDOML"] / v["BMM"]
+            for v in per_inst.values()
+            if "ODDOML" in v and "BMM" in v
+        ]
+        assert sum(gains) / len(gains) > 0.05
+
+    def test_het_within_few_x_of_steady_state_bound(self, fig9):
+        """Paper: bound ratio on average 2.29, at worst 3.42."""
+        ratios = fig9.bound_ratios("Het")
+        avg = sum(ratios) / len(ratios)
+        assert 1.0 <= avg <= 4.0
+        assert max(ratios) <= 8.0
+
+    def test_work_het_among_most_efficient(self, fig9):
+        """Paper: Het's relative work best except HomI/OMMOML-style
+        ultra-thrifty heuristics."""
+        work = fig9.summary("work")
+        assert work["Het"]["mean"] < work["ODDOML"]["mean"]
+        assert work["Het"]["mean"] < work["BMM"]["mean"]
+        assert work["Het"]["mean"] < work["ORROML"]["mean"]

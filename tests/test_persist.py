@@ -1,0 +1,70 @@
+"""JSON persistence round trips."""
+
+import json
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+from repro.utils.persist import (
+    load_platform,
+    platform_from_dict,
+    platform_to_dict,
+    result_to_dict,
+    save_platform,
+    save_result,
+)
+
+
+class TestPlatformRoundTrip:
+    def test_exact(self, het_platform):
+        again = platform_from_dict(platform_to_dict(het_platform))
+        assert again.cs == het_platform.cs
+        assert again.ws == het_platform.ws
+        assert again.ms == het_platform.ms
+        assert again.name == het_platform.name
+
+    def test_file_round_trip(self, tmp_path, het_platform):
+        path = tmp_path / "plat.json"
+        save_platform(het_platform, path)
+        again = load_platform(path)
+        assert again.cs == het_platform.cs
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            platform_from_dict({"workers": [{"index": 0}]})
+
+
+class TestResultSerialization:
+    def _result(self):
+        plat = Platform([Worker(0, 1.0, 1.0, 45), Worker(1, 2.0, 0.5, 21)])
+        grid = BlockGrid(r=4, t=3, s=6)
+        return make_scheduler("ODDOML").run(plat, grid), grid
+
+    def test_summary_fields(self):
+        res, grid = self._result()
+        doc = result_to_dict(res)
+        assert doc["makespan"] == res.makespan
+        assert doc["grid"] == {"r": 4, "t": 3, "s": 6, "q": 80}
+        assert len(doc["worker_stats"]) == 2
+        assert "port_events" not in doc
+
+    def test_with_events(self):
+        res, _ = self._result()
+        doc = result_to_dict(res, include_events=True)
+        assert len(doc["port_events"]) == len(res.port_events)
+        assert len(doc["compute_events"]) == len(res.compute_events)
+
+    def test_json_serializable(self, tmp_path):
+        res, _ = self._result()
+        path = tmp_path / "res.json"
+        save_result(res, path, include_events=True)
+        doc = json.loads(path.read_text())
+        assert doc["enrolled"] == res.enrolled
+
+    def test_meta_objects_stringified(self):
+        res, _ = self._result()
+        res.meta["weird"] = object()
+        doc = result_to_dict(res)
+        assert isinstance(doc["meta"]["weird"], str)

@@ -1,0 +1,79 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro.platform.model import Platform, Worker
+
+
+class TestWorker:
+    def test_scores(self):
+        wk = Worker(0, c=0.5, w=0.25, m=10)
+        assert wk.bandwidth_score == 2.0
+        assert wk.speed_score == 4.0
+
+    @pytest.mark.parametrize("kw", [dict(c=0.0), dict(w=-1.0), dict(m=0), dict(index=-1)])
+    def test_validation(self, kw):
+        base = dict(index=0, c=1.0, w=1.0, m=5)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            Worker(**base)
+
+
+class TestPlatform:
+    def test_homogeneous_constructor(self):
+        plat = Platform.homogeneous(3, c=1.0, w=2.0, m=12)
+        assert plat.p == 3
+        assert plat.is_homogeneous
+        assert plat.cs == [1.0, 1.0, 1.0]
+        assert plat.ms == [12, 12, 12]
+
+    def test_from_params(self):
+        plat = Platform.from_params([1.0, 2.0], [3.0, 4.0], [5, 6])
+        assert plat[1].c == 2.0 and plat[1].w == 4.0 and plat[1].m == 6
+        assert not plat.is_homogeneous
+
+    def test_from_params_mismatch(self):
+        with pytest.raises(ValueError):
+            Platform.from_params([1.0], [1.0, 2.0], [5])
+
+    def test_indices_must_be_sequential(self):
+        with pytest.raises(ValueError):
+            Platform([Worker(1, 1.0, 1.0, 5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Platform([])
+
+    def test_iteration_and_len(self):
+        plat = Platform.homogeneous(4, 1.0, 1.0, 5)
+        assert len(plat) == 4
+        assert [wk.index for wk in plat] == [0, 1, 2, 3]
+
+    def test_subplatform_reindexes(self):
+        plat = Platform.from_params([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [5, 6, 7])
+        sub = plat.subplatform([2, 0])
+        assert sub.p == 2
+        assert sub[0].c == 3.0 and sub[0].index == 0
+        assert sub[1].c == 1.0
+        assert "orig-0" in sub[1].name
+
+    def test_subplatform_duplicate_rejected(self):
+        plat = Platform.homogeneous(3, 1.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            plat.subplatform([0, 0])
+
+    def test_virtual_homogeneous(self):
+        plat = Platform.from_params([1.0, 2.0], [1.0, 2.0], [5, 6])
+        virt = plat.virtual_homogeneous([0, 1], c=2.0, w=2.0, m=5)
+        assert virt.is_homogeneous and virt.p == 2
+        assert virt[0].c == 2.0 and virt[0].m == 5
+
+    def test_scaled(self):
+        plat = Platform.homogeneous(2, c=1.0, w=2.0, m=5)
+        scaled = plat.scaled(c_factor=2.0, w_factor=0.5)
+        assert scaled[0].c == 2.0 and scaled[0].w == 1.0 and scaled[0].m == 5
+
+    def test_describe_mentions_all(self):
+        plat = Platform.homogeneous(3, 1.0, 1.0, 5, name="x")
+        text = plat.describe()
+        assert "P1" in text and "P3" in text and "x" in text

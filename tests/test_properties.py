@@ -1,0 +1,69 @@
+"""End-to-end property tests: random platforms and grids, every algorithm.
+
+For any feasible (platform, grid) pair, every algorithm must produce a
+schedule that (a) obeys the one-port, buffer and dependency invariants,
+(b) tiles C exactly, (c) performs exactly r*s*t block updates, (d) never
+exceeds the steady-state throughput bound, and (e) computes ``C + A @ B``
+when replayed on real matrices.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid
+from repro.core.chunks import assert_partition
+from repro.execution.replay import verify_trace
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.validate import validate_result
+from repro.theory.steady_state import throughput_upper_bound
+
+ALGOS = ["Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"]
+
+
+def grids():
+    return st.builds(
+        BlockGrid,
+        r=st.integers(1, 8),
+        t=st.integers(1, 6),
+        s=st.integers(1, 10),
+        q=st.just(2),
+    )
+
+
+def platforms():
+    worker = st.tuples(
+        st.floats(0.05, 4.0),  # c
+        st.floats(0.05, 4.0),  # w
+        st.integers(3, 60),  # m (may be infeasible for some layouts)
+    )
+    return st.lists(worker, min_size=1, max_size=4).map(
+        lambda ws: Platform([Worker(i, c, w, m) for i, (c, w, m) in enumerate(ws)])
+    )
+
+
+@pytest.mark.parametrize("name", ALGOS)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(plat=platforms(), grid=grids())
+def test_schedule_invariants(name, plat, grid):
+    sched = make_scheduler(name)
+    try:
+        res = sched.run(plat, grid)
+    except SchedulingError:
+        return  # platform infeasible for this layout: acceptable
+    # (a) model invariants
+    validate_result(res)
+    # (b) exact tiling
+    assert_partition(res.chunks, grid)
+    # (c) work conservation
+    assert res.total_updates == grid.total_updates
+    # (d) bound dominance
+    assert res.throughput <= throughput_upper_bound(plat) * (1 + 1e-9)
+    # (e) numerical correctness via trace replay
+    verify_trace(res, grid, rng=0)

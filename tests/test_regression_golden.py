@@ -1,0 +1,51 @@
+"""Golden regression values.
+
+The simulator is deterministic, so exact makespans on fixed instances pin
+the whole stack (layouts, selection, policies, engine timing).  If an
+intentional behavioural change moves these numbers, update them *after*
+checking the relative comparisons in EXPERIMENTS.md still reproduce.
+"""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+
+GRID = BlockGrid(r=6, t=5, s=12)
+PLATFORM = Platform(
+    [
+        Worker(0, c=1.0, w=1.0, m=21),
+        Worker(1, c=0.5, w=2.0, m=32),
+        Worker(2, c=2.0, w=0.5, m=12),
+        Worker(3, c=1.5, w=1.5, m=45),
+    ],
+    name="golden",
+)
+
+#: exact makespans (engine arithmetic is deterministic float)
+GOLDEN = {
+    "Hom": 498.0,
+    "HomI": 468.0,
+    "Het": 371.0,
+    "ORROML": 417.0,
+    "OMMOML": 1044.0,
+    "ODDOML": 469.0,
+    "BMM": 565.0,
+    "MaxReuse1": 714.0,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(GOLDEN.items()))
+def test_golden_makespan(name, expected):
+    res = make_scheduler(name).run(PLATFORM, GRID, collect_events=False)
+    assert res.makespan == pytest.approx(expected, rel=1e-12), (
+        f"{name} makespan changed: {res.makespan} (golden {expected}); "
+        "intentional? update GOLDEN after re-checking EXPERIMENTS.md"
+    )
+
+
+def test_golden_enrollment():
+    res = make_scheduler("Het").run(PLATFORM, GRID, collect_events=False)
+    assert res.n_enrolled == len(res.enrolled)
+    assert res.total_updates == GRID.total_updates

@@ -1,0 +1,71 @@
+"""Threaded local runtime: real parallel execution must match C + A@B."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.execution.executor import random_instance, reference_product
+from repro.platform.model import Platform, Worker
+from repro.runtime.local import ThreadedRuntime
+from repro.schedulers.registry import make_scheduler
+
+
+def _setup(name="ODDOML", grid=None, plat=None):
+    grid = grid or BlockGrid(r=5, t=4, s=9, q=3)
+    plat = plat or Platform(
+        [Worker(0, 1.0, 1.0, 45), Worker(1, 0.5, 2.0, 21), Worker(2, 2.0, 0.5, 32)]
+    )
+    res = make_scheduler(name).run(plat, grid)
+    return res, grid
+
+
+class TestThreadedRuntime:
+    @pytest.mark.parametrize("name", ["Hom", "Het", "ODDOML", "BMM"])
+    def test_matches_reference(self, name):
+        res, grid = _setup(name)
+        a, b, c = random_instance(grid, rng=5)
+        got, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        np.testing.assert_allclose(got, reference_product(a, b, c), atol=1e-9)
+        assert stats.total_updates == grid.total_updates
+
+    def test_updates_distribution_matches_sim(self):
+        res, grid = _setup("ODDOML")
+        a, b, c = random_instance(grid, rng=6)
+        _, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        for st in res.worker_stats:
+            assert stats.updates_per_worker.get(st.worker, 0) == st.updates
+
+    def test_inputs_not_mutated(self):
+        res, grid = _setup()
+        a, b, c = random_instance(grid, rng=7)
+        a0, b0, c0 = a.copy(), b.copy(), c.copy()
+        ThreadedRuntime().execute(res, grid, a, b, c)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+        np.testing.assert_array_equal(c, c0)
+
+    def test_delay_scale_slows_execution(self):
+        res, grid = _setup("Hom", grid=BlockGrid(r=2, t=2, s=2, q=2))
+        a, b, c = random_instance(grid, rng=8)
+        _, fast = ThreadedRuntime(delay_scale=0.0).execute(res, grid, a, b, c)
+        _, slow = ThreadedRuntime(delay_scale=1e-4).execute(res, grid, a, b, c)
+        assert slow.wall_seconds > fast.wall_seconds
+
+    def test_message_count_matches_trace(self):
+        res, grid = _setup()
+        a, b, c = random_instance(grid, rng=9)
+        _, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        assert stats.messages == len(res.port_events)
+
+    def test_requires_events(self):
+        res, grid = _setup()
+        import dataclasses
+
+        bad = dataclasses.replace(res, port_events=())
+        a, b, c = random_instance(grid, rng=10)
+        with pytest.raises(ValueError):
+            ThreadedRuntime().execute(bad, grid, a, b, c)
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(delay_scale=-1)

@@ -1,0 +1,188 @@
+"""Tests for the incremental resource selection (Section 5)."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid, ceil_div
+from repro.core.chunks import assert_partition
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.selection import (
+    ALL_VARIANTS,
+    SelectionState,
+    Variant,
+    build_plan_from_sequence,
+    incremental_selection,
+    min_min_selection,
+    round_robin_sequence,
+    usable_mus,
+)
+from repro.sim.engine import simulate
+from repro.sim.validate import validate_result
+
+
+class TestVariants:
+    def test_eight_variants(self):
+        assert len(ALL_VARIANTS) == 8
+        assert len({v.label for v in ALL_VARIANTS}) == 8
+
+    def test_labels(self):
+        assert Variant("global", False, False).label == "global"
+        assert Variant("local", True, True).label == "local+la+c"
+
+    def test_scope_validated(self):
+        with pytest.raises(ValueError):
+            Variant("both", False, False)
+
+
+class TestUsableMus:
+    def test_excludes_tiny_memory(self):
+        plat = Platform([Worker(0, 1, 1, 21), Worker(1, 1, 1, 4)])
+        assert usable_mus(plat) == [3, 0]
+
+
+class TestSelectionState:
+    def test_port_bound_recurrence(self):
+        """Hand-check: comm-bound worker, chunks go back to back on the port."""
+        plat = Platform([Worker(0, c=1.0, w=0.001, m=21)])  # mu 3
+        grid = BlockGrid(r=3, t=2, s=9)
+        st = SelectionState(plat, grid, [3], count_c=False)
+        comm_end, comp_end = st.assign(0)
+        # data = (3+3)*2*1 = 12
+        assert comm_end == pytest.approx(12.0)
+        assert st.port_free == pytest.approx(12.0)
+        comm_end2, _ = st.assign(0)
+        # compute is fast; next chunk limited by port only
+        assert comm_end2 == pytest.approx(24.0, rel=0.01)
+
+    def test_compute_bound_ready_time(self):
+        """Slow worker: the second chunk's comm waits for the first compute."""
+        plat = Platform([Worker(0, c=0.001, w=1.0, m=21)])
+        grid = BlockGrid(r=3, t=2, s=9)
+        st = SelectionState(plat, grid, [3], count_c=False)
+        _, comp_end = st.assign(0)
+        assert comp_end >= 2 * 9 * 1.0  # t * mu^2 * w
+        comm_end2, _ = st.assign(0)
+        assert comm_end2 >= comp_end  # waited for readiness
+
+    def test_count_c_adds_cost(self):
+        plat = Platform([Worker(0, c=1.0, w=0.001, m=21)])
+        grid = BlockGrid(r=3, t=2, s=9)
+        no_c = SelectionState(plat, grid, [3], count_c=False)
+        with_c = SelectionState(plat, grid, [3], count_c=True)
+        end_no, _ = no_c.assign(0)
+        end_c, _ = with_c.assign(0)
+        assert end_c == pytest.approx(end_no + 9.0)  # mu^2 * c
+
+    def test_copy_isolated(self):
+        plat = Platform([Worker(0, 1, 1, 21)])
+        st = SelectionState(plat, BlockGrid(r=3, t=2, s=3), [3], False)
+        cp = st.copy()
+        cp.assign(0)
+        assert st.port_free == 0.0 and st.total_work == 0
+
+
+class TestIncrementalSelection:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.label)
+    def test_every_variant_covers_columns(self, het_platform, ragged_grid, variant):
+        outcome = incremental_selection(het_platform, ragged_grid, variant)
+        plan = build_plan_from_sequence(het_platform, ragged_grid, outcome)
+        chunks = [ch for lst in plan.assignments for ch in lst]
+        assert_partition(chunks, ragged_grid)
+
+    def test_local_matches_bandwidth_centric_in_port_bound_regime(self):
+        """Comm-bound platform: local ratio ranks by mu/(2c) -- the worker
+        with the best bandwidth-centric key is selected first."""
+        plat = Platform(
+            [
+                Worker(0, c=2.0, w=0.001, m=21),  # mu 3, key 2c/mu = 1.33
+                Worker(1, c=1.0, w=0.001, m=21),  # key 0.67  <- best
+                Worker(2, c=4.0, w=0.001, m=21),  # key 2.67
+            ]
+        )
+        grid = BlockGrid(r=3, t=4, s=30)
+        outcome = incremental_selection(plat, grid, Variant("local", False, False))
+        assert outcome.sequence[0] == 1
+
+    def test_overloaded_worker_gets_spread(self, comp_bound_platform):
+        """Compute-bound: ready times force enrollment of several workers."""
+        grid = BlockGrid(r=3, t=4, s=30)
+        outcome = incremental_selection(
+            comp_bound_platform, grid, Variant("global", False, False)
+        )
+        assert len(set(outcome.sequence)) > 1
+
+    def test_raises_without_memory(self, small_grid):
+        plat = Platform([Worker(0, 1, 1, 4)])
+        with pytest.raises(SchedulingError):
+            incremental_selection(plat, small_grid, ALL_VARIANTS[0])
+
+    def test_lookahead_can_differ(self, het_platform, small_grid):
+        base = incremental_selection(het_platform, small_grid, Variant("global", False, False))
+        la = incremental_selection(het_platform, small_grid, Variant("global", True, False))
+        # sequences are valid either way; they need not be equal, but both
+        # must grant all columns
+        for outcome in (base, la):
+            plan = build_plan_from_sequence(het_platform, small_grid, outcome)
+            chunks = [ch for lst in plan.assignments for ch in lst]
+            assert_partition(chunks, small_grid)
+
+
+class TestMinMinSelection:
+    def test_first_chunk_to_fastest_finisher(self):
+        plat = Platform(
+            [
+                Worker(0, c=1.0, w=1.0, m=21),
+                Worker(1, c=1.0, w=0.1, m=21),  # much faster compute
+            ]
+        )
+        grid = BlockGrid(r=3, t=3, s=12)
+        outcome = min_min_selection(plat, grid)
+        assert outcome.sequence[0] == 1
+
+    def test_ties_go_to_first_worker(self, hom_platform):
+        grid = BlockGrid(r=3, t=3, s=6)
+        outcome = min_min_selection(hom_platform, grid)
+        assert outcome.sequence[0] == 0
+
+
+class TestRoundRobin:
+    def test_cycles_all_workers(self, het_platform):
+        grid = BlockGrid(r=4, t=3, s=20)
+        outcome = round_robin_sequence(het_platform, grid)
+        assert outcome.sequence[: het_platform.p] == list(range(het_platform.p))
+
+
+class TestBuildPlan:
+    def test_grants_follow_need(self, small_grid):
+        """A worker earns a panel every ceil(r/mu) selections."""
+        plat = Platform([Worker(0, 1, 1, 21)])  # mu 3
+        outcome = round_robin_sequence(plat, small_grid)
+        need = ceil_div(small_grid.r, 3)
+        # every selection is worker 0; panels of width 3 over s=12 -> 4 panels
+        assert len(outcome.sequence) == need * 4
+
+    def test_execution_respects_selection_order(self, het_platform, small_grid):
+        outcome = incremental_selection(
+            het_platform, small_grid, Variant("global", False, False)
+        )
+        plan = build_plan_from_sequence(het_platform, small_grid, outcome)
+        res = simulate(het_platform, plan, small_grid)
+        validate_result(res)
+        # per worker, chunks start in cid (selection) order; the very first
+        # message belongs to the first selection
+        from repro.core.ops import MsgKind
+
+        sends = [e for e in res.port_events if e.kind is MsgKind.C_SEND]
+        assert sends[0].cid == 0
+        per_worker: dict[int, list[int]] = {}
+        for e in sends:
+            per_worker.setdefault(e.worker, []).append(e.cid)
+        for cids in per_worker.values():
+            assert cids == sorted(cids)
+
+    def test_incomplete_sequence_raises(self, het_platform, small_grid):
+        from repro.schedulers.selection import SelectionOutcome
+
+        outcome = SelectionOutcome(sequence=[0], mus=usable_mus(het_platform))
+        with pytest.raises(SchedulingError):
+            build_plan_from_sequence(het_platform, small_grid, outcome)

@@ -1,0 +1,123 @@
+"""Steady-state LP: closed form vs scipy, and dominance over simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import default_suite
+from repro.theory.steady_state import (
+    bandwidth_centric,
+    makespan_lower_bound,
+    steady_state_lp,
+    table2_platform,
+    throughput_upper_bound,
+)
+
+
+def platforms(max_p=6):
+    """Hypothesis strategy for random platforms."""
+    worker = st.tuples(
+        st.floats(0.01, 10.0), st.floats(0.01, 10.0), st.integers(5, 500)
+    )
+    return st.lists(worker, min_size=1, max_size=max_p).map(
+        lambda ws: Platform([Worker(i, c, w, m) for i, (c, w, m) in enumerate(ws)])
+    )
+
+
+class TestClosedFormVsLP:
+    @settings(max_examples=60, deadline=None)
+    @given(platforms())
+    def test_matches_scipy(self, plat):
+        bc = bandwidth_centric(plat)
+        lp = steady_state_lp(plat)
+        assert bc.rho == pytest.approx(lp.rho, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(platforms())
+    def test_port_within_capacity(self, plat):
+        sol = bandwidth_centric(plat)
+        assert sol.port_used <= 1.0 + 1e-9
+        for r in sol.rates:
+            assert 0 <= r.x <= 1.0 / plat[r.worker].w + 1e-12
+
+    def test_enrolls_best_key_first(self):
+        plat = Platform(
+            [
+                Worker(0, c=1.0, w=1.0, m=21),  # key 2c/mu = 0.67
+                Worker(1, c=0.1, w=1.0, m=21),  # key 0.067 <- first
+            ]
+        )
+        sol = bandwidth_centric(plat)
+        assert sol.order[0] == 1
+
+    def test_fractional_enrollment(self):
+        """A port-saturating platform yields one partially enrolled worker."""
+        plat = Platform.homogeneous(10, c=2.0, w=0.5, m=21)  # each needs 2.67 of port
+        sol = bandwidth_centric(plat)
+        sat = [r for r in sol.rates if r.saturated]
+        partial = [r for r in sol.rates if 0 < r.x and not r.saturated]
+        assert len(sat) == 0 and len(partial) == 1
+
+    def test_unusable_workers_excluded(self):
+        plat = Platform([Worker(0, 1.0, 1.0, 2), Worker(1, 1.0, 1.0, 21)])
+        sol = bandwidth_centric(plat)
+        assert sol.rates[0].x == 0.0
+        assert sol.rates[1].x > 0.0
+
+
+class TestBoundDominance:
+    """No realizable schedule beats the steady-state bound (the paper uses
+    it as the optimistic reference Het stays within ~2.3x of)."""
+
+    @pytest.mark.parametrize("algo_idx", range(7))
+    def test_simulated_throughput_below_bound(self, het_platform, algo_idx):
+        grid = BlockGrid(r=6, t=5, s=18)
+        sched = default_suite()[algo_idx]
+        res = sched.run(het_platform, grid, collect_events=False)
+        assert res.throughput <= throughput_upper_bound(het_platform) * (1 + 1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(platforms(max_p=4))
+    def test_oddoml_throughput_below_bound_random(self, plat):
+        from repro.schedulers.demand_driven import ODDOMLScheduler
+        from repro.schedulers.base import SchedulingError
+
+        grid = BlockGrid(r=5, t=4, s=11)
+        try:
+            res = ODDOMLScheduler().run(plat, grid, collect_events=False)
+        except SchedulingError:
+            return
+        assert res.throughput <= throughput_upper_bound(plat) * (1 + 1e-9)
+
+    def test_makespan_bound_scales_with_work(self):
+        plat = Platform.homogeneous(2, 1.0, 1.0, 21)
+        small = makespan_lower_bound(plat, BlockGrid(r=3, t=3, s=3))
+        large = makespan_lower_bound(plat, BlockGrid(r=3, t=6, s=3))
+        assert large == pytest.approx(2 * small)
+
+
+class TestTable2:
+    def test_platform_shape(self):
+        plat = table2_platform(4.0)
+        assert plat[1].c == 4.0 and plat[1].w == 8.0
+        assert plat[0].m == plat[1].m == 12  # mu = 2
+
+    def test_both_workers_fully_enrolled_in_lp(self):
+        """2c_i/(mu_i w_i) = 1/2 each: the LP enrolls both at full rate."""
+        sol = bandwidth_centric(table2_platform(4.0))
+        assert all(r.saturated for r in sol.rates)
+        assert sol.port_used == pytest.approx(1.0)
+
+    def test_rho_independent_of_x(self):
+        """rho = 1/w1 + 1/w2 = 1/2 + 1/(2x) decreases in x but stays the
+        LP optimum; the point of Table 2 is feasibility, not rho."""
+        r2 = bandwidth_centric(table2_platform(2.0)).rho
+        r8 = bandwidth_centric(table2_platform(8.0)).rho
+        assert r2 == pytest.approx(0.5 + 0.25)
+        assert r8 == pytest.approx(0.5 + 1 / 16)
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            table2_platform(1.0)

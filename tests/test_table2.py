@@ -1,0 +1,45 @@
+"""Table 2: memory needed to realize the bandwidth-centric rates grows
+with the heterogeneity parameter x."""
+
+import pytest
+
+from repro.experiments.table2 import (
+    achieved_fraction,
+    required_mu,
+    table2_demo,
+    table2_platform_mu,
+)
+
+
+class TestTable2Platform:
+    def test_memory_follows_mu(self):
+        plat = table2_platform_mu(4.0, mu=5)
+        assert plat[0].m == 45
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            table2_platform_mu(0.5, 2)
+        with pytest.raises(ValueError):
+            table2_platform_mu(2.0, 0)
+
+
+class TestBufferGrowth:
+    def test_fraction_improves_with_mu(self):
+        """More buffers -> closer to the steady-state bound."""
+        x = 4.0
+        low = achieved_fraction(x, mu=2)
+        high = achieved_fraction(x, mu=12)
+        assert high > low
+
+    def test_requirement_grows_with_x(self):
+        """The paper's point: no fixed memory realizes the LP for all x."""
+        mus = [required_mu(x, target=0.8, mu_max=48) for x in (2.0, 4.0, 8.0)]
+        assert all(mu is not None for mu in mus)
+        assert mus[0] < mus[-1]
+
+    def test_demo_rows(self):
+        rows = table2_demo(xs=(2.0, 4.0), target=0.8)
+        assert [row.x for row in rows] == [2.0, 4.0]
+        for row in rows:
+            if row.required_mu is not None:
+                assert row.required_memory == row.required_mu**2 + 4 * row.required_mu

@@ -1,0 +1,98 @@
+"""The validator must accept real traces and reject corrupted ones."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.chunks import make_chunk
+from repro.core.ops import ComputeEvent, MsgKind, PortEvent
+from repro.platform.model import Platform
+from repro.sim.engine import simulate
+from repro.sim.plan import Plan
+from repro.sim.policies import StrictOrderPolicy
+from repro.sim.validate import InvariantViolation, validate_result
+
+
+def _real_result(m=50, w=2.0, t=3):
+    plat = Platform.homogeneous(1, c=1.0, w=w, m=m)
+    ch = make_chunk(0, 0, 0, 2, 0, 2, t)
+    plan = Plan(assignments=[[ch]], policy=StrictOrderPolicy([0] * (t + 2)), depths=[2])
+    return simulate(plat, plan, BlockGrid(r=2, t=t, s=2))
+
+
+class TestAcceptsRealTraces:
+    def test_single_worker(self):
+        report = validate_result(_real_result())
+        assert report.n_port_events == 5
+        assert report.n_compute_events == 3
+        assert report.max_occupancy[0] <= 50
+
+    def test_peak_rounds_bounded_by_depth(self):
+        report = validate_result(_real_result())
+        assert report.peak_resident_rounds[0] <= 2
+
+
+def _tamper(result, **kw):
+    return dataclasses.replace(result, **kw)
+
+
+class TestRejectsCorruptedTraces:
+    def test_overlapping_port_events(self):
+        res = _real_result()
+        evts = list(res.port_events)
+        bad = PortEvent(evts[0].start, evts[0].end, 0, MsgKind.ROUND, 0, 1, 4)
+        with pytest.raises(InvariantViolation, match="overlap"):
+            validate_result(_tamper(res, port_events=tuple([evts[0], bad] + evts[1:])))
+
+    def test_wrong_message_duration(self):
+        res = _real_result()
+        evts = list(res.port_events)
+        e0 = evts[0]
+        evts[0] = PortEvent(e0.start, e0.end + 0.5, e0.worker, e0.kind, e0.cid, e0.round_idx, e0.nblocks)
+        # shift the rest so one-port still holds
+        with pytest.raises(InvariantViolation):
+            validate_result(_tamper(res, port_events=tuple(evts)))
+
+    def test_compute_before_data(self):
+        res = _real_result()
+        comps = list(res.compute_events)
+        c0 = comps[0]
+        comps[0] = ComputeEvent(0.0, c0.duration, c0.worker, c0.cid, c0.round_idx, c0.updates)
+        with pytest.raises(InvariantViolation):
+            validate_result(_tamper(res, compute_events=tuple(comps)))
+
+    def test_memory_overflow_detected(self):
+        """Same trace on a platform with less memory than the occupancy."""
+        res = _real_result()
+        small = Platform.homogeneous(1, c=1.0, w=2.0, m=5)
+        with pytest.raises(InvariantViolation, match="holds"):
+            validate_result(_tamper(res, platform=small))
+
+    def test_missing_return_detected(self):
+        res = _real_result()
+        evts = [e for e in res.port_events if e.kind is not MsgKind.C_RETURN]
+        with pytest.raises(InvariantViolation):
+            validate_result(_tamper(res, port_events=tuple(evts)))
+
+    def test_round_sent_twice(self):
+        res = _real_result()
+        evts = list(res.port_events)
+        rd = next(e for e in evts if e.kind is MsgKind.ROUND)
+        shifted = PortEvent(
+            res.makespan + 1, res.makespan + 1 + rd.nblocks * 1.0,
+            rd.worker, rd.kind, rd.cid, rd.round_idx, rd.nblocks,
+        )
+        with pytest.raises(InvariantViolation, match="twice"):
+            validate_result(_tamper(res, port_events=tuple(evts + [shifted])))
+
+    def test_empty_trace_rejected(self):
+        res = _real_result()
+        with pytest.raises(InvariantViolation, match="no port events"):
+            validate_result(_tamper(res, port_events=()))
+
+    def test_memory_check_can_be_skipped(self):
+        res = _real_result()
+        small = Platform.homogeneous(1, c=1.0, w=2.0, m=5)
+        # without the memory sweep the doctored platform passes the rest
+        validate_result(_tamper(res, platform=small), check_memory=False)
