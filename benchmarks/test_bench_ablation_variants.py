@@ -6,6 +6,10 @@ time, the performance of Het was in fact obtained thanks to a global
 resource selection".
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.core.blocks import BlockGrid
 from repro.experiments.figures import fig7_instances
 from repro.schedulers.selection import ALL_VARIANTS, build_plan_from_sequence, incremental_selection

@@ -6,6 +6,10 @@ then HomI <= Hom / Het, then ODDOML/ORROML, BMM worst.  Het ~2000 s on the
 smallest product, ~3500 s on the largest.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 

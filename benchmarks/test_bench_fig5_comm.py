@@ -5,6 +5,10 @@ resource selection; Hom performs close to ODDOML; BMM is worst, 70-90%
 above the best makespan.  Het ~2500 s smallest, ~5000 s largest.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 

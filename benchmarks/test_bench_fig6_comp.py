@@ -6,6 +6,10 @@ enrolls more workers as the matrix grows.  Het ~2000 s smallest, ~4000 s
 largest.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 

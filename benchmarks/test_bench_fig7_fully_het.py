@@ -6,6 +6,10 @@ OMMOML up to 215%, HomI up to 80% / 34% on average); ODDOML reasonable on
 average but poor relative work.  Het 2700-6000 s.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 

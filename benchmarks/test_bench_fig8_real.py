@@ -7,6 +7,10 @@ use 11 of 20 workers; on the Nov-2006 configuration (two families at
 best, OMMOML ~60% worse, Het using only the ten 1 GB workers (~7800 s).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 

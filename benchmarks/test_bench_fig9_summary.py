@@ -7,6 +7,10 @@ of execution time on average; adding resource selection (Het) brings it to
 steady-state throughput bound on average (3.42x at worst).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.figures import run_summary
 from repro.experiments.report import format_fig9
 

@@ -6,6 +6,10 @@ algorithm's relative cost, Het's enrollment and Het's distance to the
 steady-state bound -- showing *where* heterogeneity-awareness starts to pay.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.sweeps import heterogeneity_sweep
 
 RATIOS = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)

@@ -12,6 +12,10 @@ evaluation (its Figure 6 slows half the platform by only 4x, where Het
 copes); the benchmark documents it as a limitation of the ratio criteria.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full paper scale; run with `pytest -m slow`
+
 from repro.experiments.sweeps import straggler_sweep
 
 SLOWDOWNS = (1.0, 2.0, 4.0, 8.0, 16.0)

@@ -45,15 +45,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def parallel_type(value: str):
+        if value == "auto":
+            return "auto"
+        try:
+            n = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer or 'auto', got {value!r}"
+            ) from None
+        if n < 0:
+            raise argparse.ArgumentTypeError("worker count must be >= 0")
+        return n
+
+    def add_runner_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--parallel",
+            default=None,
+            type=parallel_type,
+            metavar="N",
+            help="fan runs out over N worker processes ('auto' = one per core)",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache directory (reruns become lookups)",
+        )
+
     p_fig = sub.add_parser("figure", help="run one paper figure")
     p_fig.add_argument("fig", choices=sorted(FIGURES))
     p_fig.add_argument("--scale", type=float, default=1.0, help="problem scale (1.0 = paper)")
     p_fig.add_argument("--algorithms", default=None, help="comma-separated subset")
     p_fig.add_argument("--validate", action="store_true", help="audit traces")
+    add_runner_opts(p_fig)
 
     p_sum = sub.add_parser("summary", help="run the Figure 9 summary")
     p_sum.add_argument("--scale", type=float, default=0.3)
     p_sum.add_argument("--figures", default="fig4,fig5,fig6,fig7,fig8")
+    add_runner_opts(p_sum)
 
     p_run = sub.add_parser("run", help="run one algorithm on one instance")
     p_run.add_argument("--algorithm", default="Het", choices=sorted(SCHEDULERS))
@@ -73,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--ratios", default="1.01,1.5,2,3,4,6,8", help="comma-separated ratio list"
     )
+    add_runner_opts(p_sweep)
 
     p_bounds = sub.add_parser("bounds", help="Section 3 CCR bounds")
     p_bounds.add_argument("--memory", type=int, default=5242, help="worker memory in blocks")
@@ -90,7 +121,14 @@ def _algorithms(spec: str | None):
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    res = run_figure(args.fig, args.scale, _algorithms(args.algorithms), validate=args.validate)
+    res = run_figure(
+        args.fig,
+        args.scale,
+        _algorithms(args.algorithms),
+        validate=args.validate,
+        parallel=args.parallel,
+        cache=args.cache,
+    )
     print(format_relative_table(res, "cost"))
     print()
     print(format_relative_table(res, "work"))
@@ -101,7 +139,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     figures = [f.strip() for f in args.figures.split(",") if f.strip()]
-    res = run_summary(args.scale, figures=figures)
+    res = run_summary(
+        args.scale,
+        figures=figures,
+        parallel=args.parallel,
+        cache=args.cache,
+    )
     print(format_fig9(res))
     return 0
 
@@ -146,7 +189,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.sweeps import heterogeneity_sweep
 
     ratios = tuple(float(x) for x in args.ratios.split(",") if x.strip())
-    sweep = heterogeneity_sweep(ratios, scale=args.scale)
+    sweep = heterogeneity_sweep(
+        ratios,
+        scale=args.scale,
+        parallel=args.parallel,
+        cache=args.cache,
+    )
     print(
         f"relative cost vs heterogeneity ratio (fully-het platforms, scale {args.scale})"
     )

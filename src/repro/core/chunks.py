@@ -26,6 +26,7 @@ matrix column blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, Sequence
 
 from .blocks import BlockGrid, ceil_div
@@ -129,15 +130,23 @@ class Chunk:
         return range(self.j0, self.j0 + self.w)
 
 
+@lru_cache(maxsize=4096)
 def max_reuse_rounds(h: int, w: int, t: int) -> tuple[RoundSpec, ...]:
     """Round structure of the maximum re-use layouts: one round per ``k``
     carrying a B row segment (``w`` blocks) and an A column segment
-    (``h`` blocks), enabling ``h*w`` updates."""
+    (``h`` blocks), enabling ``h*w`` updates.
+
+    Memoized: ``RoundSpec`` is immutable and a plan routinely builds
+    thousands of chunks with identical ``(h, w, t)``, so sharing one tuple
+    removes the dominant allocation cost of plan construction (and lets the
+    fast path digest each distinct round structure once, by identity).
+    """
     return tuple(
         RoundSpec(k_lo=k, k_hi=k + 1, a_blocks=h, b_blocks=w, updates=h * w) for k in range(t)
     )
 
 
+@lru_cache(maxsize=4096)
 def toledo_rounds(h: int, w: int, t: int, sigma: int) -> tuple[RoundSpec, ...]:
     """Round structure of the BMM baseline: rounds cover ``k`` ranges of
     width up to ``sigma`` with square(ish) A and B chunks."""

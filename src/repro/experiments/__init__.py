@@ -43,3 +43,7 @@ __all__ = [
 from .sweeps import HeterogeneitySweep, SweepPoint, heterogeneity_sweep  # noqa: E402
 
 __all__ += ["HeterogeneitySweep", "SweepPoint", "heterogeneity_sweep"]
+
+from .parallel import ResultCache, RunTask, run_tasks, task_key  # noqa: E402
+
+__all__ += ["ResultCache", "RunTask", "run_tasks", "task_key"]

@@ -118,25 +118,38 @@ def run_figure(
     schedulers: Sequence[Scheduler] | None = None,
     *,
     validate: bool = False,
+    parallel=None,
+    cache=None,
 ) -> ExperimentResult:
-    """Run one paper figure end to end."""
+    """Run one paper figure end to end.
+
+    ``parallel`` and ``cache`` are forwarded to
+    :func:`~repro.experiments.harness.run_experiment`, so a figure's
+    (algorithm, instance) runs can fan out across cores and reuse
+    content-addressed results from earlier invocations.
+    """
     try:
         factory = FIGURES[fig]
     except KeyError:
         raise KeyError(f"unknown figure {fig!r}; known: {sorted(FIGURES)}") from None
-    return run_experiment(fig, factory(scale), schedulers, validate=validate)
+    return run_experiment(
+        fig, factory(scale), schedulers, validate=validate, parallel=parallel, cache=cache
+    )
 
 
 def run_summary(
     scale: float = 1.0,
     schedulers: Sequence[Scheduler] | None = None,
     figures: Sequence[str] = ("fig4", "fig5", "fig6", "fig7", "fig8"),
+    *,
+    parallel=None,
+    cache=None,
 ) -> ExperimentResult:
     """Figure 9: union of all experiments (relative metrics recomputed over
     the merged instance set)."""
     merged: ExperimentResult | None = None
     for fig in figures:
-        res = run_figure(fig, scale, schedulers)
+        res = run_figure(fig, scale, schedulers, parallel=parallel, cache=cache)
         merged = res if merged is None else merged.merged_with(res, name="fig9")
     assert merged is not None
     merged.name = "fig9"

@@ -86,6 +86,8 @@ def run_experiment(
     *,
     validate: bool = False,
     collect_events: bool = False,
+    parallel=None,
+    cache=None,
 ) -> ExperimentResult:
     """Run ``schedulers`` (default: the paper's seven) on every instance.
 
@@ -93,6 +95,14 @@ def run_experiment(
     anywhere) are recorded under ``failures`` instead of aborting the whole
     experiment.  With ``validate`` the full trace is collected and audited
     against the one-port/memory/dependency invariants.
+
+    ``parallel`` fans the (algorithm, instance) runs out across worker
+    processes (see :func:`repro.experiments.parallel.resolve_workers` for
+    accepted values) and ``cache`` (a path or
+    :class:`~repro.experiments.parallel.ResultCache`) skips runs whose
+    content-addressed result is already stored.  Both require the eventless
+    fast path, so they are ignored when ``validate`` or ``collect_events``
+    asks for full traces.
     """
     scheds = list(schedulers) if schedulers is not None else default_suite()
     result = ExperimentResult(
@@ -100,8 +110,46 @@ def run_experiment(
         instances=[inst.label for inst in instances],
         algorithms=[s.name for s in scheds],
     )
+    bounds = {inst.label: makespan_lower_bound(inst.platform, inst.grid) for inst in instances}
+
+    if (parallel is not None or cache is not None) and (validate or collect_events):
+        import warnings
+
+        warnings.warn(
+            "parallel=/cache= are ignored when validate or collect_events is "
+            "set: full traces require the in-process reference engine",
+            stacklevel=2,
+        )
+    use_runner = (parallel is not None or cache is not None) and not (
+        validate or collect_events
+    )
+    if use_runner:
+        from .parallel import RunTask, run_tasks
+
+        pairs = [(sched, inst) for inst in instances for sched in scheds]
+        tasks = [
+            RunTask(scheduler=sched, platform=inst.platform, grid=inst.grid)
+            for sched, inst in pairs
+        ]
+        payloads = run_tasks(tasks, parallel=parallel, cache=cache)
+        for (sched, inst), payload in zip(pairs, payloads):
+            if "error" in payload:
+                result.failures[(sched.name, inst.label)] = payload["error"]
+                continue
+            result.measurements.append(
+                Measurement(
+                    algorithm=sched.name,
+                    instance=inst.label,
+                    makespan=payload["makespan"],
+                    n_enrolled=payload["n_enrolled"],
+                    bound=bounds[inst.label],
+                    meta=dict(payload.get("meta") or {}),
+                )
+            )
+        return result
+
     for inst in instances:
-        bound = makespan_lower_bound(inst.platform, inst.grid)
+        bound = bounds[inst.label]
         for sched in scheds:
             try:
                 sim = sched.run(

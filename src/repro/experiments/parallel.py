@@ -1,0 +1,234 @@
+"""Parallel experiment execution and a content-addressed result cache.
+
+One paper figure is dozens of independent ``(algorithm, instance)`` runs;
+the heterogeneity sweeps multiply that by every ratio on the axis.  This
+module turns those runs into a flat task list that can
+
+* fan out across cores with a :class:`concurrent.futures.ProcessPoolExecutor`
+  (the simulator is pure Python, so processes -- not threads -- are what
+  buys real parallelism), and
+* skip work that was already done, via a content-addressed on-disk cache.
+
+**Cache key scheme.**  A task's key is the SHA-256 of a canonical string
+built from four fingerprints::
+
+    engine | algorithm-signature | platform | grid
+
+``engine`` is :data:`ENGINE_FINGERPRINT`, bumped whenever the simulation
+semantics change (which would invalidate every stored makespan).  The
+algorithm contributes :attr:`~repro.schedulers.base.Scheduler.signature`
+(its name plus any constructor configuration, e.g. a restricted Het variant
+set).  The platform contributes every worker's exact ``(c, w, m)`` scalars
+-- float ``repr`` round-trips exactly, so two platforms share a key iff
+they are numerically identical -- and the grid its ``(r, t, s, q)`` shape.
+Worker and platform *names* are deliberately excluded: they do not affect
+timing.  The simulator is deterministic, so a cache hit is bit-identical
+to a rerun; this is what makes content addressing sound.
+
+Payloads are small JSON documents (makespan, enrollment, JSON-safe meta),
+stored under ``<root>/<key[:2]>/<key>.json`` to keep directories shallow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..core.blocks import BlockGrid
+from ..platform.model import Platform
+from ..schedulers.base import Scheduler, SchedulingError
+
+__all__ = [
+    "ENGINE_FINGERPRINT",
+    "RunTask",
+    "ResultCache",
+    "fingerprint_platform",
+    "fingerprint_grid",
+    "task_key",
+    "resolve_workers",
+    "run_tasks",
+]
+
+#: Version tag of the *result-producing code*: the simulation semantics AND
+#: the scheduler planning heuristics.  Bump it whenever either changes in a
+#: way that can move any makespan -- that invalidates every stored payload
+#: at once.  (The golden-regression walls catch forgetting to bump: a
+#: planner change moves golden makespans, which flags the same commit.)
+ENGINE_FINGERPRINT = "one-port-v1"
+
+
+def fingerprint_platform(platform: Platform) -> str:
+    """Canonical string of the timing-relevant platform parameters."""
+    return ";".join(f"{wk.index}:{wk.c!r}:{wk.w!r}:{wk.m}" for wk in platform)
+
+
+def fingerprint_grid(grid: BlockGrid) -> str:
+    """Canonical string of the block-grid shape."""
+    return f"r={grid.r},t={grid.t},s={grid.s},q={grid.q}"
+
+
+def task_key(scheduler: Scheduler, platform: Platform, grid: BlockGrid) -> str:
+    """Content-addressed cache key of one ``(algorithm, instance)`` run."""
+    canon = "|".join(
+        (
+            ENGINE_FINGERPRINT,
+            scheduler.signature,
+            fingerprint_platform(platform),
+            fingerprint_grid(grid),
+        )
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One schedulable unit: run ``scheduler`` on ``(platform, grid)``.
+
+    All three members pickle, so tasks cross process boundaries as-is.
+    """
+
+    scheduler: Scheduler
+    platform: Platform
+    grid: BlockGrid
+
+    @property
+    def key(self) -> str:
+        return task_key(self.scheduler, self.platform, self.grid)
+
+
+def _json_safe(value):
+    """Best-effort JSON projection of a result meta dict."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _execute_task(task: RunTask) -> dict:
+    """Run one task to a JSON-safe payload (top level so it pickles).
+
+    :class:`SchedulingError` is a deterministic property of the instance,
+    so it becomes an ``error`` payload (and is cacheable) rather than an
+    exception; genuine bugs still propagate.
+    """
+    try:
+        result = task.scheduler.run(task.platform, task.grid, collect_events=False)
+    except SchedulingError as exc:
+        return {"error": str(exc)}
+    return {
+        "makespan": result.makespan,
+        "n_enrolled": result.n_enrolled,
+        "meta": _json_safe(result.meta),
+    }
+
+
+class ResultCache:
+    """Content-addressed store of task payloads under a root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ValueError(f"cache path {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # unique tmp per writer, atomically renamed: concurrent writers of
+        # the same key each publish a complete file, last one wins
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{id(self):x}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _as_cache(cache) -> ResultCache | None:
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def resolve_workers(parallel) -> int:
+    """Normalize a ``parallel=`` option to a worker-process count.
+
+    ``None``/``False``/``0``/``1`` mean in-process serial execution;
+    ``True`` or ``"auto"`` mean one worker per core; an integer >= 2 is
+    used as given.
+    """
+    if parallel is None or parallel is False:
+        return 1
+    if parallel is True or parallel == "auto":
+        return max(1, os.cpu_count() or 1)
+    n = int(parallel)
+    if n < 0:
+        raise ValueError(f"parallel must be >= 0, got {parallel!r}")
+    return max(1, n)
+
+
+def run_tasks(
+    tasks: Sequence[RunTask],
+    *,
+    parallel=None,
+    cache=None,
+) -> list[dict]:
+    """Execute ``tasks``, returning one payload per task, in task order.
+
+    Payloads are either ``{"makespan", "n_enrolled", "meta"}`` or
+    ``{"error": message}`` for instances the algorithm cannot schedule.
+    Cached tasks are not re-run; misses are executed (across processes when
+    ``parallel`` asks for it) and stored back.
+    """
+    store = _as_cache(cache)
+    payloads: list[dict | None] = [None] * len(tasks)
+    todo: list[int] = []
+    keys: list[str | None] = [None] * len(tasks)
+    for idx, task in enumerate(tasks):
+        if store is not None:
+            keys[idx] = key = task.key
+            hit = store.get(key)
+            if hit is not None:
+                payloads[idx] = hit
+                continue
+        todo.append(idx)
+
+    workers = min(resolve_workers(parallel), max(1, len(todo)))
+    if todo:
+        if workers <= 1:
+            fresh = [_execute_task(tasks[idx]) for idx in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_execute_task, [tasks[idx] for idx in todo]))
+        for idx, payload in zip(todo, fresh):
+            payloads[idx] = payload
+            if store is not None:
+                store.put(keys[idx], payload)
+    assert all(p is not None for p in payloads)
+    return payloads  # type: ignore[return-value]

@@ -71,23 +71,53 @@ class HeterogeneitySweep:
         return "\n".join(lines)
 
 
-def heterogeneity_sweep(
-    ratios: Sequence[float] = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
-    *,
-    scale: float = 0.25,
-    algorithms: Sequence[str] = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"),
-    s_elements: int = 80_000,
-) -> HeterogeneitySweep:
-    """Run every algorithm over fully heterogeneous platforms whose
-    large/small parameter ratio sweeps over ``ratios``."""
-    sweep = HeterogeneitySweep(algorithms=list(algorithms))
-    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
-    for ratio in ratios:
-        plat = fully_heterogeneous(ratio)
-        if scale != 1.0:
-            plat = scale_platform(plat, scale)
-        makespans: dict[str, float] = {}
-        enrollment: dict[str, int] = {}
+def _measure_points(
+    labelled_platforms: Sequence[tuple[float, "Platform"]],
+    grid: BlockGrid,
+    algorithms: Sequence[str],
+    parallel,
+    cache,
+) -> list[SweepPoint]:
+    """Shared sweep core: run every algorithm on every (ratio, platform)
+    point.  With ``parallel``/``cache`` the whole sweep becomes one flat
+    task list through :func:`repro.experiments.parallel.run_tasks`, so a
+    multi-ratio sweep saturates the worker pool instead of fanning out one
+    point at a time."""
+    points: list[SweepPoint] = []
+    if parallel is not None or cache is not None:
+        from .parallel import RunTask, run_tasks
+
+        scheds = {name: make_scheduler(name) for name in algorithms}
+        tasks = [
+            RunTask(scheduler=scheds[name], platform=plat, grid=grid)
+            for _ratio, plat in labelled_platforms
+            for name in algorithms
+        ]
+        payloads = run_tasks(tasks, parallel=parallel, cache=cache)
+        cursor = 0
+        for ratio, plat in labelled_platforms:
+            makespans: dict[str, float] = {}
+            enrollment: dict[str, int] = {}
+            for name in algorithms:
+                payload = payloads[cursor]
+                cursor += 1
+                if "error" in payload:
+                    continue
+                makespans[name] = payload["makespan"]
+                enrollment[name] = payload["n_enrolled"]
+            points.append(
+                SweepPoint(
+                    ratio=ratio,
+                    makespans=makespans,
+                    enrollment=enrollment,
+                    bound=makespan_lower_bound(plat, grid),
+                )
+            )
+        return points
+
+    for ratio, plat in labelled_platforms:
+        makespans = {}
+        enrollment = {}
         for name in algorithms:
             sched: Scheduler = make_scheduler(name)
             try:
@@ -96,7 +126,7 @@ def heterogeneity_sweep(
                 continue
             makespans[name] = res.makespan
             enrollment[name] = res.n_enrolled
-        sweep.points.append(
+        points.append(
             SweepPoint(
                 ratio=ratio,
                 makespans=makespans,
@@ -104,6 +134,29 @@ def heterogeneity_sweep(
                 bound=makespan_lower_bound(plat, grid),
             )
         )
+    return points
+
+
+def heterogeneity_sweep(
+    ratios: Sequence[float] = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+    *,
+    scale: float = 0.25,
+    algorithms: Sequence[str] = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"),
+    s_elements: int = 80_000,
+    parallel=None,
+    cache=None,
+) -> HeterogeneitySweep:
+    """Run every algorithm over fully heterogeneous platforms whose
+    large/small parameter ratio sweeps over ``ratios``."""
+    sweep = HeterogeneitySweep(algorithms=list(algorithms))
+    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
+    labelled = []
+    for ratio in ratios:
+        plat = fully_heterogeneous(ratio)
+        if scale != 1.0:
+            plat = scale_platform(plat, scale)
+        labelled.append((ratio, plat))
+    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache))
     return sweep
 
 
@@ -114,6 +167,8 @@ def straggler_sweep(
     p: int = 8,
     algorithms: Sequence[str] = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"),
     s_elements: int = 80_000,
+    parallel=None,
+    cache=None,
 ) -> HeterogeneitySweep:
     """Degrade one worker of an otherwise homogeneous platform by a growing
     compute slowdown and watch who copes.
@@ -133,28 +188,12 @@ def straggler_sweep(
     c = c_from_mbps(BASE_BANDWIDTH_MBPS)
     w = w_from_gflops(BASE_GFLOPS) / scale
     m = scaled_memory(blocks_from_mb(1024), scale)
+    labelled = []
     for slowdown in slowdowns:
         workers = [
             Worker(i, c, w * (slowdown if i == 0 else 1.0), m, name="straggler" if i == 0 else "")
             for i in range(p)
         ]
-        plat = Platform(workers, name=f"straggler-x{slowdown:g}")
-        makespans: dict[str, float] = {}
-        enrollment: dict[str, int] = {}
-        for name in algorithms:
-            sched: Scheduler = make_scheduler(name)
-            try:
-                res = sched.run(plat, grid, collect_events=False)
-            except SchedulingError:
-                continue
-            makespans[name] = res.makespan
-            enrollment[name] = res.n_enrolled
-        sweep.points.append(
-            SweepPoint(
-                ratio=slowdown,
-                makespans=makespans,
-                enrollment=enrollment,
-                bound=makespan_lower_bound(plat, grid),
-            )
-        )
+        labelled.append((slowdown, Platform(workers, name=f"straggler-x{slowdown:g}")))
+    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache))
     return sweep

@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 from ..core.blocks import BlockGrid
 from ..platform.model import Platform
 from ..sim.engine import SimResult, simulate
+from ..sim.fastpath import fast_simulate
 from ..sim.plan import Plan
 
 __all__ = ["Scheduler", "SchedulingError"]
@@ -31,6 +32,13 @@ class Scheduler(ABC):
     #: Short name used in reports (e.g. ``"Het"``); subclasses override.
     name: str = "?"
 
+    @property
+    def signature(self) -> str:
+        """Configuration fingerprint used by the result cache
+        (:mod:`repro.experiments.parallel`).  Subclasses whose behaviour
+        depends on constructor arguments must fold them in."""
+        return self.name
+
     @abstractmethod
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
         """Compile a plan for ``grid`` on ``platform``.
@@ -44,12 +52,21 @@ class Scheduler(ABC):
     ) -> SimResult:
         """Plan and simulate; the result's ``meta`` records the algorithm
         name and the wall-clock planning time (the paper includes each
-        algorithm's decision process in its measured times)."""
+        algorithm's decision process in its measured times).
+
+        Without event collection the plan is replayed on the fast path
+        (:func:`~repro.sim.fastpath.fast_simulate`), which is bit-identical
+        to the reference engine but an order of magnitude faster; asking
+        for events selects the reference engine with its full traces.
+        """
         t0 = time.perf_counter()
         plan = self.plan(platform, grid)
         planning = time.perf_counter() - t0
         plan.collect_events = collect_events
-        result = simulate(platform, plan, grid)
+        if collect_events:
+            result = simulate(platform, plan, grid)
+        else:
+            result = fast_simulate(platform, plan, grid)
         result.meta.setdefault("algorithm", self.name)
         result.meta["planning_seconds"] = planning
         return result

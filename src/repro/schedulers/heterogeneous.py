@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..core.blocks import BlockGrid
 from ..platform.model import Platform
-from ..sim.engine import simulate
+from ..sim.fastpath import fast_simulate
 from ..sim.plan import Plan
 from .base import Scheduler, SchedulingError
 from .selection import ALL_VARIANTS, Variant, build_plan_from_sequence, incremental_selection
@@ -35,6 +35,12 @@ class HetScheduler(Scheduler):
             raise ValueError("need at least one variant")
         self.variants = tuple(variants)
 
+    @property
+    def signature(self) -> str:
+        if self.variants == ALL_VARIANTS:
+            return self.name
+        return f"{self.name}[{','.join(v.label for v in self.variants)}]"
+
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
         best_plan: Plan | None = None
         best_makespan = float("inf")
@@ -43,7 +49,7 @@ class HetScheduler(Scheduler):
             outcome = incremental_selection(platform, grid, variant)
             candidate = build_plan_from_sequence(platform, grid, outcome)
             candidate.collect_events = False
-            res = simulate(platform, candidate, grid)
+            res = fast_simulate(platform, candidate, grid)
             scores[variant.label] = res.makespan
             if res.makespan < best_makespan:
                 best_makespan = res.makespan

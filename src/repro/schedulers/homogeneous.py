@@ -34,7 +34,7 @@ from ..core.blocks import BlockGrid, ceil_div
 from ..core.chunks import Chunk, make_chunk
 from ..core.layout import overlapped_mu
 from ..platform.model import Platform
-from ..sim.engine import simulate
+from ..sim.fastpath import fast_simulate
 from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
 from .base import Scheduler, SchedulingError
@@ -129,7 +129,7 @@ def _evaluate_virtual(
         grid, n_workers=n, mu=mu, enrolled=list(range(n)), total_workers=n
     )
     plan.collect_events = False
-    res = simulate(virtual, plan, grid)
+    res = fast_simulate(virtual, plan, grid)
     # rank candidate real workers: fastest compute, then fastest link
     ranked = sorted(enrolled, key=lambda i: (platform[i].w, platform[i].c, i))
     return _VirtualChoice(

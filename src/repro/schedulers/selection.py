@@ -125,7 +125,14 @@ class SelectionOutcome:
 
 
 class SelectionState:
-    """O(p) analytic state of the selection-time model (see module doc)."""
+    """O(p) analytic state of the selection-time model (see module doc).
+
+    Candidate scoring uses :meth:`speculate` / :meth:`rollback`: one
+    assignment only touches three scalars (``port_free``, ``ready[widx]``,
+    ``total_work``), so a what-if is a delta-update plus an O(1) undo token
+    instead of an O(p) :meth:`copy` per candidate.  Tokens must be rolled
+    back in LIFO order when nested (look-ahead pairs).
+    """
 
     __slots__ = ("platform", "grid", "mus", "count_c", "port_free", "ready", "total_work")
 
@@ -175,18 +182,35 @@ class SelectionState:
         self.total_work += self.chunk_work(widx)
         return comm_end, comp_end
 
+    def speculate(self, widx: int) -> tuple[tuple, float, float]:
+        """Commit one chunk to ``widx`` like :meth:`assign`, returning an
+        undo token alongside ``(comm_end, comp_end)``."""
+        token = (widx, self.port_free, self.ready[widx], self.total_work)
+        comm_end, comp_end = self.assign(widx)
+        return token, comm_end, comp_end
 
-def _score(state: SelectionState, widx: int, scope: str) -> tuple[float, SelectionState]:
-    """Score of selecting ``widx`` next on ``state`` (higher = better)."""
-    trial = state.copy()
+    def rollback(self, token: tuple) -> None:
+        """Undo one :meth:`speculate` (LIFO order when nested)."""
+        widx, port_free, ready_w, total_work = token
+        self.port_free = port_free
+        self.ready[widx] = ready_w
+        self.total_work = total_work
+
+
+def _score(state: SelectionState, widx: int, scope: str) -> tuple[float, tuple]:
+    """Score of selecting ``widx`` next on ``state`` (higher = better).
+
+    Leaves the speculative assignment applied; the caller must roll back
+    the returned token (after any nested look-ahead speculation).
+    """
     before = state.port_free
-    comm_end, _ = trial.assign(widx)
+    token, comm_end, _ = state.speculate(widx)
     if scope == "global":
-        score = trial.total_work / comm_end if comm_end > 0 else float("inf")
+        score = state.total_work / comm_end if comm_end > 0 else float("inf")
     else:
         elapsed = comm_end - before
         score = state.chunk_work(widx) / elapsed if elapsed > 0 else float("inf")
-    return score, trial
+    return score, token
 
 
 def incremental_selection(
@@ -201,22 +225,24 @@ def incremental_selection(
     state = SelectionState(platform, grid, mus, variant.count_c)
 
     def candidate_score(widx: int) -> float:
-        first, trial = _score(state, widx, variant.scope)
-        if not variant.lookahead:
-            return first
         before = state.port_free
         before_work = state.total_work
+        first, token = _score(state, widx, variant.scope)
+        if not variant.lookahead:
+            state.rollback(token)
+            return first
         best_pair = -float("inf")
         for j in usable:
-            trial2 = trial.copy()
-            comm_end2, _ = trial2.assign(j)
+            token2, comm_end2, _ = state.speculate(j)
             if variant.scope == "global":
-                pair = trial2.total_work / comm_end2 if comm_end2 > 0 else float("inf")
+                pair = state.total_work / comm_end2 if comm_end2 > 0 else float("inf")
             else:
-                gained = trial2.total_work - before_work
+                gained = state.total_work - before_work
                 elapsed = comm_end2 - before
                 pair = gained / elapsed if elapsed > 0 else float("inf")
+            state.rollback(token2)
             best_pair = max(best_pair, pair)
+        state.rollback(token)
         return best_pair
 
     sequence: list[int] = []
@@ -251,8 +277,8 @@ def min_min_selection(platform: Platform, grid: BlockGrid) -> SelectionOutcome:
     while not panels.exhausted:
         best_w, best_done = -1, float("inf")
         for i in usable:
-            trial = state.copy()
-            _, comp_end = trial.assign(i)
+            token, _, comp_end = state.speculate(i)
+            state.rollback(token)
             if comp_end < best_done:
                 best_w, best_done = i, comp_end
         sequence.append(best_w)

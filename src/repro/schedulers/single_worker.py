@@ -37,6 +37,10 @@ class MaxReuseSingleWorker(Scheduler):
     def __init__(self, worker: int = 0) -> None:
         self.worker = worker
 
+    @property
+    def signature(self) -> str:
+        return self.name if self.worker == 0 else f"{self.name}[w{self.worker}]"
+
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
         widx = self.worker
         if not 0 <= widx < platform.p:

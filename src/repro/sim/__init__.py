@@ -2,6 +2,7 @@
 
 from .allocator import Allocator, PanelDemandAllocator
 from .engine import Engine, SimResult, WorkerStats, simulate
+from .fastpath import FastEngine, fast_simulate, supports_fast_path
 from .plan import Plan
 from .policies import (
     PortPolicy,
@@ -21,6 +22,9 @@ __all__ = [
     "SimResult",
     "WorkerStats",
     "simulate",
+    "FastEngine",
+    "fast_simulate",
+    "supports_fast_path",
     "Plan",
     "PortPolicy",
     "ReadyPolicy",

@@ -58,10 +58,18 @@ class PanelDemandAllocator(Allocator):
         return self.panels.exhausted
 
     def refill(self, engine: Engine) -> None:
+        self.refill_via(engine.has_pending, engine.assign_chunk)
+
+    def refill_via(self, has_pending, assign_chunk) -> None:
+        """Engine-agnostic refill: ``has_pending(widx)`` reports whether a
+        worker still has messages queued, ``assign_chunk(widx, chunk)``
+        installs a new chunk.  Both the reference engine and the fast path
+        (:mod:`repro.sim.fastpath`) drive the same grant logic through this,
+        so panel hand-out order is identical in both engines."""
         for widx, cursor in enumerate(self.cursors):
             if cursor is None:
                 continue
-            if engine.workers[widx].has_pending:
+            if has_pending(widx):
                 continue
             if not cursor.has_next:
                 panel = self.panels.grant(cursor.side)
@@ -71,4 +79,4 @@ class PanelDemandAllocator(Allocator):
             chunk = cursor.next_chunk(self._next_cid)
             if chunk is not None:
                 self._next_cid += 1
-                engine.assign_chunk(widx, chunk)
+                assign_chunk(widx, chunk)

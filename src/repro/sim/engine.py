@@ -11,7 +11,11 @@ occupies the port, and updates the worker's compute timeline.
 
 The engine doubles as the *what-if* evaluator of the incremental resource
 selection heuristics of Section 5: :meth:`Engine.clone` produces a cheap
-copy on which candidate chunks can be appended and posted.
+copy on which candidate chunks can be appended and posted.  For bulk
+evaluation (the experiment layer, selection scoring) prefer
+:mod:`repro.sim.fastpath`, which replays plans over flat arrays with
+bit-identical results and supports O(1) checkpoint/rollback what-ifs
+instead of per-candidate clones.
 """
 
 from __future__ import annotations
@@ -161,6 +165,10 @@ class Engine:
 
     def head(self, widx: int) -> HeadMsg | None:
         return self.workers[widx].head()
+
+    def has_pending(self, widx: int) -> bool:
+        """True when worker ``widx`` still has messages to post."""
+        return self.workers[widx].has_pending
 
     def legal_start(self, widx: int) -> float:
         """Earliest start of worker ``widx``'s head message (which must exist)."""

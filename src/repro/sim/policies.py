@@ -92,6 +92,15 @@ def demand_priority(engine: Engine, widx: int) -> tuple:
     return (engine.legal_start(widx), widx)
 
 
+# The fast path (repro.sim.fastpath) replays ReadyPolicy without building
+# HeadMsg objects; it recognizes the two registry priorities by this marker
+# ("cid" = head chunk id, "legal" = head legal start, each tie-broken by
+# worker index).  Custom priority functions without a marker fall back to
+# the reference engine.
+selection_order_priority.fast_key = "cid"  # type: ignore[attr-defined]
+demand_priority.fast_key = "legal"  # type: ignore[attr-defined]
+
+
 class ReadyPolicy(PortPolicy):
     """Serve pending workers ordered by ``(effective start, priority)``.
 

@@ -1,0 +1,104 @@
+"""Golden regression wall over the paper figures.
+
+``tests/data/golden_figures.json`` freezes the makespan of every
+(algorithm, instance) pair of each paper figure at scale 0.1.  Both
+engines -- the reference event engine and the flat-array fast path -- must
+reproduce every value exactly, so the fast path can never silently drift
+from the semantics that produced the paper's comparisons, and neither
+engine can drift from the frozen history.
+
+If a behavioural change is *intentional*, regenerate the file with::
+
+    PYTHONPATH=src python tests/test_golden_figures.py --regen
+
+after re-checking the relative comparisons (EXPERIMENTS.md shapes / the
+figure benchmarks) still reproduce.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import FIGURES
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.registry import default_suite
+from repro.sim.engine import simulate
+from repro.sim.fastpath import fast_simulate
+
+SCALE = 0.1
+DATA = pathlib.Path(__file__).parent / "data" / "golden_figures.json"
+
+
+def _iter_runs(fig: str):
+    for inst in FIGURES[fig](SCALE):
+        for sched in default_suite():
+            yield inst, sched
+
+
+def _collect(engine: str) -> dict[str, dict[str, float]]:
+    """``{fig: {"algorithm|instance": makespan}}`` under one engine."""
+    out: dict[str, dict[str, float]] = {}
+    for fig in sorted(FIGURES):
+        table: dict[str, float] = {}
+        for inst, sched in _iter_runs(fig):
+            try:
+                plan = sched.plan(inst.platform, inst.grid)
+            except SchedulingError:
+                continue
+            plan.collect_events = False
+            if engine == "fast":
+                res = fast_simulate(inst.platform, plan, inst.grid)
+            else:
+                res = simulate(inst.platform, plan, inst.grid)
+            table[f"{sched.name}|{inst.label}"] = res.makespan
+        out[fig] = table
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with DATA.open() as fh:
+        return json.load(fh)
+
+
+def test_golden_file_shape(golden):
+    assert golden["scale"] == SCALE
+    assert sorted(golden["figures"]) == sorted(FIGURES)
+    total = sum(len(t) for t in golden["figures"].values())
+    assert total >= 200, "golden file lost coverage"
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_both_engines_reproduce_golden_figures(engine, golden):
+    measured = _collect(engine)
+    for fig, table in golden["figures"].items():
+        got = measured[fig]
+        assert sorted(got) == sorted(table), f"{fig}: (algorithm, instance) set changed"
+        for key, expected in table.items():
+            assert got[key] == expected, (
+                f"{engine} engine drifted on {fig} {key}: {got[key]!r} != golden "
+                f"{expected!r}; intentional? regenerate tests/data/golden_figures.json "
+                "after re-checking the figure shapes"
+            )
+
+
+def _regen() -> None:
+    payload = {"scale": SCALE, "figures": _collect("fast")}
+    cross = _collect("reference")
+    assert payload["figures"] == cross, "engines disagree; refusing to freeze"
+    DATA.parent.mkdir(parents=True, exist_ok=True)
+    DATA.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    total = sum(len(t) for t in payload["figures"].values())
+    print(f"froze {total} makespans to {DATA}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,228 @@
+"""The parallel experiment layer and its content-addressed result cache.
+
+Covers the fingerprint/key scheme (what must and must not change a key),
+cache round-trips, serial/parallel/cached equivalence of the experiment
+harness and sweeps, and failure (SchedulingError) propagation through
+worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.experiments.harness import Instance, run_experiment
+from repro.experiments.parallel import (
+    ENGINE_FINGERPRINT,
+    ResultCache,
+    RunTask,
+    fingerprint_grid,
+    fingerprint_platform,
+    resolve_workers,
+    run_tasks,
+    task_key,
+)
+from repro.experiments.sweeps import heterogeneity_sweep, straggler_sweep
+from repro.platform.model import Platform, Worker
+from repro.schedulers.registry import make_scheduler
+
+
+@pytest.fixture
+def tiny_instances(het_platform, hom_platform, small_grid, ragged_grid):
+    return [
+        Instance("het", het_platform, small_grid),
+        Instance("hom", hom_platform, ragged_grid),
+    ]
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+class TestTaskKey:
+    def test_deterministic(self, het_platform, small_grid):
+        s = make_scheduler("Het")
+        assert task_key(s, het_platform, small_grid) == task_key(
+            make_scheduler("Het"), het_platform, small_grid
+        )
+
+    def test_platform_params_change_key(self, het_platform, small_grid):
+        base = task_key(make_scheduler("Hom"), het_platform, small_grid)
+        bumped = Platform(
+            [Worker(w.index, w.c, w.w * 2, w.m) for w in het_platform], name="x"
+        )
+        assert task_key(make_scheduler("Hom"), bumped, small_grid) != base
+
+    def test_names_do_not_change_key(self, small_grid):
+        a = Platform([Worker(0, 1.0, 1.0, 21, name="alpha")], name="A")
+        b = Platform([Worker(0, 1.0, 1.0, 21, name="beta")], name="B")
+        assert fingerprint_platform(a) == fingerprint_platform(b)
+        assert task_key(make_scheduler("Hom"), a, small_grid) == task_key(
+            make_scheduler("Hom"), b, small_grid
+        )
+
+    def test_grid_and_algorithm_change_key(self, het_platform, small_grid, ragged_grid):
+        k1 = task_key(make_scheduler("Hom"), het_platform, small_grid)
+        assert task_key(make_scheduler("Het"), het_platform, small_grid) != k1
+        assert task_key(make_scheduler("Hom"), het_platform, ragged_grid) != k1
+
+    def test_float_exactness(self):
+        g = BlockGrid(r=2, t=2, s=2)
+        a = Platform([Worker(0, 0.1, 1.0, 21)])
+        b = Platform([Worker(0, 0.1 + 1e-18, 1.0, 21)])  # rounds to the same float
+        c = Platform([Worker(0, 0.1 + 1e-16, 1.0, 21)])  # a different float
+        s = make_scheduler("Hom")
+        assert task_key(s, a, g) == task_key(s, b, g)
+        assert task_key(s, a, g) != task_key(s, c, g)
+
+    def test_engine_fingerprint_in_key(self, het_platform, small_grid):
+        # the canonical string must carry the engine version so a semantics
+        # bump invalidates caches
+        assert ENGINE_FINGERPRINT
+        assert fingerprint_grid(small_grid).startswith("r=")
+
+    def test_het_variant_signature(self):
+        from repro.schedulers.heterogeneous import HetScheduler
+        from repro.schedulers.selection import ALL_VARIANTS
+
+        assert HetScheduler().signature == "Het"
+        sub = HetScheduler(ALL_VARIANTS[:2])
+        assert sub.signature != "Het"
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"makespan": 1.5})
+        assert cache.get("ab" + "0" * 62) == {"makespan": 1.5}
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_file_as_cache_root_rejected(self, tmp_path):
+        f = tmp_path / "not-a-dir"
+        f.write_text("")
+        with pytest.raises(ValueError, match="not a directory"):
+            ResultCache(f)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"x": 1})
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_float_roundtrip_exact(self, tmp_path, het_platform, small_grid):
+        res = make_scheduler("Het").run(het_platform, small_grid, collect_events=False)
+        cache = ResultCache(tmp_path)
+        cache.put("ee" + "2" * 62, {"makespan": res.makespan})
+        assert cache.get("ee" + "2" * 62)["makespan"] == res.makespan
+
+
+# ----------------------------------------------------------------------
+# run_tasks / run_experiment
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(False) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(True) >= 1
+        assert resolve_workers("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_run_tasks_order_and_cache(self, tmp_path, het_platform, small_grid, ragged_grid):
+        tasks = [
+            RunTask(make_scheduler("Hom"), het_platform, small_grid),
+            RunTask(make_scheduler("ODDOML"), het_platform, ragged_grid),
+        ]
+        cache = ResultCache(tmp_path)
+        first = run_tasks(tasks, cache=cache)
+        again = run_tasks(tasks, cache=cache)
+        assert first == again
+        assert cache.hits == len(tasks)
+        direct = make_scheduler("Hom").run(het_platform, small_grid, collect_events=False)
+        assert first[0]["makespan"] == direct.makespan
+        assert first[0]["n_enrolled"] == direct.n_enrolled
+
+    def test_parallel_matches_serial(self, tiny_instances):
+        serial = run_experiment("x", tiny_instances)
+        fanned = run_experiment("x", tiny_instances, parallel=2)
+        assert [
+            (m.algorithm, m.instance, m.makespan, m.n_enrolled, m.bound)
+            for m in serial.measurements
+        ] == [
+            (m.algorithm, m.instance, m.makespan, m.n_enrolled, m.bound)
+            for m in fanned.measurements
+        ]
+        assert serial.failures == fanned.failures
+
+    def test_failures_cross_processes(self, small_grid):
+        # one worker without enough memory for any layout
+        starved = Platform([Worker(0, 1.0, 1.0, 2)])
+        inst = [Instance("starved", starved, small_grid)]
+        res = run_experiment("x", inst, parallel=2)
+        assert res.measurements == []
+        assert len(res.failures) > 0
+        for (alg, label), msg in res.failures.items():
+            assert label == "starved" and msg
+
+    def test_failures_are_cached(self, tmp_path, small_grid):
+        starved = Platform([Worker(0, 1.0, 1.0, 2)])
+        inst = [Instance("starved", starved, small_grid)]
+        cache = ResultCache(tmp_path)
+        r1 = run_experiment("x", inst, cache=cache)
+        r2 = run_experiment("x", inst, cache=cache)
+        assert r1.failures == r2.failures
+        assert cache.hits > 0
+
+    def test_cached_experiment_measurements_exact(self, tmp_path, tiny_instances):
+        cache = ResultCache(tmp_path)
+        cold = run_experiment("x", tiny_instances, cache=cache)
+        warm = run_experiment("x", tiny_instances, cache=cache)
+        assert [(m.algorithm, m.instance, m.makespan) for m in cold.measurements] == [
+            (m.algorithm, m.instance, m.makespan) for m in warm.measurements
+        ]
+
+    def test_meta_is_json_safe_in_cache(self, tmp_path, tiny_instances):
+        cache = ResultCache(tmp_path)
+        run_experiment("x", tiny_instances, cache=cache)
+        files = list((tmp_path).glob("*/*.json"))
+        assert files
+        for f in files:
+            json.loads(f.read_text())  # every stored payload is valid JSON
+
+    def test_validate_forces_inprocess_path(self, tiny_instances):
+        # validate needs full traces: parallel/cache are ignored (with a
+        # warning), results equal the plain serial path
+        with pytest.warns(UserWarning, match="ignored"):
+            res = run_experiment("x", tiny_instances, validate=True, parallel=2)
+        ref = run_experiment("x", tiny_instances)
+        assert [(m.algorithm, m.makespan) for m in res.measurements] == [
+            (m.algorithm, m.makespan) for m in ref.measurements
+        ]
+
+
+class TestSweepsParallel:
+    def test_heterogeneity_sweep_parallel_identical(self):
+        a = heterogeneity_sweep((2.0, 4.0), scale=0.1)
+        b = heterogeneity_sweep((2.0, 4.0), scale=0.1, parallel=2)
+        assert [(p.ratio, p.makespans, p.enrollment, p.bound) for p in a.points] == [
+            (p.ratio, p.makespans, p.enrollment, p.bound) for p in b.points
+        ]
+
+    def test_straggler_sweep_cache_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = straggler_sweep((1.0, 4.0), scale=0.1, cache=cache)
+        b = straggler_sweep((1.0, 4.0), scale=0.1, cache=cache)
+        assert [(p.ratio, p.makespans) for p in a.points] == [
+            (p.ratio, p.makespans) for p in b.points
+        ]
+        assert cache.hits > 0
