@@ -23,6 +23,48 @@ def bench_scale() -> float:
 
 
 @pytest.fixture(scope="session")
+def bench_runner() -> dict:
+    """Experiment-runner options from the environment, passed through to
+    ``run_figure``/``run_summary``/the sweeps by every figure benchmark:
+
+    * ``REPRO_BENCH_PARALLEL``: worker-process count (``auto`` = one per
+      core; unset/``0``/``1`` = in-process serial execution);
+    * ``REPRO_BENCH_CACHE``: content-addressed result-cache directory
+      (reruns become lookups);
+    * ``REPRO_BENCH_ENGINE``: ``fast`` (default) / ``reference`` /
+      ``batch`` simulation engine.
+
+    E.g. ``REPRO_BENCH_PARALLEL=auto pytest -m slow`` records multi-core
+    numbers on a multi-core machine.
+    """
+    raw = os.environ.get("REPRO_BENCH_PARALLEL", "").strip()
+    if not raw:
+        parallel = None
+    elif raw == "auto":
+        parallel = "auto"
+    else:
+        try:
+            n = int(raw)
+        except ValueError:
+            n = -1
+        if n < 0:
+            raise pytest.UsageError(
+                f"REPRO_BENCH_PARALLEL must be a non-negative integer or "
+                f"'auto', got {raw!r}"
+            )
+        parallel = n if n >= 2 else None
+    cache = os.environ.get("REPRO_BENCH_CACHE", "").strip() or None
+    engine = os.environ.get("REPRO_BENCH_ENGINE", "").strip() or "fast"
+    from repro.experiments.harness import ENGINES
+
+    if engine not in ENGINES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_ENGINE must be one of {ENGINES}, got {engine!r}"
+        )
+    return {"parallel": parallel, "cache": cache, "engine": engine}
+
+
+@pytest.fixture(scope="session")
 def emit():
     """Print a result table and archive it under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -14,9 +14,9 @@ from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 
 
-def test_fig4_memory_heterogeneous(benchmark, bench_scale, emit):
+def test_fig4_memory_heterogeneous(benchmark, bench_scale, bench_runner, emit):
     result = benchmark.pedantic(
-        lambda: run_figure("fig4", bench_scale), rounds=1, iterations=1
+        lambda: run_figure("fig4", bench_scale, **bench_runner), rounds=1, iterations=1
     )
     text = "\n\n".join(
         [

@@ -15,9 +15,9 @@ from repro.experiments.figures import run_figure
 from repro.experiments.report import format_relative_table, format_summary
 
 
-def test_fig8_real_platform(benchmark, bench_scale, emit):
+def test_fig8_real_platform(benchmark, bench_scale, bench_runner, emit):
     result = benchmark.pedantic(
-        lambda: run_figure("fig8", bench_scale), rounds=1, iterations=1
+        lambda: run_figure("fig8", bench_scale, **bench_runner), rounds=1, iterations=1
     )
     enrollment = {
         (m.algorithm, m.instance): m.n_enrolled for m in result.measurements

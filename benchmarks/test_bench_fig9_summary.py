@@ -15,9 +15,9 @@ from repro.experiments.figures import run_summary
 from repro.experiments.report import format_fig9
 
 
-def test_fig9_summary(benchmark, bench_scale, emit):
+def test_fig9_summary(benchmark, bench_scale, bench_runner, emit):
     result = benchmark.pedantic(
-        lambda: run_summary(bench_scale), rounds=1, iterations=1
+        lambda: run_summary(bench_scale, **bench_runner), rounds=1, iterations=1
     )
     text = f"[fig9] scale={bench_scale}\n\n" + format_fig9(result)
     emit("fig9_summary", text)

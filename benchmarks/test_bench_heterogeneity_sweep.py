@@ -15,10 +15,10 @@ from repro.experiments.sweeps import heterogeneity_sweep
 RATIOS = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
-def test_heterogeneity_sweep(benchmark, bench_scale, emit):
+def test_heterogeneity_sweep(benchmark, bench_scale, bench_runner, emit):
     scale = min(bench_scale, 0.5)  # the sweep runs 7 ratios x 7 algorithms
     sweep = benchmark.pedantic(
-        lambda: heterogeneity_sweep(RATIOS, scale=scale), rounds=1, iterations=1
+        lambda: heterogeneity_sweep(RATIOS, scale=scale, **bench_runner), rounds=1, iterations=1
     )
     text = (
         f"Heterogeneity sweep (fully-het platforms, scale {scale}; relative cost, "

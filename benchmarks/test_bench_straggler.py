@@ -21,10 +21,10 @@ from repro.experiments.sweeps import straggler_sweep
 SLOWDOWNS = (1.0, 2.0, 4.0, 8.0, 16.0)
 
 
-def test_straggler_sweep(benchmark, bench_scale, emit):
+def test_straggler_sweep(benchmark, bench_scale, bench_runner, emit):
     scale = min(bench_scale, 0.5)
     sweep = benchmark.pedantic(
-        lambda: straggler_sweep(SLOWDOWNS, scale=scale), rounds=1, iterations=1
+        lambda: straggler_sweep(SLOWDOWNS, scale=scale, **bench_runner), rounds=1, iterations=1
     )
     text = (
         f"Straggler sweep (one of 8 workers slowed; scale {scale}; relative cost, "

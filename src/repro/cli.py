@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="content-addressed result cache directory (reruns become lookups)",
         )
+        p.add_argument(
+            "--engine",
+            default="fast",
+            choices=("reference", "fast", "batch"),
+            help="simulation engine: per-run event engine, per-run flat-array "
+            "fast path (default), or one vectorized batch over all plans -- "
+            "makespans are bit-identical across all three",
+        )
 
     p_fig = sub.add_parser("figure", help="run one paper figure")
     p_fig.add_argument("fig", choices=sorted(FIGURES))
@@ -96,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--save", default=None, metavar="FILE", help="write the result as JSON")
     p_run.add_argument(
         "--platform-file", default=None, metavar="FILE", help="load the platform from JSON"
+    )
+    p_run.add_argument(
+        "--engine",
+        default="reference",
+        choices=("reference", "fast", "batch"),
+        help="simulation engine; 'reference' (default) keeps the full event "
+        "trace for --gantt and the breakdown report, the others skip traces",
     )
 
     p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
@@ -128,6 +143,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         validate=args.validate,
         parallel=args.parallel,
         cache=args.cache,
+        engine=args.engine,
     )
     print(format_relative_table(res, "cost"))
     print()
@@ -144,6 +160,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         figures=figures,
         parallel=args.parallel,
         cache=args.cache,
+        engine=args.engine,
     )
     print(format_fig9(res))
     return 0
@@ -163,7 +180,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         r=args.r or base.r, t=args.t or base.t, s=args.s or base.s, q=base.q
     )
     sched = make_scheduler(args.algorithm)
-    res = sched.run(platform, grid)
+    if args.engine == "reference":
+        res = sched.run(platform, grid)
+    else:
+        plan = sched.plan(platform, grid)
+        plan.collect_events = False
+        if args.engine == "fast":
+            from .sim.fastpath import fast_simulate
+
+            res = fast_simulate(platform, plan, grid)
+        else:
+            from .sim.batch import batch_outcomes
+
+            # force=True: a single run is below MIN_VECTOR_BATCH, but the
+            # flag promises the vectorized engine
+            outcome = batch_outcomes([(platform, plan)], force=True)[0]
+            res = outcome.to_sim_result(platform, plan, grid)
+        res.meta.setdefault("algorithm", sched.name)
     print(platform.describe())
     print(f"\ngrid: {grid}\nalgorithm: {sched.name}\n")
     print(res.summary())
@@ -171,12 +204,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("worker compute utilization: " + ", ".join(f"P{w + 1}:{u:.0%}" for w, u in util.items()))
     if res.meta.get("variant"):
         print(f"selection variant: {res.meta['variant']}")
-    from .sim.analysis import analyze
+    if res.port_events:
+        from .sim.analysis import analyze
 
-    print("\n" + analyze(res).report())
-    if args.gantt:
-        print()
-        print(gantt_ascii(res, width=100))
+        print("\n" + analyze(res).report())
+        if args.gantt:
+            print()
+            print(gantt_ascii(res, width=100))
+    elif args.gantt:
+        print("\n(--gantt needs the event trace; rerun with --engine reference)")
     if args.save:
         from .utils.persist import save_result
 
@@ -194,6 +230,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         parallel=args.parallel,
         cache=args.cache,
+        engine=args.engine,
     )
     print(
         f"relative cost vs heterogeneity ratio (fully-het platforms, scale {args.scale})"

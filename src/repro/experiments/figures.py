@@ -120,20 +120,28 @@ def run_figure(
     validate: bool = False,
     parallel=None,
     cache=None,
+    engine: str = "fast",
 ) -> ExperimentResult:
     """Run one paper figure end to end.
 
-    ``parallel`` and ``cache`` are forwarded to
+    ``parallel``, ``cache`` and ``engine`` are forwarded to
     :func:`~repro.experiments.harness.run_experiment`, so a figure's
-    (algorithm, instance) runs can fan out across cores and reuse
-    content-addressed results from earlier invocations.
+    (algorithm, instance) runs can fan out across cores, reuse
+    content-addressed results from earlier invocations, or simulate as one
+    vectorized batch (``engine="batch"``).
     """
     try:
         factory = FIGURES[fig]
     except KeyError:
         raise KeyError(f"unknown figure {fig!r}; known: {sorted(FIGURES)}") from None
     return run_experiment(
-        fig, factory(scale), schedulers, validate=validate, parallel=parallel, cache=cache
+        fig,
+        factory(scale),
+        schedulers,
+        validate=validate,
+        parallel=parallel,
+        cache=cache,
+        engine=engine,
     )
 
 
@@ -144,12 +152,13 @@ def run_summary(
     *,
     parallel=None,
     cache=None,
+    engine: str = "fast",
 ) -> ExperimentResult:
     """Figure 9: union of all experiments (relative metrics recomputed over
     the merged instance set)."""
     merged: ExperimentResult | None = None
     for fig in figures:
-        res = run_figure(fig, scale, schedulers, parallel=parallel, cache=cache)
+        res = run_figure(fig, scale, schedulers, parallel=parallel, cache=cache, engine=engine)
         merged = res if merged is None else merged.merged_with(res, name="fig9")
     assert merged is not None
     merged.name = "fig9"

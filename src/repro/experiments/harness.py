@@ -18,7 +18,7 @@ from ..sim.validate import validate_result
 from ..theory.steady_state import makespan_lower_bound
 from .metrics import Measurement, relative_table, summarize_relative
 
-__all__ = ["Instance", "ExperimentResult", "run_experiment"]
+__all__ = ["Instance", "ExperimentResult", "run_experiment", "evaluate_runs", "ENGINES"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,9 @@ class ExperimentResult:
         return merged
 
 
+ENGINES = ("fast", "reference", "batch")
+
+
 def run_experiment(
     name: str,
     instances: Sequence[Instance],
@@ -88,6 +91,7 @@ def run_experiment(
     collect_events: bool = False,
     parallel=None,
     cache=None,
+    engine: str = "fast",
 ) -> ExperimentResult:
     """Run ``schedulers`` (default: the paper's seven) on every instance.
 
@@ -96,14 +100,24 @@ def run_experiment(
     experiment.  With ``validate`` the full trace is collected and audited
     against the one-port/memory/dependency invariants.
 
+    ``engine`` selects how plans are simulated: ``"fast"`` (default) runs
+    each plan on the scalar fast path, ``"reference"`` on the event engine,
+    and ``"batch"`` compiles every plan first and simulates the whole
+    experiment in one vectorized :func:`~repro.sim.batch.batch_outcomes`
+    submission -- all three produce bit-identical makespans (the golden
+    wall pins this).  ``validate``/``collect_events`` need full traces and
+    force the reference engine.
+
     ``parallel`` fans the (algorithm, instance) runs out across worker
     processes (see :func:`repro.experiments.parallel.resolve_workers` for
     accepted values) and ``cache`` (a path or
     :class:`~repro.experiments.parallel.ResultCache`) skips runs whose
     content-addressed result is already stored.  Both require the eventless
     fast path, so they are ignored when ``validate`` or ``collect_events``
-    asks for full traces.
+    asks for full traces or another ``engine`` is selected.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     scheds = list(schedulers) if schedulers is not None else default_suite()
     result = ExperimentResult(
         name=name,
@@ -112,17 +126,26 @@ def run_experiment(
     )
     bounds = {inst.label: makespan_lower_bound(inst.platform, inst.grid) for inst in instances}
 
-    if (parallel is not None or cache is not None) and (validate or collect_events):
+    full_traces = validate or collect_events
+    if (parallel is not None or cache is not None) and (full_traces or engine != "fast"):
         import warnings
 
         warnings.warn(
-            "parallel=/cache= are ignored when validate or collect_events is "
+            "parallel=/cache= are ignored when validate/collect_events or a "
+            "non-default engine is set: they fan out the per-run fast path",
+            stacklevel=2,
+        )
+    if engine != "fast" and full_traces:
+        import warnings
+
+        warnings.warn(
+            f"engine={engine!r} is ignored when validate/collect_events is "
             "set: full traces require the in-process reference engine",
             stacklevel=2,
         )
-    use_runner = (parallel is not None or cache is not None) and not (
-        validate or collect_events
-    )
+    if engine != "fast" and not full_traces:
+        return _run_with_engine(result, instances, scheds, bounds, engine)
+    use_runner = (parallel is not None or cache is not None) and not full_traces
     if use_runner:
         from .parallel import RunTask, run_tasks
 
@@ -170,4 +193,81 @@ def run_experiment(
                     meta=dict(sim.meta),
                 )
             )
+    return result
+
+
+def _plan_all(
+    result: ExperimentResult, instances: Sequence[Instance], scheds: Sequence[Scheduler]
+):
+    """Compile every (algorithm, instance) plan, recording failures and
+    per-plan wall-clock planning time."""
+    import time
+
+    pairs, runs, plannings = [], [], []
+    for inst in instances:
+        for sched in scheds:
+            t0 = time.perf_counter()
+            try:
+                plan = sched.plan(inst.platform, inst.grid)
+            except SchedulingError as exc:
+                result.failures[(sched.name, inst.label)] = str(exc)
+                continue
+            plannings.append(time.perf_counter() - t0)
+            plan.collect_events = False
+            pairs.append((sched, inst))
+            runs.append((inst.platform, plan))
+    return pairs, runs, plannings
+
+
+def evaluate_runs(runs, engine: str) -> list[tuple[float, int, dict]]:
+    """Simulate pre-compiled ``(platform, plan)`` runs under an explicit
+    engine, returning ``(makespan, n_enrolled, meta)`` per run (traces off;
+    allocator plans are consumed).
+
+    The single place where the engine vocabulary maps to simulation calls:
+    ``"batch"`` submits all runs to one vectorized
+    :func:`~repro.sim.batch.batch_outcomes` call, the others simulate per
+    run.  All engines are bit-identical per run.
+    """
+    if engine == "batch":
+        from ..sim.batch import batch_outcomes
+
+        return [(o.makespan, o.n_enrolled, o.meta) for o in batch_outcomes(runs)]
+    if engine == "reference":
+        from ..sim.engine import simulate as run_one
+    elif engine == "fast":
+        from ..sim.fastpath import fast_simulate as run_one
+    else:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    sims = [run_one(platform, plan) for platform, plan in runs]
+    return [(sim.makespan, sim.n_enrolled, sim.meta) for sim in sims]
+
+
+def _run_with_engine(
+    result: ExperimentResult,
+    instances: Sequence[Instance],
+    scheds: Sequence[Scheduler],
+    bounds: dict[str, float],
+    engine: str,
+) -> ExperimentResult:
+    """Plan serially, then simulate under an explicitly chosen engine
+    (``engine="fast"`` in `run_experiment` goes through ``Scheduler.run``
+    in the main loop instead)."""
+    pairs, runs, plannings = _plan_all(result, instances, scheds)
+    for (sched, inst), (makespan, n_enrolled, run_meta), planning in zip(
+        pairs, evaluate_runs(runs, engine), plannings
+    ):
+        meta = dict(run_meta)
+        meta.setdefault("algorithm", sched.name)
+        meta["planning_seconds"] = planning
+        result.measurements.append(
+            Measurement(
+                algorithm=sched.name,
+                instance=inst.label,
+                makespan=makespan,
+                n_enrolled=n_enrolled,
+                bound=bounds[inst.label],
+                meta=meta,
+            )
+        )
     return result

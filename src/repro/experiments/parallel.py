@@ -131,15 +131,50 @@ def _execute_task(task: RunTask) -> dict:
 
 
 class ResultCache:
-    """Content-addressed store of task payloads under a root directory."""
+    """Content-addressed store of task payloads under a root directory,
+    with size-capped LRU eviction.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``max_entries`` / ``max_bytes`` bound the store (``None`` = unbounded);
+    the defaults keep a long-lived service's cache from growing without
+    limit while being far above what a full figure suite needs.  Recency is
+    tracked through file mtimes -- a hit touches the file -- so eviction
+    order survives across processes and restarts; eviction is best-effort
+    under concurrency (a racing reader of an evicted key simply re-runs the
+    task, exactly like any miss).
+    """
+
+    #: Default entry cap (payloads are a few hundred bytes each; a full
+    #: figure suite stores a few hundred entries).
+    DEFAULT_MAX_ENTRIES = 100_000
+    #: Default size cap in bytes.
+    DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        max_entries: int | None = DEFAULT_MAX_ENTRIES,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+    ) -> None:
         self.root = Path(root)
         if self.root.exists() and not self.root.is_dir():
             raise ValueError(f"cache path {self.root} exists and is not a directory")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # in-process estimates: the first capped put scans once to baseline
+        # against pre-existing entries, later puts update incrementally and
+        # only trigger the authoritative scan inside _evict when the caps
+        # are actually approached
+        self._count: int | None = None
+        self._bytes = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -153,6 +188,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # mark recency for LRU eviction
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -161,8 +200,95 @@ class ResultCache:
         # unique tmp per writer, atomically renamed: concurrent writers of
         # the same key each publish a complete file, last one wins
         tmp = path.with_name(f"{path.name}.{os.getpid()}.{id(self):x}.tmp")
-        tmp.write_text(json.dumps(payload))
+        text = json.dumps(payload)
+        tmp.write_text(text)
+        try:
+            replaced = path.stat().st_size  # overwriting an existing key
+        except OSError:
+            replaced = None
         os.replace(tmp, path)
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        if self._count is None:
+            # first capped put: establish the baseline with one scan (a
+            # pre-existing store may already be near the caps)
+            entries = self._entries()
+            self._count = len(entries)
+            self._bytes = sum(size for _mtime, size, _path in entries)
+        elif replaced is None:
+            self._count += 1
+            self._bytes += len(text)
+        else:
+            self._bytes += len(text) - replaced
+        if (self.max_entries is not None and self._count > self.max_entries) or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            self._evict(keep=path)
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every stored payload, oldest first."""
+        out = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, st.st_size, path))
+        out.sort()
+        return out
+
+    def _evict(self, keep: Path) -> None:
+        """Drop least-recently-used entries down to ~10% below the caps (the
+        just-written ``keep`` survives even if it is the oldest).
+
+        The slack is the low-water mark: trimming to exactly the cap would
+        leave a full cache re-scanning the whole store on every subsequent
+        put; trimming a batch below it amortizes one scan over the next
+        ~cap/10 insertions.
+        """
+        self._sweep_stale_tmp()
+        entries = self._entries()
+        count = len(entries)
+        total = sum(size for _mtime, size, _path in entries)
+        target_entries = (
+            None if self.max_entries is None else self.max_entries - self.max_entries // 10
+        )
+        target_bytes = (
+            None if self.max_bytes is None else self.max_bytes - self.max_bytes // 10
+        )
+        for _mtime, size, path in entries:
+            if (target_entries is None or count <= target_entries) and (
+                target_bytes is None or total <= target_bytes
+            ):
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            self.evictions += 1
+        self._count = count
+        self._bytes = total
+
+    #: A ``.tmp`` file older than this is an orphan from a killed writer
+    #: (live writers hold theirs for milliseconds) and is swept by _evict.
+    STALE_TMP_SECONDS = 300.0
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove tmp files orphaned by killed writers; without this they
+        would silently accumulate outside the size caps."""
+        import time
+
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -77,13 +77,31 @@ def _measure_points(
     algorithms: Sequence[str],
     parallel,
     cache,
+    engine: str = "fast",
 ) -> list[SweepPoint]:
     """Shared sweep core: run every algorithm on every (ratio, platform)
     point.  With ``parallel``/``cache`` the whole sweep becomes one flat
     task list through :func:`repro.experiments.parallel.run_tasks`, so a
     multi-ratio sweep saturates the worker pool instead of fanning out one
-    point at a time."""
+    point at a time.  ``engine="batch"`` instead compiles every plan first
+    and simulates the whole sweep in one vectorized submission
+    (``"reference"`` selects the event engine; all engines produce
+    bit-identical makespans)."""
+    from .harness import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     points: list[SweepPoint] = []
+    if engine != "fast":
+        if parallel is not None or cache is not None:
+            import warnings
+
+            warnings.warn(
+                "parallel=/cache= are ignored when a non-default engine is "
+                "set: they fan out the per-run fast path",
+                stacklevel=3,
+            )
+        return _measure_points_engine(labelled_platforms, grid, algorithms, engine)
     if parallel is not None or cache is not None:
         from .parallel import RunTask, run_tasks
 
@@ -137,6 +155,47 @@ def _measure_points(
     return points
 
 
+def _plan_sweep(labelled_platforms, grid, algorithms):
+    """Compile every (point, algorithm) plan; infeasible combinations are
+    skipped exactly like the serial path's SchedulingError handling."""
+    keys, runs = [], []
+    for ratio, plat in labelled_platforms:
+        for name in algorithms:
+            try:
+                plan = make_scheduler(name).plan(plat, grid)
+            except SchedulingError:
+                continue
+            plan.collect_events = False
+            keys.append((ratio, plat, name))
+            runs.append((plat, plan))
+    return keys, runs
+
+
+def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
+    by_point: dict[int, tuple[dict, dict]] = {}
+    for (ratio, plat, name), (makespan, n_enrolled) in zip(keys, values):
+        makespans, enrollment = by_point.setdefault(id(plat), ({}, {}))
+        makespans[name] = makespan
+        enrollment[name] = n_enrolled
+    return [
+        SweepPoint(
+            ratio=ratio,
+            makespans=by_point.get(id(plat), ({}, {}))[0],
+            enrollment=by_point.get(id(plat), ({}, {}))[1],
+            bound=makespan_lower_bound(plat, grid),
+        )
+        for ratio, plat in labelled_platforms
+    ]
+
+
+def _measure_points_engine(labelled_platforms, grid, algorithms, engine) -> list[SweepPoint]:
+    from .harness import evaluate_runs
+
+    keys, runs = _plan_sweep(labelled_platforms, grid, algorithms)
+    values = [(m, n) for m, n, _meta in evaluate_runs(runs, engine)]
+    return _points_from(labelled_platforms, grid, keys, values)
+
+
 def heterogeneity_sweep(
     ratios: Sequence[float] = (1.01, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
     *,
@@ -145,6 +204,7 @@ def heterogeneity_sweep(
     s_elements: int = 80_000,
     parallel=None,
     cache=None,
+    engine: str = "fast",
 ) -> HeterogeneitySweep:
     """Run every algorithm over fully heterogeneous platforms whose
     large/small parameter ratio sweeps over ``ratios``."""
@@ -156,7 +216,7 @@ def heterogeneity_sweep(
         if scale != 1.0:
             plat = scale_platform(plat, scale)
         labelled.append((ratio, plat))
-    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache))
+    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache, engine))
     return sweep
 
 
@@ -169,6 +229,7 @@ def straggler_sweep(
     s_elements: int = 80_000,
     parallel=None,
     cache=None,
+    engine: str = "fast",
 ) -> HeterogeneitySweep:
     """Degrade one worker of an otherwise homogeneous platform by a growing
     compute slowdown and watch who copes.
@@ -195,5 +256,5 @@ def straggler_sweep(
             for i in range(p)
         ]
         labelled.append((slowdown, Platform(workers, name=f"straggler-x{slowdown:g}")))
-    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache))
+    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache, engine))
     return sweep

@@ -23,6 +23,14 @@ homogeneous platform:
 Each virtual platform is evaluated by simulating the homogeneous algorithm
 on it; the best one wins and the schedule is then executed on the *real*
 (heterogeneous) workers.
+
+The threshold search is the planning bottleneck at paper scale, so it is
+bulk-evaluated: candidate triples are first *deduplicated* by their
+simulation signature ``(n, mu, c, w)`` -- the virtual makespan depends on
+nothing else -- keeping the first occurrence (which is also the one
+``min()`` would select among equals), and the surviving candidates are
+scored in one :func:`~repro.sim.batch.batch_simulate` call instead of a
+Python loop of individual simulations.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from ..core.blocks import BlockGrid, ceil_div
 from ..core.chunks import Chunk, make_chunk
 from ..core.layout import overlapped_mu
 from ..platform.model import Platform
-from ..sim.fastpath import fast_simulate
+from ..sim.batch import batch_simulate
 from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
 from .base import Scheduler, SchedulingError
@@ -114,33 +122,63 @@ class _VirtualChoice:
     n_workers: int
 
 
-def _evaluate_virtual(
-    platform: Platform, grid: BlockGrid, enrolled: list[int], c: float, w: float, m: int
-) -> _VirtualChoice | None:
-    """Estimate the homogeneous algorithm's makespan on the virtual platform
-    made of ``len(enrolled)`` workers of apparent parameters ``(c, w, m)``."""
-    try:
-        mu = overlapped_mu(m)
-    except ValueError:
-        return None
-    n = homogeneous_worker_count(len(enrolled), mu, c, w)
-    virtual = Platform.homogeneous(n, c, w, m, name="virtual")
-    plan = homogeneous_plan(
-        grid, n_workers=n, mu=mu, enrolled=list(range(n)), total_workers=n
-    )
-    plan.collect_events = False
-    res = fast_simulate(virtual, plan, grid)
-    # rank candidate real workers: fastest compute, then fastest link
-    ranked = sorted(enrolled, key=lambda i: (platform[i].w, platform[i].c, i))
-    return _VirtualChoice(
-        enrolled=tuple(ranked[:n]),
-        c=c,
-        w=w,
-        m=m,
-        estimate=res.makespan,
-        mu=mu,
-        n_workers=n,
-    )
+def _evaluate_candidates(
+    platform: Platform,
+    grid: BlockGrid,
+    thresholds: list[tuple[list[int], float, float, int]],
+) -> list[_VirtualChoice]:
+    """Bulk-evaluate threshold candidates ``(enrolled, c, w, m)``.
+
+    Candidates are deduplicated by their simulation signature
+    ``(n, mu, c, w)`` -- the virtual platform's makespan depends on nothing
+    else -- keeping the *first* occurrence, which is exactly the candidate
+    ``min()`` would retain among equal estimates, so the selected schedule
+    is unchanged.  The survivors are scored in one batch.
+    """
+    specs: list[tuple[list[int], float, float, int, int, int]] = []
+    seen: set[tuple[int, int, float, float]] = set()
+    for enrolled, c_app, w_app, m_thr in thresholds:
+        try:
+            mu = overlapped_mu(m_thr)
+        except ValueError:
+            continue
+        n = homogeneous_worker_count(len(enrolled), mu, c_app, w_app)
+        key = (n, mu, c_app, w_app)
+        if key in seen:
+            continue
+        seen.add(key)
+        specs.append((enrolled, c_app, w_app, m_thr, n, mu))
+    runs = []
+    plan_cache: dict[tuple[int, int], Plan] = {}
+    for _enrolled, c_app, w_app, m_thr, n, mu in specs:
+        virtual = Platform.homogeneous(n, c_app, w_app, m_thr, name="virtual")
+        # the scoring plan depends only on (n, mu): share one read-only
+        # plan object across candidates that differ only in (c, w, m)
+        plan = plan_cache.get((n, mu))
+        if plan is None:
+            plan = homogeneous_plan(
+                grid, n_workers=n, mu=mu, enrolled=list(range(n)), total_workers=n
+            )
+            plan.collect_events = False
+            plan_cache[(n, mu)] = plan
+        runs.append((virtual, plan))
+    estimates = batch_simulate(runs)
+    out = []
+    for (enrolled, c_app, w_app, m_thr, n, mu), est in zip(specs, estimates):
+        # rank candidate real workers: fastest compute, then fastest link
+        ranked = sorted(enrolled, key=lambda i: (platform[i].w, platform[i].c, i))
+        out.append(
+            _VirtualChoice(
+                enrolled=tuple(ranked[:n]),
+                c=c_app,
+                w=w_app,
+                m=m_thr,
+                estimate=float(est),
+                mu=mu,
+                n_workers=n,
+            )
+        )
+    return out
 
 
 class HomScheduler(Scheduler):
@@ -148,16 +186,17 @@ class HomScheduler(Scheduler):
 
     name = "Hom"
 
-    def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
+    def _thresholds(self, platform: Platform) -> list[tuple[list[int], float, float, int]]:
         out = []
         for m_thr in sorted(set(platform.ms)):
             enrolled = [i for i in range(platform.p) if platform[i].m >= m_thr]
             c_app = max(platform[i].c for i in enrolled)
             w_app = max(platform[i].w for i in enrolled)
-            choice = _evaluate_virtual(platform, grid, enrolled, c_app, w_app, m_thr)
-            if choice is not None:
-                out.append(choice)
+            out.append((enrolled, c_app, w_app, m_thr))
         return out
+
+    def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
+        return _evaluate_candidates(platform, grid, self._thresholds(platform))
 
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
         candidates = self._candidates(platform, grid)
@@ -187,9 +226,8 @@ class HomIScheduler(HomScheduler):
 
     name = "HomI"
 
-    def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
+    def _thresholds(self, platform: Platform) -> list[tuple[list[int], float, float, int]]:
         out = []
-        seen: set[tuple[tuple[int, ...], float, float, int]] = set()
         for m_thr in sorted(set(platform.ms)):
             for c_thr in sorted(set(platform.cs)):
                 for w_thr in sorted(set(platform.ws)):
@@ -200,13 +238,6 @@ class HomIScheduler(HomScheduler):
                         and platform[i].c <= c_thr
                         and platform[i].w <= w_thr
                     ]
-                    if not enrolled:
-                        continue
-                    key = (tuple(enrolled), c_thr, w_thr, m_thr)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    choice = _evaluate_virtual(platform, grid, enrolled, c_thr, w_thr, m_thr)
-                    if choice is not None:
-                        out.append(choice)
+                    if enrolled:
+                        out.append((enrolled, c_thr, w_thr, m_thr))
         return out

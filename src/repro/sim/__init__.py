@@ -1,14 +1,17 @@
 """One-port discrete-event simulation of star master-worker platforms."""
 
 from .allocator import Allocator, PanelDemandAllocator
+from .batch import BatchEngine, BatchOutcome, batch_outcomes, batch_simulate, supports_batch
 from .engine import Engine, SimResult, WorkerStats, simulate
 from .fastpath import FastEngine, fast_simulate, supports_fast_path
 from .plan import Plan
 from .policies import (
+    PolicyKeySpec,
     PortPolicy,
     ReadyPolicy,
     StrictOrderPolicy,
     demand_priority,
+    resolve_key_spec,
     selection_order_priority,
 )
 from .trace import compute_records, gantt_ascii, port_records, worker_utilization
@@ -25,11 +28,18 @@ __all__ = [
     "FastEngine",
     "fast_simulate",
     "supports_fast_path",
+    "BatchEngine",
+    "BatchOutcome",
+    "batch_outcomes",
+    "batch_simulate",
+    "supports_batch",
     "Plan",
+    "PolicyKeySpec",
     "PortPolicy",
     "ReadyPolicy",
     "StrictOrderPolicy",
     "demand_priority",
+    "resolve_key_spec",
     "selection_order_priority",
     "compute_records",
     "gantt_ascii",

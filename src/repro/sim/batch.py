@@ -1,0 +1,764 @@
+"""Batch simulation: numpy-vectorized replay of many plans at once.
+
+The planning layer evaluates *populations* of candidate schedules: HomI
+scores every deduplicated ``(n, mu, c, w)`` virtual platform, Het scores
+its eight selection variants, the experiment harness and the sweeps score
+every ``(algorithm, instance)`` pair.  Each candidate is an independent
+one-port simulation, and the per-worker recurrence is a scan -- so a whole
+batch can be replayed as one set of numpy array programs: every Python-level
+loop iteration advances *all* instances by one port message instead of one.
+
+The vectorization rests on a separation the scalar engines blur: almost
+everything about a simulation is *timing-independent*.  Which message is
+posted at global step ``t`` (for strict orders), its block count and
+pre-multiplied port/compute cost, which ring slot a round's compute end
+lands in, the warm-up rounds whose legal start is 0, and every integer
+statistic (blocks in/out, updates, chunk counts) are all functions of the
+plan alone and are compiled into dense ``(steps, B)`` arrays up front.
+Only the float recurrence -- ``start = max(port_free, legal)``, ``end =
+start + cost``, ``compute_end = max(end, compute_free) + work`` -- runs in
+the stepping loop, over one flat state vector ``S`` holding each
+(instance, worker)'s ``[c_return_end, compute_end, compute_busy,
+ring[0..depth)]`` slots.  A step is ~15 numpy calls regardless of batch
+width.
+
+Per-instance results are **bit-identical** to
+:func:`~repro.sim.fastpath.fast_simulate`: costs are pre-multiplied with
+the same Python-float arithmetic the scalar engines perform per message,
+every IEEE-754 add/sub/max happens in the same per-instance order, and
+ready-policy ties resolve through the same lexicographic ``(effective
+start, PolicyKeySpec fields)`` comparison.  ``tests/test_batch_equivalence
+.py`` and the golden-figure wall pin this.
+
+Two replay modes cover the batchable plans:
+
+* **strict order** (:class:`~repro.sim.policies.StrictOrderPolicy`): the
+  step -> message mapping is compiled, so a step is row slices + one
+  state gather/scatter;
+* **ready** (:class:`~repro.sim.policies.ReadyPolicy` with a declarative
+  :class:`~repro.sim.policies.PolicyKeySpec`): per-worker head keys are
+  cached in ``(B, P)`` arrays and each step performs one vectorized
+  lexicographic argmin across the worker axis of every instance at once.
+
+Plans with dynamic allocators or opaque priority functions are not
+batchable; :func:`batch_simulate` runs them through ``fast_simulate``
+individually (which itself falls back to the reference engine when
+needed), so the API accepts *any* plan list.  Small compatible groups are
+also routed through the scalar fast path -- below
+:data:`MIN_VECTOR_BATCH` instances the per-step numpy dispatch overhead
+beats the vectorization win -- and instances are bucketed by message
+count so one long run cannot pin a mostly-drained batch.
+
+For searches whose candidates share a leading message sequence,
+:meth:`BatchEngine.shared_prefix` simulates the common prefix once on a
+single instance and broadcasts the resulting state across the batch; the
+:meth:`~BatchEngine.checkpoint` / :meth:`~BatchEngine.restore` pair
+snapshots a partially-run batch so alternative continuations can be
+replayed from the same frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.chunks import Chunk
+from ..platform.model import Platform
+from .engine import WorkerStats
+from .fastpath import fast_simulate
+from .plan import Plan
+from .policies import ReadyPolicy, StrictOrderPolicy, resolve_key_spec
+from .worker_state import CMode
+
+__all__ = [
+    "BatchEngine",
+    "BatchOutcome",
+    "batch_outcomes",
+    "batch_simulate",
+    "supports_batch",
+    "MIN_VECTOR_BATCH",
+]
+
+#: Below this many compatible instances :func:`batch_simulate` replays the
+#: group through the scalar fast path instead of vectorizing (bit-identical
+#: either way; pass ``force=True`` to vectorize regardless).
+MIN_VECTOR_BATCH = 24
+
+#: Within one vectorized bucket, instances span at most this message-count
+#: ratio; a new bucket starts below it.  Keeps the active set dense so the
+#: per-step cost is paid over many live instances.
+_BUCKET_RATIO = 2.0
+
+# message kind codes
+_K_C_SEND, _K_ROUND, _K_C_RETURN = 1, 2, 3
+
+
+def supports_batch(plan: Plan) -> bool:
+    """Whether :class:`BatchEngine` can replay ``plan`` (else
+    :func:`batch_simulate` falls back to the scalar fast path for it)."""
+    return _batch_mode(plan) is not None
+
+
+def _batch_mode(plan: Plan):
+    """Grouping key: ``"strict"``, ``("ready", fields)`` or ``None``."""
+    if plan.allocator is not None:
+        return None
+    policy = plan.policy
+    if isinstance(policy, StrictOrderPolicy):
+        return "strict"
+    if isinstance(policy, ReadyPolicy):
+        spec = resolve_key_spec(policy.priority)
+        if spec is not None:
+            return ("ready", spec.fields)
+    return None
+
+
+def _plan_steps(plan: Plan) -> int:
+    """Port messages a plan will post (timing-independent)."""
+    extra = (1 if plan.c_mode is not CMode.NONE else 0) + (
+        1 if plan.c_mode is CMode.BOTH else 0
+    )
+    return sum(
+        len(ch.rounds) + extra for chunks in plan.assignments for ch in chunks
+    )
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Per-instance result of a batch run (the eventless subset of
+    :class:`~repro.sim.engine.SimResult`)."""
+
+    makespan: float
+    port_busy: float
+    blocks_through_port: int
+    total_updates: int
+    worker_stats: tuple[WorkerStats, ...]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def enrolled(self) -> list[int]:
+        return [st.worker for st in self.worker_stats if st.enrolled]
+
+    @property
+    def n_enrolled(self) -> int:
+        return len(self.enrolled)
+
+    def to_sim_result(self, platform: Platform, plan: Plan, grid=None) -> "SimResult":
+        """Widen into an eventless :class:`~repro.sim.engine.SimResult`
+        (chunks in engine installation order; traces empty)."""
+        from .engine import SimResult
+
+        return SimResult(
+            makespan=self.makespan,
+            platform=platform,
+            grid=grid,
+            worker_stats=self.worker_stats,
+            port_busy=self.port_busy,
+            total_updates=self.total_updates,
+            blocks_through_port=self.blocks_through_port,
+            chunks=tuple(ch for chunks in plan.assignments for ch in chunks),
+            meta=dict(self.meta),
+        )
+
+
+class BatchEngine:
+    """Vectorized one-port simulator over ``B`` compatible instances.
+
+    All plans must share one replay mode (all strict-order, or all ready
+    with the same :class:`~repro.sim.policies.PolicyKeySpec`);
+    :func:`batch_simulate` groups arbitrary run lists into compatible
+    engines automatically.
+    """
+
+    def __init__(self, runs: Sequence[tuple[Platform, Plan]]) -> None:
+        if not runs:
+            raise ValueError("need at least one (platform, plan) run")
+        modes = {_batch_mode(plan) for _platform, plan in runs}
+        if None in modes:
+            raise TypeError(
+                "BatchEngine cannot interpret some plans (dynamic allocator "
+                "or opaque ready priority); use batch_simulate, which falls "
+                "back to the scalar fast path for them"
+            )
+        if len(modes) > 1:
+            raise TypeError(
+                f"mixed replay modes in one batch: {sorted(map(str, modes))}; "
+                "group runs with batch_simulate instead"
+            )
+        (mode,) = modes
+        self._strict = mode == "strict"
+        self._key_fields: tuple[str, ...] = () if self._strict else mode[1]
+        self._tmpl_cache: dict[tuple, tuple] = {}
+        self._compile(runs)
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _chunk_template(self, chunk: Chunk, c_mode: CMode) -> tuple:
+        """Worker-independent per-message arrays for one chunk shape:
+        ``(kind, nblocks, updates)`` plus the rounds tuple (kept alive so
+        the ``id()`` cache key stays valid).
+
+        Cached per (round structure, C-block count, C mode): thousands of
+        chunks share one memoized rounds tuple.  Worker-dependent costs are
+        scaled from these with one vectorized multiply per stream --
+        IEEE-754 identical to the scalar engines' per-message
+        ``nblocks * c`` / ``updates * w``.
+        """
+        key = (id(chunk.rounds), chunk.h, chunk.w, c_mode)
+        cached = self._tmpl_cache.get(key)
+        if cached is not None:
+            return cached
+        kinds, nbs, upds = [], [], []
+        cb = chunk.c_blocks
+        if c_mode is not CMode.NONE:
+            kinds.append(_K_C_SEND)
+            nbs.append(cb)
+            upds.append(0)
+        for rd in chunk.rounds:
+            kinds.append(_K_ROUND)
+            nbs.append(rd.a_blocks + rd.b_blocks)
+            upds.append(rd.updates)
+        if c_mode is CMode.BOTH:
+            kinds.append(_K_C_RETURN)
+            nbs.append(cb)
+            upds.append(0)
+        tmpl = (
+            np.array(kinds, dtype=np.int8),
+            np.array(nbs, dtype=np.int64),
+            np.array(upds, dtype=np.int64),
+            chunk.rounds,
+        )
+        self._tmpl_cache[key] = tmpl
+        return tmpl
+
+    def _compile(self, runs: Sequence[tuple[Platform, Plan]]) -> None:
+        lengths = np.array([_plan_steps(plan) for _pf, plan in runs], dtype=np.int64)
+        # sort instances by descending step count: the active set at step t
+        # is then always the leading rows [0:n_act), so per-instance state
+        # lives in cheap basic slices.
+        perm = np.argsort(-lengths, kind="stable")
+        self._perm = perm
+        self._runs = [runs[i] for i in perm]
+        self._lengths = lengths[perm]
+        self._len_asc = self._lengths[::-1].copy()
+
+        B = len(self._runs)
+        P = max(platform.p for platform, _plan in self._runs)
+        self._B, self._P = B, P
+        total_msgs = int(lengths.sum())
+
+        # flat per-message stream arrays, one segment per (instance, worker)
+        f_kind = np.zeros(total_msgs, dtype=np.int8)
+        f_nb = np.zeros(total_msgs, dtype=np.int64)
+        f_comm = np.zeros(total_msgs, dtype=np.float64)
+        f_comp = np.zeros(total_msgs, dtype=np.float64)
+        f_upd = np.zeros(total_msgs, dtype=np.int64)
+        f_cid = np.zeros(total_msgs, dtype=np.int64)
+        f_legal = np.zeros(total_msgs, dtype=np.int64)  # index into S (0 = frozen 0.0)
+        f_ring = np.zeros(total_msgs, dtype=np.int64)  # ring slot (rounds only)
+        base = np.zeros((B, P), dtype=np.int64)
+        end = np.zeros((B, P), dtype=np.int64)
+        seg = np.zeros((B, P), dtype=np.int64)  # state-segment base per (b, w)
+        depth_arr = np.ones((B, P), dtype=np.int64)
+
+        # timing-independent per-instance statistics
+        self._stat_blocks_in = np.zeros((B, P), dtype=np.int64)
+        self._stat_blocks_out = np.zeros((B, P), dtype=np.int64)
+        self._stat_updates = np.zeros((B, P), dtype=np.int64)
+        self._stat_chunks = np.zeros((B, P), dtype=np.int64)
+
+        # state vector S: S[0] is a frozen 0.0 (warm-up legal starts); each
+        # (b, w) then owns [c_return_end, compute_end, compute_busy,
+        # ring[0..depth)].
+        s_size = 1
+        pos = 0
+        for b, (platform, plan) in enumerate(self._runs):
+            for w in range(platform.p):
+                worker = platform[w]
+                depth = plan.depths[w]
+                if depth < 1:
+                    raise ValueError("prefetch depth must be >= 1")
+                depth_arr[b, w] = depth
+                seg[b, w] = s_size
+                s_size += 3 + depth
+                base[b, w] = pos
+                chunks = plan.assignments[w]
+                self._stat_chunks[b, w] = len(chunks)
+                if not chunks:
+                    end[b, w] = pos
+                    continue
+                tmpls = [self._chunk_template(ch, plan.c_mode) for ch in chunks]
+                kind = np.concatenate([t[0] for t in tmpls])
+                nb = np.concatenate([t[1] for t in tmpls])
+                upd = np.concatenate([t[2] for t in tmpls])
+                n = kind.size
+                sl = slice(pos, pos + n)
+                f_kind[sl] = kind
+                f_nb[sl] = nb
+                # one vectorized multiply per stream == the scalar engines'
+                # per-message `nblocks * c` / `updates * w` (IEEE-identical)
+                f_comm[sl] = nb * worker.c
+                f_comp[sl] = upd * worker.w
+                f_upd[sl] = upd
+                f_cid[sl] = np.repeat(
+                    np.fromiter((ch.cid for ch in chunks), np.int64, len(chunks)),
+                    np.fromiter((t[0].size for t in tmpls), np.int64, len(tmpls)),
+                )
+                pos += n
+                end[b, w] = pos
+                # legal-start sources and ring slots, vectorized per stream
+                is_round = kind == _K_ROUND
+                g = np.cumsum(is_round) - 1  # global round index per worker
+                slot = seg[b, w] + 3 + (g % depth)
+                f_ring[sl] = slot
+                f_legal[sl] = np.where(
+                    kind == _K_C_SEND,
+                    seg[b, w],
+                    np.where(
+                        kind == _K_C_RETURN,
+                        seg[b, w] + 1,
+                        np.where(g < depth, 0, slot),
+                    ),
+                )
+                # timing-independent statistics
+                blocks_out = nb[kind == _K_C_RETURN].sum()
+                self._stat_blocks_out[b, w] = blocks_out
+                self._stat_blocks_in[b, w] = nb.sum() - blocks_out
+                self._stat_updates[b, w] = upd.sum()
+        assert pos == total_msgs
+        self._flat = (f_kind, f_nb, f_comm, f_comp, f_upd, f_cid, f_legal, f_ring)
+        self._base, self._end, self._seg, self._depth = base, end, seg, depth_arr
+
+        # mutable state
+        self._S = np.zeros(s_size, dtype=np.float64)
+        self._port_free = np.zeros(B, dtype=np.float64)
+        self._port_busy = np.zeros(B, dtype=np.float64)
+        self._rows = np.arange(B, dtype=np.int64)
+
+        if self._strict:
+            self._compile_strict()
+        else:
+            self._compile_ready()
+
+    def _compile_strict(self) -> None:
+        """Dense ``(T, B)`` per-step attribute arrays: row ``t`` holds the
+        message every instance posts at global step ``t`` (padding beyond an
+        instance's length is never read -- rows are sorted by length)."""
+        B = self._B
+        T = int(self._lengths[0]) if B else 0
+        f_kind, _f_nb, f_comm, f_comp, _f_upd, _f_cid, f_legal, f_ring = self._flat
+        # filled as (B, T) -- contiguous row writes per instance -- then
+        # transposed once so each step reads a contiguous row
+        d_legal = np.zeros((B, T), dtype=np.int64)
+        d_ce = np.zeros((B, T), dtype=np.int64)  # compute-end slot (seg + 1)
+        d_ring = np.zeros((B, T), dtype=np.int64)
+        d_comm = np.zeros((B, T), dtype=np.float64)
+        d_comp = np.zeros((B, T), dtype=np.float64)
+        d_round = np.zeros((B, T), dtype=bool)
+        d_cret = np.zeros((B, T), dtype=bool)
+        order_chunks: list[np.ndarray] = []
+        order_base = np.zeros(B, dtype=np.int64)
+        pos = 0
+        for b, (platform, plan) in enumerate(self._runs):
+            order = np.asarray(plan.policy.order, dtype=np.int64)
+            p = platform.p
+            if order.size and (order.min() < 0 or order.max() >= p):
+                raise ValueError("strict order names a worker outside the platform")
+            counts = np.bincount(order, minlength=p)
+            stream_lens = self._end[b, :p] - self._base[b, :p]
+            if not np.array_equal(counts, stream_lens):
+                raise RuntimeError(
+                    "strict order and pipelines disagree: per-worker "
+                    f"occurrence counts {counts.tolist()} vs message counts "
+                    f"{stream_lens.tolist()}"
+                )
+            n = order.size
+            order_base[b] = pos
+            order_chunks.append(order)
+            pos += n
+            if not n:
+                continue
+            # occurrence rank of each step among its worker's appearances
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            sort = np.argsort(order, kind="stable")
+            occ = np.empty(n, dtype=np.int64)
+            occ[sort] = np.arange(n) - np.repeat(starts, counts)
+            mp = self._base[b, order] + occ
+            kind = f_kind[mp]
+            d_legal[b, :n] = f_legal[mp]
+            d_ce[b, :n] = self._seg[b, order] + 1
+            d_ring[b, :n] = f_ring[mp]
+            d_comm[b, :n] = f_comm[mp]
+            d_comp[b, :n] = f_comp[mp]
+            d_round[b, :n] = kind == _K_ROUND
+            d_cret[b, :n] = kind == _K_C_RETURN
+        self._d_legal = np.ascontiguousarray(d_legal.T)
+        self._d_ce = np.ascontiguousarray(d_ce.T)
+        self._d_ring = np.ascontiguousarray(d_ring.T)
+        self._d_comm = np.ascontiguousarray(d_comm.T)
+        self._d_comp = np.ascontiguousarray(d_comp.T)
+        self._d_round = np.ascontiguousarray(d_round.T)
+        self._d_cret = np.ascontiguousarray(d_cret.T)
+        self._order_flat = (
+            np.concatenate(order_chunks) if order_chunks else np.zeros(0, np.int64)
+        )
+        self._order_base = order_base
+        self._has_round = self._d_round.any(axis=1).tolist()
+        self._has_cret = self._d_cret.any(axis=1).tolist()
+
+    def _compile_ready(self) -> None:
+        f_kind, _f_nb, _f_comm, _f_comp, _f_upd, f_cid, f_legal, _f_ring = self._flat
+        self._ptr = self._base.copy()
+        live = self._ptr < self._end
+        # cached head keys for the vectorized argmin; cids as float64 so
+        # drained workers mask with +inf (cids are exact below 2**53)
+        self._head_legal = np.where(live, 0.0, np.inf)
+        self._head_cid = np.full((self._B, self._P), np.inf)
+        if live.any():
+            self._head_cid[live] = f_cid[self._ptr[live]]
+        self._wk_range = np.arange(self._P, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    @property
+    def total_steps(self) -> int:
+        """Max per-instance message count (= Python loop iterations)."""
+        return int(self._lengths[0]) if self._B else 0
+
+    @property
+    def done(self) -> bool:
+        return self._t >= self.total_steps
+
+    def _n_active(self) -> int:
+        return self._B - int(np.searchsorted(self._len_asc, self._t, side="right"))
+
+    def run(self, max_steps: int | None = None) -> "BatchEngine":
+        """Advance every live instance by up to ``max_steps`` port messages
+        (default: to completion)."""
+        limit = (
+            self.total_steps
+            if max_steps is None
+            else min(self.total_steps, self._t + max_steps)
+        )
+        step = self._step_strict if self._strict else self._step_ready
+        while self._t < limit:
+            step(self._n_active())
+            self._t += 1
+        return self
+
+    def _step_strict(self, n_act: int) -> None:
+        t = self._t
+        S = self._S
+        legal = S[self._d_legal[t, :n_act]]
+        start = np.maximum(self._port_free[:n_act], legal)
+        end = start + self._d_comm[t, :n_act]
+        self._port_free[:n_act] = end
+        self._port_busy[:n_act] += end - start
+        if self._has_round[t]:
+            rm = self._d_round[t, :n_act]
+            cei = self._d_ce[t, :n_act][rm]
+            cs = np.maximum(end[rm], S[cei])
+            ce = cs + self._d_comp[t, :n_act][rm]
+            S[self._d_ring[t, :n_act][rm]] = ce
+            S[cei] = ce
+            S[cei + 1] += ce - cs  # compute_busy (indices unique per step)
+        if self._has_cret[t]:
+            cm = self._d_cret[t, :n_act]
+            S[self._d_ce[t, :n_act][cm] - 1] = end[cm]
+
+    def _step_ready(self, n_act: int) -> None:
+        S = self._S
+        rows = self._rows[:n_act]
+        head_legal = self._head_legal[:n_act]
+        eff = np.maximum(self._port_free[:n_act, None], head_legal)
+        sel = eff == eff.min(axis=1, keepdims=True)
+        for f in self._key_fields:
+            if f == "head_cid":
+                vals = self._head_cid[:n_act]
+            elif f == "legal_start":
+                vals = head_legal
+            else:  # worker_index
+                vals = self._wk_range
+            v = np.where(sel, vals, np.inf)
+            sel = v == v.min(axis=1, keepdims=True)
+        w = sel.argmax(axis=1)
+
+        f_kind, _f_nb, f_comm, f_comp, _f_upd, f_cid, f_legal, f_ring = self._flat
+        idx = (rows, w)
+        mp = self._ptr[idx]
+        legal = head_legal[rows, w]
+        start = np.maximum(self._port_free[:n_act], legal)
+        end = start + f_comm[mp]
+        self._port_free[:n_act] = end
+        self._port_busy[:n_act] += end - start
+        kind = f_kind[mp]
+        rm = kind == _K_ROUND
+        if rm.any():
+            cei = self._seg[rows[rm], w[rm]] + 1
+            cs = np.maximum(end[rm], S[cei])
+            ce = cs + f_comp[mp[rm]]
+            S[f_ring[mp[rm]]] = ce
+            S[cei] = ce
+            S[cei + 1] += ce - cs
+        cm = kind == _K_C_RETURN
+        if cm.any():
+            S[self._seg[rows[cm], w[cm]]] = end[cm]
+        nxt = mp + 1
+        self._ptr[idx] = nxt
+        live = nxt < self._end[idx]
+        safe = np.minimum(nxt, len(f_kind) - 1)
+        self._head_legal[idx] = np.where(live, S[f_legal[safe]], np.inf)
+        self._head_cid[idx] = np.where(live, f_cid[safe].astype(np.float64), np.inf)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> tuple:
+        """Snapshot the batch state (O(B*P*depth)); :meth:`restore` replays
+        alternative continuations from the same frontier."""
+        extra = (
+            ()
+            if self._strict
+            else (self._ptr.copy(), self._head_legal.copy(), self._head_cid.copy())
+        )
+        return (self._t, self._S.copy(), self._port_free.copy(), self._port_busy.copy(), extra)
+
+    def restore(self, token: tuple) -> None:
+        self._t, S, pf, pb, extra = token
+        np.copyto(self._S, S)
+        np.copyto(self._port_free, pf)
+        np.copyto(self._port_busy, pb)
+        if not self._strict:
+            ptr, hl, hc = extra
+            np.copyto(self._ptr, ptr)
+            np.copyto(self._head_legal, hl)
+            np.copyto(self._head_cid, hc)
+
+    # ------------------------------------------------------------------
+    # shared-prefix construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def shared_prefix(
+        cls, runs: Sequence[tuple[Platform, Plan]], prefix_steps: int
+    ) -> "BatchEngine":
+        """Build a batch whose instances all share their first
+        ``prefix_steps`` port messages, simulating the prefix only once.
+
+        The prefix is replayed on a single-instance engine and its state is
+        broadcast across the batch -- bit-identical to running it ``B``
+        times, at 1/B of the cost.  Only strict-order plans are supported
+        (a ready policy's order is not known ahead of time), and the prefix
+        really must be shared: per-instance orders, the touched message
+        streams and their prefetch depths are verified to match.
+        """
+        full = cls(runs)
+        if not full._strict:
+            raise TypeError("shared_prefix requires strict-order plans")
+        if prefix_steps <= 0:
+            return full
+        if prefix_steps > int(full._lengths.min()):
+            raise ValueError("prefix_steps exceeds the shortest instance")
+        full._verify_shared_prefix(prefix_steps)
+
+        sub = cls([full._runs[0]])
+        sub.run(max_steps=prefix_steps)
+        # broadcast the prefix state: per-instance scalars, then each
+        # touched worker's S segment (c_return_end, compute_end,
+        # compute_busy, ring slots); untouched workers stay all-zero in
+        # every instance, exactly as in the sub engine
+        full._port_free[:] = sub._port_free[0]
+        full._port_busy[:] = sub._port_busy[0]
+        ob = full._order_base
+        prefix = full._order_flat[ob[0] : ob[0] + prefix_steps]
+        for w in np.unique(prefix):
+            width = 3 + int(sub._depth[0, w])
+            src = sub._S[sub._seg[0, w] : sub._seg[0, w] + width]
+            dst_idx = full._seg[:, w, None] + np.arange(width)
+            full._S[dst_idx] = src
+        full._t = prefix_steps
+        return full
+
+    def _verify_shared_prefix(self, prefix_steps: int) -> None:
+        f_kind, _f_nb, f_comm, f_comp, _u, _c, _l, _r = self._flat
+        ob = self._order_base
+        ref = self._order_flat[ob[0] : ob[0] + prefix_steps]
+        for b in range(1, self._B):
+            if not np.array_equal(self._order_flat[ob[b] : ob[b] + prefix_steps], ref):
+                raise ValueError(f"instance {b} does not share the order prefix")
+        counts = np.bincount(ref, minlength=self._P)
+        for w in np.nonzero(counts)[0]:
+            n = int(counts[w])
+            s0 = self._base[0, w]
+            ref_k = f_kind[s0 : s0 + n]
+            ref_cm = f_comm[s0 : s0 + n]
+            ref_cp = f_comp[s0 : s0 + n]
+            for b in range(1, self._B):
+                sb = self._base[b, w]
+                if n > self._end[b, w] - sb:
+                    raise ValueError(f"instance {b} worker {w} has too few messages")
+                if self._depth[b, w] != self._depth[0, w]:
+                    raise ValueError(f"instance {b} worker {w} differs in prefetch depth")
+                if not (
+                    np.array_equal(f_kind[sb : sb + n], ref_k)
+                    and np.array_equal(f_comm[sb : sb + n], ref_cm)
+                    and np.array_equal(f_comp[sb : sb + n], ref_cp)
+                ):
+                    raise ValueError(
+                        f"instance {b} worker {w} does not share the message prefix"
+                    )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _sorted_makespans(self) -> np.ndarray:
+        # final port_free is the last comm end (it is nondecreasing); each
+        # worker's compute_end slot holds its last compute end -- the
+        # makespan is their maximum, exactly FastEngine's running last_end
+        out = self._port_free.copy()
+        for b, (platform, _plan) in enumerate(self._runs):
+            p = platform.p
+            if p:
+                ce = self._S[self._seg[b, :p] + 1]
+                out[b] = max(out[b], ce.max())
+        return out
+
+    def makespans(self) -> np.ndarray:
+        """Per-instance makespans, in the original run order (the batch
+        must be fully run)."""
+        if not self.done:
+            raise RuntimeError(f"batch stopped at step {self._t}/{self.total_steps}")
+        out = np.empty(self._B, dtype=np.float64)
+        out[self._perm] = self._sorted_makespans()
+        return out
+
+    def outcomes(self) -> list[BatchOutcome]:
+        """Per-instance :class:`BatchOutcome` records, in original order."""
+        if not self.done:
+            raise RuntimeError(f"batch stopped at step {self._t}/{self.total_steps}")
+        makespans = self._sorted_makespans()
+        out: list[BatchOutcome | None] = [None] * self._B
+        for b, (platform, plan) in enumerate(self._runs):
+            stats = []
+            for w in range(platform.p):
+                s = self._seg[b, w]
+                stats.append(
+                    WorkerStats(
+                        worker=w,
+                        chunks=int(self._stat_chunks[b, w]),
+                        blocks_in=int(self._stat_blocks_in[b, w]),
+                        blocks_out=int(self._stat_blocks_out[b, w]),
+                        updates=int(self._stat_updates[b, w]),
+                        compute_busy=float(self._S[s + 2]),
+                        finish=float(max(self._S[s], self._S[s + 1])),
+                    )
+                )
+            out[self._perm[b]] = BatchOutcome(
+                makespan=float(makespans[b]),
+                port_busy=float(self._port_busy[b]),
+                blocks_through_port=int(
+                    self._stat_blocks_in[b].sum() + self._stat_blocks_out[b].sum()
+                ),
+                total_updates=int(self._stat_updates[b].sum()),
+                worker_stats=tuple(stats),
+                meta=dict(plan.meta),
+            )
+        return out  # type: ignore[return-value]
+
+
+def _fallback_outcome(platform: Platform, plan: Plan) -> BatchOutcome:
+    res = fast_simulate(platform, plan)
+    return BatchOutcome(
+        makespan=res.makespan,
+        port_busy=res.port_busy,
+        blocks_through_port=res.blocks_through_port,
+        total_updates=res.total_updates,
+        worker_stats=res.worker_stats,
+        meta=dict(res.meta),
+    )
+
+
+def _buckets(indices: list[int], steps: list[int]) -> list[list[int]]:
+    """Partition (already length-sorted, descending) run indices so one
+    bucket spans at most a :data:`_BUCKET_RATIO` message-count range."""
+    out: list[list[int]] = []
+    cur: list[int] = []
+    head = 0
+    for i in indices:
+        if not cur or steps[i] * _BUCKET_RATIO >= head:
+            if not cur:
+                head = steps[i]
+            cur.append(i)
+        else:
+            out.append(cur)
+            cur, head = [i], steps[i]
+    if cur:
+        out.append(cur)
+    return out
+
+
+def batch_outcomes(
+    runs: Sequence[tuple[Platform, Plan]],
+    *,
+    force: bool = False,
+    min_batch: int = MIN_VECTOR_BATCH,
+) -> list[BatchOutcome]:
+    """Simulate every ``(platform, plan)`` run, vectorizing compatible
+    groups, and return per-run outcomes in input order.
+
+    Runs are grouped by replay mode (strict order / ready key spec) and
+    bucketed by message count; each group large enough to amortize the
+    numpy per-step dispatch (>= ``min_batch``, or any size with
+    ``force=True``) runs on :class:`BatchEngine` instances, the rest --
+    including plans the batch layer cannot interpret at all -- go through
+    the scalar fast path.  Results are bit-identical either way.
+    """
+    steps = [_plan_steps(plan) for _pf, plan in runs]
+    groups: dict[Any, list[int]] = {}
+    for i, (_platform, plan) in enumerate(runs):
+        groups.setdefault(_batch_mode(plan), []).append(i)
+    out: list[BatchOutcome | None] = [None] * len(runs)
+    for mode, indices in groups.items():
+        if mode is None:
+            for i in indices:
+                out[i] = _fallback_outcome(*runs[i])
+            continue
+        indices.sort(key=lambda i: -steps[i])
+        for bucket in _buckets(indices, steps):
+            # the gate applies per bucket: only groups that are both large
+            # enough and length-balanced amortize the per-step dispatch --
+            # a skewed group's tiny tail buckets stay on the scalar path
+            if not force and len(bucket) < min_batch:
+                for i in bucket:
+                    out[i] = _fallback_outcome(*runs[i])
+                continue
+            engine = BatchEngine([runs[i] for i in bucket]).run()
+            for i, outcome in zip(bucket, engine.outcomes()):
+                out[i] = outcome
+    return out  # type: ignore[return-value]
+
+
+def batch_simulate(
+    runs: Sequence[tuple[Platform, Plan]],
+    *,
+    force: bool = False,
+    min_batch: int = MIN_VECTOR_BATCH,
+) -> np.ndarray:
+    """Makespan of every ``(platform, plan)`` run, in input order.
+
+    The bulk-evaluation entry point of the planning layer: one call
+    replaces a Python loop of :func:`~repro.sim.fastpath.fast_simulate`
+    calls with grouped vectorized replays (see :func:`batch_outcomes` for
+    grouping and fallback rules).  Per-instance makespans are bit-identical
+    to the scalar engines.
+    """
+    if not len(runs):
+        return np.zeros(0, dtype=np.float64)
+    return np.array(
+        [o.makespan for o in batch_outcomes(runs, force=force, min_batch=min_batch)],
+        dtype=np.float64,
+    )

@@ -17,9 +17,9 @@ scalar arrays:
   refreshed only when that worker posts or receives a chunk -- a port
   decision is a tight scan over ``p`` floats;
 * the known policies (:class:`StrictOrderPolicy`, :class:`ReadyPolicy`
-  with the registry priority functions) and the
-  :class:`PanelDemandAllocator` are interpreted directly; anything else
-  falls back to the reference engine.
+  with a declarative :class:`~repro.sim.policies.PolicyKeySpec` priority)
+  and the :class:`PanelDemandAllocator` are interpreted directly; anything
+  else falls back to the reference engine.
 
 Every floating-point operation is performed in exactly the order of the
 reference engine, so makespans, per-worker statistics and port busy time
@@ -47,7 +47,13 @@ from .allocator import PanelDemandAllocator
 from .engine import SimResult, WorkerStats
 from .engine import simulate as _reference_simulate
 from .plan import Plan
-from .policies import PortPolicy, ReadyPolicy, StrictOrderPolicy
+from .policies import (
+    PolicyKeySpec,
+    PortPolicy,
+    ReadyPolicy,
+    StrictOrderPolicy,
+    resolve_key_spec,
+)
 from .worker_state import CMode
 
 __all__ = ["FastEngine", "fast_simulate", "supports_fast_path"]
@@ -430,14 +436,14 @@ class FastEngine:
             else:
                 self._run_strict_alloc(policy.order, allocator)
         elif isinstance(policy, ReadyPolicy):
-            fast_key = getattr(policy.priority, "fast_key", None)
-            if fast_key not in ("cid", "legal"):
+            spec = resolve_key_spec(policy.priority)
+            if spec is None:
                 raise TypeError(
                     "FastEngine cannot interpret this ReadyPolicy priority "
-                    f"(fast_key={fast_key!r}); use fast_simulate, which falls "
+                    "(no PolicyKeySpec); use fast_simulate, which falls "
                     "back to the reference engine"
                 )
-            self._run_ready(allocator, fast_key == "cid")
+            self._run_ready(allocator, spec)
         else:
             raise TypeError(
                 f"FastEngine cannot interpret policy {type(policy).__name__}; "
@@ -560,10 +566,26 @@ class FastEngine:
             self.post_next(widx)
         self._refill(allocator)
 
-    def _run_ready(self, allocator: PanelDemandAllocator | None, by_cid: bool) -> None:
-        # Serve pending workers by (effective start, priority); ascending
+    def _run_ready(self, allocator: PanelDemandAllocator | None, spec: PolicyKeySpec) -> None:
+        # Serve pending workers by (effective start, spec fields); ascending
         # index scan with strict improvement reproduces the reference
-        # tuple-comparison tie-breaking exactly.
+        # tuple-comparison tie-breaking exactly (including the implicit
+        # lowest-worker-index tie-break).
+        fields = spec.fields
+        single = (
+            fields[0] in ("head_cid", "legal_start")
+            and (len(fields) == 1 or (len(fields) == 2 and fields[1] == "worker_index"))
+        )
+        if single:
+            self._run_ready_single(allocator, by_cid=fields[0] == "head_cid")
+        else:
+            self._run_ready_generic(allocator, fields)
+
+    def _run_ready_single(
+        self, allocator: PanelDemandAllocator | None, *, by_cid: bool
+    ) -> None:
+        # Specialization for the two registry specs: one scalar key, no
+        # tuple allocation per candidate.
         kinds = self._head_stage_kind
         legals = self._head_legal
         cids = self._head_cid
@@ -589,6 +611,42 @@ class FastEngine:
                 break
             self.post_next(best)
 
+    def _run_ready_generic(
+        self, allocator: PanelDemandAllocator | None, fields: tuple[str, ...]
+    ) -> None:
+        kinds = self._head_stage_kind
+        legals = self._head_legal
+        cids = self._head_cid
+        p = self._p
+
+        def key_of(i: int) -> tuple:
+            return tuple(
+                cids[i] if f == "head_cid" else legals[i] if f == "legal_start" else i
+                for f in fields
+            )
+
+        while True:
+            if allocator is not None:
+                self._refill(allocator)
+            best = -1
+            best_eff = 0.0
+            best_key: tuple = ()
+            port_free = self.port_free
+            for i in range(p):
+                if kinds[i] == self._K_NONE:
+                    continue
+                legal = legals[i]
+                eff = port_free if port_free > legal else legal
+                if best < 0 or eff < best_eff:
+                    best, best_eff, best_key = i, eff, key_of(i)
+                elif eff == best_eff:
+                    key = key_of(i)
+                    if key < best_key:
+                        best, best_eff, best_key = i, eff, key
+            if best < 0:
+                break
+            self.post_next(best)
+
 
 def supports_fast_path(plan: Plan) -> bool:
     """Whether :func:`fast_simulate` can replay ``plan`` natively (else it
@@ -597,7 +655,7 @@ def supports_fast_path(plan: Plan) -> bool:
     if isinstance(policy, StrictOrderPolicy):
         policy_ok = True
     elif isinstance(policy, ReadyPolicy):
-        policy_ok = getattr(policy.priority, "fast_key", None) in ("cid", "legal")
+        policy_ok = resolve_key_spec(policy.priority) is not None
     else:
         policy_ok = False
     allocator_ok = plan.allocator is None or type(plan.allocator) is PanelDemandAllocator

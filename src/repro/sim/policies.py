@@ -10,14 +10,26 @@ algorithms:
   Algorithm 1 and the phase-1 selection simulation of Section 5.
 
 * :class:`ReadyPolicy` -- serve, among receivable messages, the one ranked
-  first by a priority function; used by the heterogeneous execution
-  (priority = selection order) and by the demand-driven heuristics
-  (priority = how long the worker has been able to receive).
+  first by a priority; used by the heterogeneous execution (priority =
+  selection order) and by the demand-driven heuristics (priority = how long
+  the worker has been able to receive).
+
+Ready priorities are *declarative*: a :class:`PolicyKeySpec` names a
+lexicographic tuple of per-worker fields (lower is served first) drawn from
+a small vocabulary (:data:`POLICY_KEY_FIELDS`).  Because the spec is data,
+every engine -- the reference event engine, the flat-array fast path
+(:mod:`repro.sim.fastpath`) and the vectorized batch engine
+(:mod:`repro.sim.batch`) -- interprets it directly over its own state
+layout instead of calling back into Python per candidate.  Arbitrary
+priority *functions* are still accepted, but only the reference engine can
+run them (the others fall back to it).
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from .engine import Engine
@@ -26,6 +38,9 @@ __all__ = [
     "PortPolicy",
     "StrictOrderPolicy",
     "ReadyPolicy",
+    "PolicyKeySpec",
+    "POLICY_KEY_FIELDS",
+    "resolve_key_spec",
     "selection_order_priority",
     "demand_priority",
 ]
@@ -74,43 +89,112 @@ class StrictOrderPolicy(PortPolicy):
         return StrictOrderPolicy(self.order)
 
 
+# ----------------------------------------------------------------------
+# declarative ready-priority key specs
+# ----------------------------------------------------------------------
+
+#: Vocabulary of per-worker fields a :class:`PolicyKeySpec` may name.  Each
+#: maps to a reference-engine getter; the fast path and the batch engine
+#: interpret the same names over their own arrays.
+POLICY_KEY_FIELDS: dict[str, Callable[[Engine, int], float | int]] = {
+    # chunk id of the worker's head message (chunk ids are allocated in
+    # selection order, so this is "earliest-selected first")
+    "head_cid": lambda engine, widx: engine.head(widx).chunk.cid,
+    # earliest legal start of the head message ("ready to receive the
+    # longest" when minimized)
+    "legal_start": lambda engine, widx: engine.legal_start(widx),
+    # the worker's index (the universal final tie-break)
+    "worker_index": lambda engine, widx: widx,
+}
+
+
+@dataclass(frozen=True)
+class PolicyKeySpec:
+    """Declarative ready priority: a lexicographic tuple of per-worker
+    fields; *lower* keys are served first.
+
+    The spec is plain data, so every engine interprets it natively (no
+    Python callback per candidate).  It is also callable with the legacy
+    ``(engine, widx) -> tuple`` priority-function signature, so existing
+    code holding :data:`selection_order_priority` / :data:`demand_priority`
+    keeps working unchanged.
+    """
+
+    fields: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("a key spec needs at least one field")
+        unknown = [f for f in self.fields if f not in POLICY_KEY_FIELDS]
+        if unknown:
+            raise ValueError(
+                f"unknown key field(s) {unknown}; known: {sorted(POLICY_KEY_FIELDS)}"
+            )
+
+    def __call__(self, engine: Engine, widx: int) -> tuple:
+        """Evaluate the key on the reference engine (legacy PriorityFn
+        signature)."""
+        return tuple(POLICY_KEY_FIELDS[f](engine, widx) for f in self.fields)
+
+
+#: Serve the earliest-selected chunk first (heterogeneous execution: chunk
+#: ids are allocated in selection order), ties to the lowest worker index.
+selection_order_priority = PolicyKeySpec(("head_cid", "worker_index"))
+
+#: Serve the worker that has been ready to receive the longest
+#: (demand-driven heuristics: "the first worker which can receive it").
+demand_priority = PolicyKeySpec(("legal_start", "worker_index"))
+
+
 #: Priority functions return a sortable key; *lower* is served first.
+#: (Legacy form -- prefer a :class:`PolicyKeySpec`.)
 PriorityFn = Callable[[Engine, int], tuple]
 
-
-def selection_order_priority(engine: Engine, widx: int) -> tuple:
-    """Serve the earliest-selected chunk first (heterogeneous execution:
-    chunk ids are allocated in selection order)."""
-    msg = engine.head(widx)
-    assert msg is not None
-    return (msg.chunk.cid, widx)
-
-
-def demand_priority(engine: Engine, widx: int) -> tuple:
-    """Serve the worker that has been ready to receive the longest
-    (demand-driven heuristics: 'the first worker which can receive it')."""
-    return (engine.legal_start(widx), widx)
+#: Legacy ``fast_key`` marker values and their spec equivalents.  Before
+#: PolicyKeySpec existed, the fast path recognized the two registry
+#: priorities by a ``fast_key`` attribute ("cid" / "legal") monkey-patched
+#: onto the functions; third-party priorities carrying that marker are
+#: still honoured, with a deprecation warning.
+_LEGACY_FAST_KEYS: dict[str, PolicyKeySpec] = {
+    "cid": selection_order_priority,
+    "legal": demand_priority,
+}
 
 
-# The fast path (repro.sim.fastpath) replays ReadyPolicy without building
-# HeadMsg objects; it recognizes the two registry priorities by this marker
-# ("cid" = head chunk id, "legal" = head legal start, each tie-broken by
-# worker index).  Custom priority functions without a marker fall back to
-# the reference engine.
-selection_order_priority.fast_key = "cid"  # type: ignore[attr-defined]
-demand_priority.fast_key = "legal"  # type: ignore[attr-defined]
+def resolve_key_spec(priority) -> PolicyKeySpec | None:
+    """The :class:`PolicyKeySpec` a ready priority declares, or ``None``.
+
+    ``None`` means the priority is an opaque function that only the
+    reference engine can evaluate.  Legacy ``fast_key``-marked functions
+    resolve to the equivalent spec (deprecated).
+    """
+    if isinstance(priority, PolicyKeySpec):
+        return priority
+    fast_key = getattr(priority, "fast_key", None)
+    if fast_key in _LEGACY_FAST_KEYS:
+        warnings.warn(
+            "the fast_key marker-pair convention is deprecated; declare the "
+            "priority as a PolicyKeySpec (e.g. PolicyKeySpec(('head_cid', "
+            "'worker_index'))) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LEGACY_FAST_KEYS[fast_key]
+    return None
 
 
 class ReadyPolicy(PortPolicy):
     """Serve pending workers ordered by ``(effective start, priority)``.
 
     The effective start is ``max(port_free, legal_start)``: among messages
-    receivable at the earliest possible moment, the priority function breaks
-    ties; when nothing is receivable now, the port jumps to the earliest
-    legal start.
+    receivable at the earliest possible moment, the priority breaks ties;
+    when nothing is receivable now, the port jumps to the earliest legal
+    start.  ``priority`` is a :class:`PolicyKeySpec` (interpretable by all
+    engines) or a legacy ``(engine, widx) -> tuple`` function (reference
+    engine only).
     """
 
-    def __init__(self, priority: PriorityFn) -> None:
+    def __init__(self, priority: "PolicyKeySpec | PriorityFn") -> None:
         self.priority = priority
 
     def next_choice(self, engine: Engine) -> int | None:

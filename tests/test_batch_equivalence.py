@@ -1,0 +1,435 @@
+"""Equivalence wall: the batch engine must be bit-identical per instance.
+
+``batch_simulate`` replays whole populations of plans as numpy array
+programs; these tests pin its contract against both scalar engines -- same
+makespan, same port busy time, same per-worker statistics -- across
+
+* every scheduler in the registry, with all (algorithm, instance) plans of
+  several instances submitted as ONE ragged batch (mixed worker counts,
+  chunk counts, strict and ready policies, and allocator plans that must
+  fall back to the scalar path),
+* property-generated (platform, grid) instances,
+* hand-built plans covering every ``CMode``, prefetch depths 1..3, and the
+  ``PolicyKeySpec`` interpretations of ``selection_order_priority`` and
+  ``demand_priority`` (plus a generic multi-field spec),
+* the checkpoint/restore and shared-prefix batch APIs.
+
+Equality is exact (``==`` on floats, not approx): the batch engine performs
+the same IEEE-754 operations in the same per-instance order, so any drift
+is a bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid
+from repro.core.chunks import PanelAllocator, PanelCursor
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.sim.batch import (
+    BatchEngine,
+    batch_outcomes,
+    batch_simulate,
+    supports_batch,
+)
+from repro.sim.engine import simulate
+from repro.sim.fastpath import fast_simulate
+from repro.sim.plan import Plan
+from repro.sim.policies import (
+    PolicyKeySpec,
+    ReadyPolicy,
+    StrictOrderPolicy,
+    demand_priority,
+    selection_order_priority,
+)
+from repro.sim.worker_state import CMode
+
+
+def assert_outcome_equivalent(fast, outcome):
+    """Exact equality between a fast-path SimResult and a BatchOutcome."""
+    assert outcome.makespan == fast.makespan
+    assert outcome.port_busy == fast.port_busy
+    assert outcome.total_updates == fast.total_updates
+    assert outcome.blocks_through_port == fast.blocks_through_port
+    assert outcome.worker_stats == fast.worker_stats
+    assert outcome.n_enrolled == fast.n_enrolled
+
+
+def clone_plan(plan: Plan) -> Plan:
+    """Fresh plan with a fresh policy (strict policies carry a cursor).
+    Only for allocator-free plans -- allocators are single-use, so
+    allocator-driven plans must be re-planned by a fresh scheduler."""
+    assert plan.allocator is None
+    if isinstance(plan.policy, StrictOrderPolicy):
+        policy = StrictOrderPolicy(plan.policy.order)
+    else:
+        policy = ReadyPolicy(plan.policy.priority)
+    return Plan(
+        assignments=[list(chunks) for chunks in plan.assignments],
+        policy=policy,
+        depths=list(plan.depths),
+        c_mode=plan.c_mode,
+        collect_events=False,
+    )
+
+
+def _chunk_assignments(platform, grid, sides, rng):
+    """Columnwise chunk assignments dealing panels randomly to workers."""
+    panels = PanelAllocator(grid.s)
+    cursors = [PanelCursor(i, side, grid) for i, side in enumerate(sides)]
+    cid = 0
+    assignments = [[] for _ in range(platform.p)]
+    while not panels.exhausted:
+        widx = rng.randrange(platform.p)
+        panel = panels.grant(sides[widx])
+        assert panel is not None
+        cursors[widx].add_panel(panel)
+        while cursors[widx].has_next:
+            ch = cursors[widx].next_chunk(cid)
+            assert ch is not None
+            assignments[widx].append(ch)
+            cid += 1
+    return assignments
+
+
+def _message_counts(assignments, c_mode):
+    per_chunk_extra = (1 if c_mode is not CMode.NONE else 0) + (
+        1 if c_mode is CMode.BOTH else 0
+    )
+    return [
+        sum(len(ch.rounds) + per_chunk_extra for ch in chunks) for chunks in assignments
+    ]
+
+
+# ----------------------------------------------------------------------
+# every registry scheduler, all plans of several instances in one batch
+# ----------------------------------------------------------------------
+def test_registry_one_ragged_batch(het_platform, hom_platform, small_grid, ragged_grid):
+    """Mixed platforms/grids/schedulers in one submission: strict and ready
+    groups vectorize, allocator plans (BMM/ODDOML) fall back."""
+    instances = [
+        (het_platform, small_grid),
+        (het_platform, ragged_grid),
+        (hom_platform, small_grid),
+    ]
+    runs, fasts = [], []
+    for platform, grid in instances:
+        for name in sorted(SCHEDULERS):
+            try:
+                plan = make_scheduler(name).plan(platform, grid)
+            except SchedulingError:
+                continue
+            plan.collect_events = False
+            # fresh plan for the scalar reference (allocators are single-use)
+            fast_plan = make_scheduler(name).plan(platform, grid)
+            fast_plan.collect_events = False
+            fasts.append(fast_simulate(platform, fast_plan, grid))
+            runs.append((platform, plan, name, grid))
+    assert any(not supports_batch(plan) for _pf, plan, _n, _g in runs)  # fallbacks
+    assert any(supports_batch(plan) for _pf, plan, _n, _g in runs)
+    outcomes = batch_outcomes([(p, pl) for p, pl, _n, _g in runs], force=True)
+    for fast, outcome in zip(fasts, outcomes):
+        assert_outcome_equivalent(fast, outcome)
+    # batch_simulate agrees with batch_outcomes (fresh plans again)
+    makespans = batch_simulate(
+        [(p, make_scheduler(n).plan(p, g)) for p, _pl, n, g in runs], force=True
+    )
+    for fast, ms in zip(fasts, makespans):
+        assert ms == fast.makespan
+
+
+def test_small_groups_fall_back_identically(het_platform, small_grid):
+    """Below min_batch the scalar path is used -- results must not change."""
+    sched = make_scheduler("Hom")
+    runs = [(het_platform, sched.plan(het_platform, small_grid)) for _ in range(3)]
+    for _pf, plan in runs:
+        plan.collect_events = False
+    lazy = batch_simulate([(p, clone_plan(pl)) for p, pl in runs])  # falls back
+    forced = batch_simulate(runs, force=True)
+    assert np.array_equal(lazy, forced)
+
+
+# ----------------------------------------------------------------------
+# property-generated instances, all registry schedulers, one batch per draw
+# ----------------------------------------------------------------------
+workers_st = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=8.0, allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.05, max_value=8.0, allow_nan=False, allow_infinity=False),
+        st.integers(min_value=5, max_value=60),
+    ),
+    min_size=1,
+    max_size=5,
+)
+grids_st = st.builds(
+    BlockGrid,
+    r=st.integers(min_value=1, max_value=9),
+    t=st.integers(min_value=1, max_value=7),
+    s=st.integers(min_value=1, max_value=11),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=workers_st, grid=grids_st)
+def test_property_equivalence_all_schedulers(params, grid):
+    platform = Platform([Worker(i, c, w, m) for i, (c, w, m) in enumerate(params)])
+    runs, refs = [], []
+    for name in sorted(SCHEDULERS):
+        try:
+            plan = make_scheduler(name).plan(platform, grid)
+        except SchedulingError:
+            continue
+        plan.collect_events = False
+        ref_plan = make_scheduler(name).plan(platform, grid)
+        ref_plan.collect_events = False
+        refs.append(simulate(platform, ref_plan, grid))
+        runs.append((platform, plan))
+    outcomes = batch_outcomes(runs, force=True)
+    for ref, outcome in zip(refs, outcomes):
+        assert outcome.makespan == ref.makespan
+        assert outcome.port_busy == ref.port_busy
+        assert outcome.worker_stats == ref.worker_stats
+
+
+# ----------------------------------------------------------------------
+# hand-built plans: CMode x depth x policy coverage, ragged in one batch
+# ----------------------------------------------------------------------
+GENERIC_SPEC = PolicyKeySpec(("legal_start", "head_cid", "worker_index"))
+
+
+def _hand_built_runs(het_platform, small_grid, ragged_grid, policy_factory):
+    """One batch spanning CModes, depths 1..3 and both grids."""
+    runs = []
+    rng = random.Random(7)
+    for i, c_mode in enumerate(CMode):
+        for depth_seed in (0, 1):
+            grid = small_grid if (i + depth_seed) % 2 else ragged_grid
+            sides = [2, 3, 1, 2]
+            assignments = _chunk_assignments(het_platform, grid, sides, rng)
+            depths = [1 + (depth_seed + j) % 3 for j in range(het_platform.p)]
+            policy = policy_factory(assignments, c_mode, rng)
+            runs.append(
+                (
+                    het_platform,
+                    Plan(
+                        assignments=[list(chs) for chs in assignments],
+                        policy=policy,
+                        depths=depths,
+                        c_mode=c_mode,
+                        collect_events=False,
+                    ),
+                )
+            )
+    return runs
+
+
+def _strict_factory(assignments, c_mode, rng):
+    counts = _message_counts(assignments, c_mode)
+    order = [w for w, n in enumerate(counts) for _ in range(n)]
+    rng.shuffle(order)
+    return StrictOrderPolicy(order)
+
+
+@pytest.mark.parametrize(
+    "policy_factory",
+    [
+        _strict_factory,
+        lambda a, m, r: ReadyPolicy(selection_order_priority),
+        lambda a, m, r: ReadyPolicy(demand_priority),
+        lambda a, m, r: ReadyPolicy(GENERIC_SPEC),
+    ],
+    ids=["strict", "selection-order", "demand", "generic-spec"],
+)
+def test_mode_depth_policy_matrix(policy_factory, het_platform, small_grid, ragged_grid):
+    runs = _hand_built_runs(het_platform, small_grid, ragged_grid, policy_factory)
+    fasts = [
+        simulate(platform, clone_plan(plan), None) for platform, plan in runs
+    ]
+    outcomes = batch_outcomes(runs, force=True)
+    for fast, outcome in zip(fasts, outcomes):
+        assert_outcome_equivalent(fast, outcome)
+
+
+def test_key_spec_interpretations_match_reference(het_platform, ragged_grid):
+    """The two registry specs and a generic spec rank identically in the
+    reference engine, the fast path and the batch engine."""
+    rng = random.Random(11)
+    assignments = _chunk_assignments(het_platform, ragged_grid, [3, 2, 2, 4], rng)
+    for spec in (selection_order_priority, demand_priority, GENERIC_SPEC):
+
+        def build():
+            return Plan(
+                assignments=[list(chs) for chs in assignments],
+                policy=ReadyPolicy(spec),
+                depths=[2, 1, 3, 2],
+                collect_events=False,
+            )
+
+        ref = simulate(het_platform, build(), ragged_grid)
+        fast = fast_simulate(het_platform, build(), ragged_grid)
+        (outcome,) = batch_outcomes([(het_platform, build())], force=True)
+        assert fast.makespan == ref.makespan
+        assert fast.worker_stats == ref.worker_stats
+        assert outcome.makespan == ref.makespan
+        assert outcome.worker_stats == ref.worker_stats
+
+
+# ----------------------------------------------------------------------
+# unsupported plans: loud engine, transparent API
+# ----------------------------------------------------------------------
+def test_unsupported_plans_fall_back(het_platform, small_grid):
+    bmm = make_scheduler("BMM").plan(het_platform, small_grid)
+    bmm.collect_events = False
+    assert not supports_batch(bmm)
+    with pytest.raises(TypeError, match="fall"):
+        BatchEngine([(het_platform, bmm)])
+    fast = fast_simulate(het_platform, make_scheduler("BMM").plan(het_platform, small_grid))
+    (outcome,) = batch_outcomes([(het_platform, bmm)], force=True)
+    assert outcome.makespan == fast.makespan
+
+
+def test_custom_priority_function_not_batchable(het_platform):
+    plan = Plan(
+        assignments=[[] for _ in range(het_platform.p)],
+        policy=ReadyPolicy(lambda engine, widx: (-widx,)),
+        depths=[2] * het_platform.p,
+    )
+    assert not supports_batch(plan)
+
+
+def test_mixed_modes_rejected_by_engine(het_platform, small_grid):
+    strict = make_scheduler("Hom").plan(het_platform, small_grid)
+    ready = make_scheduler("ORROML").plan(het_platform, small_grid)
+    with pytest.raises(TypeError, match="mixed"):
+        BatchEngine([(het_platform, strict), (het_platform, ready)])
+
+
+def test_strict_order_mismatch_rejected(het_platform, small_grid):
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.policy.order.append(plan.policy.order[-1])  # one message too many
+    with pytest.raises(RuntimeError, match="disagree"):
+        BatchEngine([(het_platform, plan)])
+
+
+def test_empty_batch():
+    assert batch_simulate([]).size == 0
+
+
+# ----------------------------------------------------------------------
+# checkpoint / restore and shared prefixes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", ["Hom", "ORROML"], ids=["strict", "ready"])
+def test_checkpoint_restore_roundtrip(scheduler, het_platform, small_grid, ragged_grid):
+    runs = []
+    for grid in (small_grid, ragged_grid):
+        plan = make_scheduler(scheduler).plan(het_platform, grid)
+        plan.collect_events = False
+        runs.append((het_platform, plan))
+    engine = BatchEngine(runs)
+    engine.run(max_steps=9)
+    token = engine.checkpoint()
+    first = engine.run().makespans()
+    engine.restore(token)
+    second = engine.run().makespans()
+    assert np.array_equal(first, second)
+    fasts = [fast_simulate(p, clone_plan(pl), None).makespan for p, pl in runs]
+    assert list(first) == fasts
+
+
+def test_makespans_require_completion(het_platform, small_grid):
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.collect_events = False
+    engine = BatchEngine([(het_platform, plan)])
+    engine.run(max_steps=1)
+    with pytest.raises(RuntimeError, match="stopped"):
+        engine.makespans()
+
+
+def test_shared_prefix_matches_full_replay(het_platform, small_grid):
+    """Candidates sharing a strict prefix: simulate-once-and-broadcast is
+    bit-identical to replaying every instance from scratch."""
+    rng = random.Random(3)
+    assignments = _chunk_assignments(het_platform, small_grid, [3, 2, 2, 4], rng)
+    counts = _message_counts(assignments, CMode.BOTH)
+    order = [w for w, n in enumerate(counts) for _ in range(n)]
+    rng.shuffle(order)
+    prefix_len = len(order) // 2
+    runs = []
+    for k in range(4):
+        suffix = sorted(order[prefix_len:], key=lambda w: (w + k) % 4)
+        runs.append(
+            (
+                het_platform,
+                Plan(
+                    assignments=[list(chs) for chs in assignments],
+                    policy=StrictOrderPolicy(order[:prefix_len] + suffix),
+                    depths=[2] * het_platform.p,
+                    collect_events=False,
+                ),
+            )
+        )
+    shared = BatchEngine.shared_prefix(runs, prefix_len).run().makespans()
+    scratch = BatchEngine([(p, clone_plan(pl)) for p, pl in runs]).run().makespans()
+    assert np.array_equal(shared, scratch)
+    fasts = [fast_simulate(p, clone_plan(pl), None).makespan for p, pl in runs]
+    assert list(shared) == fasts
+
+
+def test_shared_prefix_rejects_divergent_prefixes(het_platform, small_grid):
+    rng = random.Random(5)
+    assignments = _chunk_assignments(het_platform, small_grid, [3, 2, 2, 4], rng)
+    counts = _message_counts(assignments, CMode.BOTH)
+    order = [w for w, n in enumerate(counts) for _ in range(n)]
+
+    def plan_with(order_):
+        return Plan(
+            assignments=[list(chs) for chs in assignments],
+            policy=StrictOrderPolicy(order_),
+            depths=[2] * het_platform.p,
+            collect_events=False,
+        )
+
+    divergent = list(reversed(order))
+    runs = [(het_platform, plan_with(order)), (het_platform, plan_with(divergent))]
+    if divergent[: len(order) // 2] != order[: len(order) // 2]:
+        with pytest.raises(ValueError, match="prefix"):
+            BatchEngine.shared_prefix(runs, len(order) // 2)
+
+
+# ----------------------------------------------------------------------
+# planning consumers route through the batch API
+# ----------------------------------------------------------------------
+def test_het_variant_scores_unchanged(het_platform, small_grid):
+    """Het's batch-submitted variant scoring reproduces the per-variant
+    makespans of scoring each plan individually."""
+    from repro.schedulers.selection import ALL_VARIANTS, build_plan_from_sequence, incremental_selection
+
+    plan = make_scheduler("Het").plan(het_platform, small_grid)
+    scores = plan.meta["variant_makespans"]
+    for variant in ALL_VARIANTS:
+        outcome = incremental_selection(het_platform, small_grid, variant)
+        candidate = build_plan_from_sequence(het_platform, small_grid, outcome)
+        candidate.collect_events = False
+        res = fast_simulate(het_platform, candidate, small_grid)
+        assert scores[variant.label] == res.makespan
+
+
+def test_homi_dedupe_preserves_choice(het_platform, small_grid):
+    """HomI's (n, mu, c, w) dedupe keeps the first occurrence, so the
+    selected virtual platform (and the final plan) is unchanged; duplicate
+    signatures are simulated only once."""
+    sched = make_scheduler("HomI")
+    candidates = sched._candidates(het_platform, small_grid)
+    sigs = [(ch.n_workers, ch.mu, ch.c, ch.w) for ch in candidates]
+    assert len(sigs) == len(set(sigs))
+    plan = sched.plan(het_platform, small_grid)
+    ref = simulate(het_platform, clone_plan(plan), small_grid)
+    fast = fast_simulate(het_platform, clone_plan(plan), small_grid)
+    assert fast.makespan == ref.makespan

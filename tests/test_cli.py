@@ -90,3 +90,38 @@ class TestNewCommands:
         )
         assert rc == 0
         assert "enrolled" in capsys.readouterr().out
+
+
+class TestEngineFlag:
+    def test_engine_choices_parse(self):
+        for cmd in (["figure", "fig4"], ["summary"], ["sweep"], ["run"]):
+            for engine in ("reference", "fast", "batch"):
+                args = build_parser().parse_args(cmd + ["--engine", engine])
+                assert args.engine == engine
+
+    def test_engine_default_is_fast_for_experiments(self):
+        assert build_parser().parse_args(["figure", "fig4"]).engine == "fast"
+        assert build_parser().parse_args(["run"]).engine == "reference"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig4", "--engine", "warp"])
+
+    def test_figure_batch_engine_runs(self, capsys):
+        assert main(["figure", "fig4", "--scale", "0.05", "--engine", "batch"]) == 0
+        assert "relative cost" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
+    def test_run_without_traces(self, engine, capsys):
+        assert main(["run", "--algorithm", "Hom", "--scale", "0.1", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_run_gantt_needs_reference(self, capsys):
+        assert main(["run", "--algorithm", "Hom", "--scale", "0.1",
+                     "--engine", "fast", "--gantt"]) == 0
+        assert "--engine reference" in capsys.readouterr().out
+
+    def test_sweep_batch_engine_runs(self, capsys):
+        assert main(["sweep", "--scale", "0.1", "--ratios", "2", "--engine", "batch"]) == 0
+        assert "ratio" in capsys.readouterr().out

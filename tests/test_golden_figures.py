@@ -1,11 +1,12 @@
 """Golden regression wall over the paper figures.
 
 ``tests/data/golden_figures.json`` freezes the makespan of every
-(algorithm, instance) pair of each paper figure at scale 0.1.  Both
-engines -- the reference event engine and the flat-array fast path -- must
-reproduce every value exactly, so the fast path can never silently drift
-from the semantics that produced the paper's comparisons, and neither
-engine can drift from the frozen history.
+(algorithm, instance) pair of each paper figure at scale 0.1.  All three
+engines -- the reference event engine, the flat-array fast path and the
+vectorized batch engine (which simulates each figure's plans in one
+forced-vectorized submission) -- must reproduce every value exactly, so no
+engine can silently drift from the semantics that produced the paper's
+comparisons, or from the frozen history.
 
 If a behavioural change is *intentional*, regenerate the file with::
 
@@ -25,6 +26,7 @@ import pytest
 from repro.experiments.figures import FIGURES
 from repro.schedulers.base import SchedulingError
 from repro.schedulers.registry import default_suite
+from repro.sim.batch import batch_simulate
 from repro.sim.engine import simulate
 from repro.sim.fastpath import fast_simulate
 
@@ -39,10 +41,15 @@ def _iter_runs(fig: str):
 
 
 def _collect(engine: str) -> dict[str, dict[str, float]]:
-    """``{fig: {"algorithm|instance": makespan}}`` under one engine."""
+    """``{fig: {"algorithm|instance": makespan}}`` under one engine.
+
+    ``"batch"`` simulates each figure's plans in one forced-vectorized
+    :func:`batch_simulate` call -- the bulk path the planning layer uses.
+    """
     out: dict[str, dict[str, float]] = {}
     for fig in sorted(FIGURES):
         table: dict[str, float] = {}
+        keys, runs = [], []
         for inst, sched in _iter_runs(fig):
             try:
                 plan = sched.plan(inst.platform, inst.grid)
@@ -51,9 +58,16 @@ def _collect(engine: str) -> dict[str, dict[str, float]]:
             plan.collect_events = False
             if engine == "fast":
                 res = fast_simulate(inst.platform, plan, inst.grid)
-            else:
+            elif engine == "reference":
                 res = simulate(inst.platform, plan, inst.grid)
+            else:
+                keys.append(f"{sched.name}|{inst.label}")
+                runs.append((inst.platform, plan))
+                continue
             table[f"{sched.name}|{inst.label}"] = res.makespan
+        if engine == "batch":
+            for key, makespan in zip(keys, batch_simulate(runs, force=True)):
+                table[key] = float(makespan)
         out[fig] = table
     return out
 
@@ -71,7 +85,7 @@ def test_golden_file_shape(golden):
     assert total >= 200, "golden file lost coverage"
 
 
-@pytest.mark.parametrize("engine", ["fast", "reference"])
+@pytest.mark.parametrize("engine", ["fast", "reference", "batch"])
 def test_both_engines_reproduce_golden_figures(engine, golden):
     measured = _collect(engine)
     for fig, table in golden["figures"].items():

@@ -226,3 +226,129 @@ class TestSweepsParallel:
             (p.ratio, p.makespans) for p in b.points
         ]
         assert cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# LRU eviction
+# ----------------------------------------------------------------------
+class TestCacheEviction:
+    def _key(self, i: int) -> str:
+        return f"{i:02d}" * 32
+
+    @staticmethod
+    def _stamp(cache, key, seconds):
+        """Pin a payload's mtime explicitly: sub-second sleeps are not
+        enough on coarse-mtime filesystems."""
+        import os
+
+        os.utime(cache._path(key), (seconds, seconds))
+
+    def test_max_entries_evicts_lru(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for i in range(6):
+            cache.put(self._key(i), {"makespan": float(i)})
+            if cache._path(self._key(i)).exists():
+                self._stamp(cache, self._key(i), 1_000_000 + i)
+        assert len(cache) == 3
+        assert cache.evictions == 3
+        assert cache.get(self._key(5)) is not None
+        assert cache.get(self._key(0)) is None
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        cache.put(self._key(0), {"v": 0})
+        self._stamp(cache, self._key(0), 1_000_000)
+        cache.put(self._key(1), {"v": 1})
+        self._stamp(cache, self._key(1), 1_000_001)
+        assert cache.get(self._key(0)) is not None  # touched: 1 becomes LRU
+        self._stamp(cache, self._key(0), 1_000_002)
+        cache.put(self._key(2), {"v": 2})
+        assert cache.get(self._key(0)) is not None
+        assert cache.get(self._key(1)) is None
+
+    def test_max_bytes_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=120)
+        for i in range(5):
+            cache.put(self._key(i), {"v": i, "pad": "x" * 40})
+            if cache._path(self._key(i)).exists():
+                self._stamp(cache, self._key(i), 1_000_000 + i)
+        total = sum(p.stat().st_size for p in cache.root.glob("*/*.json"))
+        assert total <= 120
+        assert cache.evictions > 0
+
+    def test_unbounded_when_caps_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=None, max_bytes=None)
+        for i in range(10):
+            cache.put(self._key(i), {"v": i})
+        assert len(cache) == 10
+        assert cache.evictions == 0
+
+    def test_default_caps_are_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.max_entries is not None
+        assert cache.max_bytes is not None
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "b", max_bytes=0)
+
+    def test_latest_put_survives_even_if_oldest(self, tmp_path):
+        # a single oversized payload is kept: the entry just written never
+        # self-evicts
+        cache = ResultCache(tmp_path, max_bytes=10)
+        cache.put(self._key(0), {"pad": "x" * 100})
+        assert cache.get(self._key(0)) is not None
+
+
+# ----------------------------------------------------------------------
+# engine selection in the harness and the sweeps
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_three_engines_identical_measurements(self, tiny_instances):
+        results = {
+            engine: run_experiment("x", tiny_instances, engine=engine)
+            for engine in ("fast", "reference", "batch")
+        }
+        fast = results["fast"]
+        for engine, res in results.items():
+            assert [
+                (m.algorithm, m.instance, m.makespan, m.n_enrolled)
+                for m in res.measurements
+            ] == [
+                (m.algorithm, m.instance, m.makespan, m.n_enrolled)
+                for m in fast.measurements
+            ], engine
+            assert res.failures == fast.failures
+
+    def test_unknown_engine_rejected(self, tiny_instances):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_experiment("x", tiny_instances, engine="warp")
+
+    def test_batch_engine_records_planning_time(self, tiny_instances):
+        res = run_experiment("x", tiny_instances, engine="batch")
+        assert all("planning_seconds" in m.meta for m in res.measurements)
+
+    def test_parallel_ignored_for_batch_engine(self, tiny_instances):
+        with pytest.warns(UserWarning, match="ignored"):
+            res = run_experiment("x", tiny_instances, engine="batch", parallel=2)
+        ref = run_experiment("x", tiny_instances)
+        assert [(m.algorithm, m.makespan) for m in res.measurements] == [
+            (m.algorithm, m.makespan) for m in ref.measurements
+        ]
+
+    def test_sweep_engines_identical(self):
+        fast = heterogeneity_sweep((2.0, 4.0), scale=0.1)
+        for engine in ("batch", "reference"):
+            other = heterogeneity_sweep((2.0, 4.0), scale=0.1, engine=engine)
+            assert [(p.ratio, p.makespans, p.enrollment, p.bound) for p in fast.points] == [
+                (p.ratio, p.makespans, p.enrollment, p.bound) for p in other.points
+            ], engine
+
+    def test_straggler_sweep_batch_identical(self):
+        fast = straggler_sweep((1.0, 4.0), scale=0.1)
+        batch = straggler_sweep((1.0, 4.0), scale=0.1, engine="batch")
+        assert [(p.ratio, p.makespans) for p in fast.points] == [
+            (p.ratio, p.makespans) for p in batch.points
+        ]

@@ -6,9 +6,12 @@ from repro.core.chunks import make_chunk
 from repro.platform.model import Platform
 from repro.sim.engine import Engine
 from repro.sim.policies import (
+    POLICY_KEY_FIELDS,
+    PolicyKeySpec,
     ReadyPolicy,
     StrictOrderPolicy,
     demand_priority,
+    resolve_key_spec,
     selection_order_priority,
 )
 
@@ -78,3 +81,51 @@ class TestReadyPolicy:
         eng.assign_chunk(0, make_chunk(0, 0, 0, 1, 0, 1, 1))
         eng.assign_chunk(1, make_chunk(1, 1, 0, 1, 1, 1, 1))
         assert ReadyPolicy(demand_priority).next_choice(eng) == 0
+
+
+class TestPolicyKeySpec:
+    def test_registry_priorities_are_specs(self):
+        assert selection_order_priority == PolicyKeySpec(("head_cid", "worker_index"))
+        assert demand_priority == PolicyKeySpec(("legal_start", "worker_index"))
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown key field"):
+            PolicyKeySpec(("head_cid", "nonsense"))
+        with pytest.raises(ValueError, match="at least one"):
+            PolicyKeySpec(())
+
+    def test_callable_evaluation_matches_fields(self):
+        eng = _engine(p=2)
+        eng.assign_chunk(0, make_chunk(7, 0, 0, 1, 0, 1, 1))
+        spec = PolicyKeySpec(("head_cid", "legal_start", "worker_index"))
+        assert spec(eng, 0) == (7, eng.legal_start(0), 0)
+
+    def test_vocabulary_is_closed(self):
+        assert set(POLICY_KEY_FIELDS) == {"head_cid", "legal_start", "worker_index"}
+
+    def test_resolve_spec_passthrough(self):
+        spec = PolicyKeySpec(("legal_start",))
+        assert resolve_key_spec(spec) is spec
+        assert resolve_key_spec(lambda e, w: (w,)) is None
+
+    def test_legacy_fast_key_marker_resolves_with_deprecation(self):
+        def legacy(engine, widx):
+            return (engine.head(widx).chunk.cid, widx)
+
+        legacy.fast_key = "cid"
+        with pytest.warns(DeprecationWarning, match="fast_key"):
+            assert resolve_key_spec(legacy) == selection_order_priority
+
+        def legacy_legal(engine, widx):
+            return (engine.legal_start(widx), widx)
+
+        legacy_legal.fast_key = "legal"
+        with pytest.warns(DeprecationWarning):
+            assert resolve_key_spec(legacy_legal) == demand_priority
+
+    def test_unknown_marker_is_opaque(self):
+        def odd(engine, widx):
+            return (widx,)
+
+        odd.fast_key = "???"
+        assert resolve_key_spec(odd) is None
