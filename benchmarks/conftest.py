@@ -66,12 +66,25 @@ def bench_runner() -> dict:
 
 @pytest.fixture(scope="session")
 def emit():
-    """Print a result table and archive it under benchmarks/results/."""
+    """Print a result table and archive it under benchmarks/results/.
+
+    With ``data``, a machine-readable ``BENCH_<name>.json`` document is
+    written next to the text table; CI uploads ``benchmarks/results/`` as a
+    workflow artifact, so these JSON snapshots accumulate a measurement
+    trajectory across runs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> None:
+    def _emit(name: str, text: str, data: dict | None = None) -> None:
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            import json
+
+            payload = {"benchmark": name, "data": data}
+            (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
 
     return _emit

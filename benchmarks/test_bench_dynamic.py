@@ -1,0 +1,128 @@
+"""Extension benchmark: dynamic platforms — oblivious vs adaptive vs
+clairvoyant scheduling.
+
+Three scenario families from the dynamics subsystem
+(:mod:`repro.experiments.sweeps`): a straggler that *sets in* mid-run, a
+mid-run bandwidth collapse on two links, and a crash/rejoin outage.  For
+each, every base algorithm is evaluated oblivious (plan once on the
+initial platform), adaptive (online rescheduling at event boundaries) and
+clairvoyant (plan on the final platform) — quantifying both what ignoring
+platform dynamics costs and how much of it online rescheduling recovers.
+
+Headline (straggler-onset, 16x): the oblivious modes of Het and the
+demand-driven heuristic degrade by >= 2x over the clairvoyant reference,
+while their adaptive modes recover to within 1.3x of it — the ratio-based
+and demand-driven algorithms are rescuable online even though their static
+selection is straggler-blind (see ``test_bench_straggler.py``).
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow  # run with `pytest -m slow`
+
+from repro.experiments.sweeps import dynamic_sweep
+
+SEVERITIES = (2.0, 4.0, 8.0, 16.0)
+ALGORITHMS = ("Het", "ODDOML", "Hom", "ORROML")
+
+
+def _json_point(pt):
+    return {
+        "severity": pt.severity,
+        "bound": pt.bound,
+        "makespans": pt.makespans,
+    }
+
+
+def test_dynamic_straggler_onset(benchmark, bench_scale, emit):
+    # pinned at the canonical scale: smaller grids hold so few chunks per
+    # worker that migration granularity (not the algorithms) dominates the
+    # ratios, and the whole sweep is only a few seconds anyway
+    scale = 1.0
+    sweep = benchmark.pedantic(
+        lambda: dynamic_sweep(
+            "straggler-onset", SEVERITIES, algorithms=ALGORITHMS, scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        f"Straggler onset mid-run (one of 8 workers slows at 0.3x the bound; "
+        f"scale {scale})\n" + sweep.table() + "\n"
+        "finding: oblivious Het/ODDOML inherit the straggler (obl/clv >= 2 at "
+        "16x)\nwhile online rescheduling recovers to <= 1.3x clairvoyant -- "
+        "see EXPERIMENTS.md"
+    )
+    emit(
+        "dynamic_straggler_onset",
+        text,
+        data={
+            "scenario": "straggler-onset",
+            "scale": scale,
+            "points": [_json_point(pt) for pt in sweep.points],
+        },
+    )
+    hit = sweep.points[-1]  # 16x
+    for alg in ("Het", "ODDOML"):
+        obl = hit.makespans[alg]["oblivious"]
+        adp = hit.makespans[alg]["adaptive"]
+        clv = hit.makespans[alg]["clairvoyant"]
+        # the oblivious mode degrades >= 2x over the clairvoyant reference...
+        assert obl >= 2.0 * clv, (alg, obl, clv)
+        # ... and online rescheduling recovers to <= 1.3x of it
+        assert adp <= 1.3 * clv, (alg, adp, clv)
+
+
+def test_dynamic_bandwidth_degradation(benchmark, bench_scale, emit):
+    scale = min(bench_scale, 1.0)
+    sweep = benchmark.pedantic(
+        lambda: dynamic_sweep(
+            "bandwidth-degradation", SEVERITIES, algorithms=("Het", "ODDOML"), scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        f"Bandwidth degradation mid-run (two links degrade; scale {scale})\n"
+        + sweep.table()
+    )
+    emit(
+        "dynamic_bandwidth_degradation",
+        text,
+        data={
+            "scenario": "bandwidth-degradation",
+            "scale": scale,
+            "points": [_json_point(pt) for pt in sweep.points],
+        },
+    )
+    hit = sweep.points[-1]
+    for alg in ("Het", "ODDOML"):
+        # adaptive never loses to oblivious (it may fall back to "continue")
+        assert hit.makespans[alg]["adaptive"] <= hit.makespans[alg]["oblivious"] * 1.01
+
+
+def test_dynamic_crash_recovery(benchmark, bench_scale, emit):
+    scale = min(bench_scale, 1.0)
+    sweep = benchmark.pedantic(
+        lambda: dynamic_sweep(
+            "crash-recovery", (0.1, 0.2, 0.4), algorithms=("Het", "ODDOML"), scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        f"Crash/rejoin outage (worker 0 out for a bound-fraction; scale "
+        f"{scale})\n" + sweep.table()
+    )
+    emit(
+        "dynamic_crash_recovery",
+        text,
+        data={
+            "scenario": "crash-recovery",
+            "scale": scale,
+            "points": [_json_point(pt) for pt in sweep.points],
+        },
+    )
+    hit = sweep.points[-1]
+    for alg in ("Het", "ODDOML"):
+        assert hit.makespans[alg]["adaptive"] <= hit.makespans[alg]["oblivious"] * 1.01

@@ -5,6 +5,8 @@ Subcommands
 ``figure``    run one paper figure (fig4..fig8) and print relative tables
 ``summary``   run the Figure 9 cross-experiment summary
 ``run``       run one algorithm on one platform/grid, print details/Gantt
+``sweep``     relative cost vs degree of heterogeneity
+``dynamic``   dynamic-platform scenarios: oblivious vs adaptive vs clairvoyant
 ``bounds``    print the Section 3 CCR bounds for a memory size
 ``table2``    demonstrate the bandwidth-centric memory infeasibility
 ``platforms`` list the built-in platform generators
@@ -119,6 +121,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--ratios", default="1.01,1.5,2,3,4,6,8", help="comma-separated ratio list"
     )
     add_runner_opts(p_sweep)
+
+    from .experiments.sweeps import DYNAMIC_SCENARIOS
+    from .schedulers.adaptive import DYNAMIC_MODES
+
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="dynamic-platform scenarios: oblivious vs adaptive vs clairvoyant",
+    )
+    p_dyn.add_argument("--scenario", default="straggler-onset", choices=DYNAMIC_SCENARIOS)
+    p_dyn.add_argument(
+        "--severities",
+        default="2,4,8,16",
+        help="comma-separated severity list (slowdown / bandwidth factor / "
+        "outage fraction, per scenario)",
+    )
+    p_dyn.add_argument(
+        "--algorithms", default="Het,ODDOML", help="comma-separated subset"
+    )
+    p_dyn.add_argument(
+        "--modes",
+        default=",".join(DYNAMIC_MODES),
+        help="comma-separated evaluation modes",
+    )
+    p_dyn.add_argument("--scale", type=float, default=0.5, help="problem scale")
+    p_dyn.add_argument("--workers", type=int, default=8, help="platform size p")
+    p_dyn.add_argument(
+        "--onset", type=float, default=0.3, help="event time as a fraction of the bound"
+    )
 
     p_bounds = sub.add_parser("bounds", help="Section 3 CCR bounds")
     p_bounds.add_argument("--memory", type=int, default=5242, help="worker memory in blocks")
@@ -239,6 +269,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import dynamic_sweep
+
+    severities = tuple(float(x) for x in args.severities.split(",") if x.strip())
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    sweep = dynamic_sweep(
+        args.scenario,
+        severities,
+        algorithms=algorithms,
+        modes=modes,
+        p=args.workers,
+        scale=args.scale,
+        onset_frac=args.onset,
+    )
+    print(
+        f"{args.scenario} (p={args.workers}, scale {args.scale}, event at "
+        f"{args.onset:g}× the steady-state bound)"
+    )
+    print(sweep.table())
+    if "clairvoyant" in modes and "oblivious" in modes:
+        print(
+            "\nobl/clv = what ignoring the events costs; adp/clv = how much "
+            "of that online rescheduling recovers (1.00 = clairvoyant)"
+        )
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     m, t = args.memory, args.t
     print(f"memory m = {m} blocks, t = {t}")
@@ -276,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
         "summary": _cmd_summary,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "dynamic": _cmd_dynamic,
         "bounds": _cmd_bounds,
         "table2": _cmd_table2,
         "platforms": _cmd_platforms,

@@ -237,6 +237,12 @@ class PanelAllocator:
         self._next += w
         return panel
 
+    def clone(self) -> "PanelAllocator":
+        """Copy with the same remaining-column state (what-if replays)."""
+        other = PanelAllocator(self._s)
+        other._next = self._next
+        return other
+
 
 class PanelCursor:
     """Enumerates a worker's chunks down its granted panels.
@@ -292,6 +298,14 @@ class PanelCursor:
             self._row = 0
             self._panel_idx += 1
         return chunk
+
+    def clone(self) -> "PanelCursor":
+        """Copy with the same walk position (what-if replays)."""
+        other = PanelCursor(self.worker, self.side, self.grid, toledo=self.toledo)
+        other._panels = list(self._panels)
+        other._panel_idx = self._panel_idx
+        other._row = self._row
+        return other
 
 
 def assert_partition(chunks: Sequence[Chunk], grid: BlockGrid) -> None:

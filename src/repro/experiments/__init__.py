@@ -1,6 +1,12 @@
 """Experiment harness and the paper's Section 6 evaluation."""
 
-from .harness import ExperimentResult, Instance, run_experiment
+from .harness import (
+    DynamicInstance,
+    ExperimentResult,
+    Instance,
+    run_dynamic_experiment,
+    run_experiment,
+)
 from .figures import (
     FIGURES,
     fig4_instances,
@@ -16,8 +22,10 @@ from .report import format_fig9, format_relative_table, format_summary
 from .table2 import Table2Row, achieved_fraction, required_mu, table2_demo, table2_platform_mu
 
 __all__ = [
+    "DynamicInstance",
     "ExperimentResult",
     "Instance",
+    "run_dynamic_experiment",
     "run_experiment",
     "FIGURES",
     "fig4_instances",
@@ -40,9 +48,31 @@ __all__ = [
     "table2_platform_mu",
 ]
 
-from .sweeps import HeterogeneitySweep, SweepPoint, heterogeneity_sweep  # noqa: E402
+from .sweeps import (  # noqa: E402
+    DYNAMIC_SCENARIOS,
+    DynamicPoint,
+    DynamicSweep,
+    HeterogeneitySweep,
+    SweepPoint,
+    dynamic_scenario,
+    dynamic_sweep,
+    heterogeneity_sweep,
+    straggler_scenario,
+    straggler_sweep,
+)
 
-__all__ += ["HeterogeneitySweep", "SweepPoint", "heterogeneity_sweep"]
+__all__ += [
+    "DYNAMIC_SCENARIOS",
+    "DynamicPoint",
+    "DynamicSweep",
+    "HeterogeneitySweep",
+    "SweepPoint",
+    "dynamic_scenario",
+    "dynamic_sweep",
+    "heterogeneity_sweep",
+    "straggler_scenario",
+    "straggler_sweep",
+]
 
 from .parallel import ResultCache, RunTask, run_tasks, task_key  # noqa: E402
 

@@ -18,7 +18,15 @@ from ..sim.validate import validate_result
 from ..theory.steady_state import makespan_lower_bound
 from .metrics import Measurement, relative_table, summarize_relative
 
-__all__ = ["Instance", "ExperimentResult", "run_experiment", "evaluate_runs", "ENGINES"]
+__all__ = [
+    "Instance",
+    "DynamicInstance",
+    "ExperimentResult",
+    "run_experiment",
+    "run_dynamic_experiment",
+    "evaluate_runs",
+    "ENGINES",
+]
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,17 @@ class Instance:
     label: str
     platform: Platform
     grid: BlockGrid
+
+
+@dataclass(frozen=True)
+class DynamicInstance:
+    """One dynamic-platform configuration: an instance plus the event
+    timeline it runs under (see :mod:`repro.sim.dynamic`)."""
+
+    label: str
+    platform: Platform
+    grid: BlockGrid
+    timeline: "PlatformTimeline"
 
 
 @dataclass
@@ -108,13 +127,15 @@ def run_experiment(
     wall pins this).  ``validate``/``collect_events`` need full traces and
     force the reference engine.
 
-    ``parallel`` fans the (algorithm, instance) runs out across worker
-    processes (see :func:`repro.experiments.parallel.resolve_workers` for
-    accepted values) and ``cache`` (a path or
-    :class:`~repro.experiments.parallel.ResultCache`) skips runs whose
-    content-addressed result is already stored.  Both require the eventless
-    fast path, so they are ignored when ``validate`` or ``collect_events``
-    asks for full traces or another ``engine`` is selected.
+    ``parallel`` fans work out across worker processes (see
+    :func:`repro.experiments.parallel.resolve_workers` for accepted
+    values): with the default engine whole (algorithm, instance) runs fan
+    out; with an explicit engine the *plan construction* fans out while
+    scoring stays in one central (vectorized, for ``"batch"``) submission.
+    ``cache`` (a path or :class:`~repro.experiments.parallel.ResultCache`)
+    skips runs whose content-addressed result is already stored; it
+    requires the eventless fast path and is ignored otherwise.  Both are
+    ignored when ``validate`` or ``collect_events`` asks for full traces.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -127,12 +148,20 @@ def run_experiment(
     bounds = {inst.label: makespan_lower_bound(inst.platform, inst.grid) for inst in instances}
 
     full_traces = validate or collect_events
-    if (parallel is not None or cache is not None) and (full_traces or engine != "fast"):
+    if (parallel is not None or cache is not None) and full_traces:
         import warnings
 
         warnings.warn(
-            "parallel=/cache= are ignored when validate/collect_events or a "
-            "non-default engine is set: they fan out the per-run fast path",
+            "parallel=/cache= are ignored when validate/collect_events is "
+            "set: they need the eventless fast path",
+            stacklevel=2,
+        )
+    elif cache is not None and engine != "fast":
+        import warnings
+
+        warnings.warn(
+            f"cache= is ignored with engine={engine!r}: cached payloads "
+            "address complete fast-path runs",
             stacklevel=2,
         )
     if engine != "fast" and full_traces:
@@ -144,7 +173,7 @@ def run_experiment(
             stacklevel=2,
         )
     if engine != "fast" and not full_traces:
-        return _run_with_engine(result, instances, scheds, bounds, engine)
+        return _run_with_engine(result, instances, scheds, bounds, engine, parallel)
     use_runner = (parallel is not None or cache is not None) and not full_traces
     if use_runner:
         from .parallel import RunTask, run_tasks
@@ -197,25 +226,33 @@ def run_experiment(
 
 
 def _plan_all(
-    result: ExperimentResult, instances: Sequence[Instance], scheds: Sequence[Scheduler]
+    result: ExperimentResult,
+    instances: Sequence[Instance],
+    scheds: Sequence[Scheduler],
+    parallel=None,
 ):
     """Compile every (algorithm, instance) plan, recording failures and
-    per-plan wall-clock planning time."""
-    import time
+    per-plan wall-clock planning time.
 
+    With ``parallel``, plan construction fans out over worker processes
+    (the ROADMAP's "planning is the remaining single-thread bottleneck"
+    item): plans pickle back, scoring stays centralized in the caller.
+    """
+    from .parallel import PlanTask, plan_tasks
+
+    jobs = [(sched, inst) for inst in instances for sched in scheds]
+    payloads = plan_tasks(
+        [PlanTask(sched, inst.platform, inst.grid) for sched, inst in jobs],
+        parallel=parallel,
+    )
     pairs, runs, plannings = [], [], []
-    for inst in instances:
-        for sched in scheds:
-            t0 = time.perf_counter()
-            try:
-                plan = sched.plan(inst.platform, inst.grid)
-            except SchedulingError as exc:
-                result.failures[(sched.name, inst.label)] = str(exc)
-                continue
-            plannings.append(time.perf_counter() - t0)
-            plan.collect_events = False
-            pairs.append((sched, inst))
-            runs.append((inst.platform, plan))
+    for (sched, inst), payload in zip(jobs, payloads):
+        if "error" in payload:
+            result.failures[(sched.name, inst.label)] = payload["error"]
+            continue
+        pairs.append((sched, inst))
+        runs.append((inst.platform, payload["plan"]))
+        plannings.append(payload["planning_seconds"])
     return pairs, runs, plannings
 
 
@@ -249,11 +286,12 @@ def _run_with_engine(
     scheds: Sequence[Scheduler],
     bounds: dict[str, float],
     engine: str,
+    parallel=None,
 ) -> ExperimentResult:
-    """Plan serially, then simulate under an explicitly chosen engine
-    (``engine="fast"`` in `run_experiment` goes through ``Scheduler.run``
-    in the main loop instead)."""
-    pairs, runs, plannings = _plan_all(result, instances, scheds)
+    """Plan (optionally across processes), then simulate under an
+    explicitly chosen engine (``engine="fast"`` in `run_experiment` goes
+    through ``Scheduler.run`` in the main loop instead)."""
+    pairs, runs, plannings = _plan_all(result, instances, scheds, parallel)
     for (sched, inst), (makespan, n_enrolled, run_meta), planning in zip(
         pairs, evaluate_runs(runs, engine), plannings
     ):
@@ -270,4 +308,57 @@ def _run_with_engine(
                 meta=meta,
             )
         )
+    return result
+
+
+def run_dynamic_experiment(
+    name: str,
+    instances: Sequence[DynamicInstance],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    modes: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Run every scheduler × dynamic mode on every timeline instance.
+
+    Each base algorithm is wrapped in an
+    :class:`~repro.schedulers.adaptive.AdaptiveScheduler` per mode
+    (``oblivious`` / ``adaptive`` / ``clairvoyant`` by default), and each
+    measurement is labelled ``"<alg>[<mode>]"``.  The recorded bound is the
+    steady-state lower bound on the timeline's *final* platform — exact for
+    degrade-once scenarios, indicative otherwise.  Instances a wrapper
+    cannot schedule (or that stall on a crashed worker) land in
+    ``failures``.
+    """
+    from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
+    from ..sim.dynamic import DynamicStall
+
+    scheds = list(schedulers) if schedulers is not None else default_suite()
+    mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
+    wrappers = [
+        AdaptiveScheduler(sched, mode) for sched in scheds for mode in mode_list
+    ]
+    result = ExperimentResult(
+        name=name,
+        instances=[inst.label for inst in instances],
+        algorithms=[w.name for w in wrappers],
+    )
+    for inst in instances:
+        final = inst.timeline.final_platform(inst.platform)
+        bound = makespan_lower_bound(final, inst.grid)
+        for wrapper in wrappers:
+            try:
+                sim = wrapper.run_dynamic(inst.platform, inst.grid, inst.timeline)
+            except (SchedulingError, DynamicStall) as exc:
+                result.failures[(wrapper.name, inst.label)] = str(exc)
+                continue
+            result.measurements.append(
+                Measurement(
+                    algorithm=wrapper.name,
+                    instance=inst.label,
+                    makespan=sim.makespan,
+                    n_enrolled=sim.n_enrolled,
+                    bound=bound,
+                    meta=dict(sim.meta),
+                )
+            )
     return result

@@ -46,12 +46,14 @@ from ..schedulers.base import Scheduler, SchedulingError
 __all__ = [
     "ENGINE_FINGERPRINT",
     "RunTask",
+    "PlanTask",
     "ResultCache",
     "fingerprint_platform",
     "fingerprint_grid",
     "task_key",
     "resolve_workers",
     "run_tasks",
+    "plan_tasks",
 ]
 
 #: Version tag of the *result-producing code*: the simulation semantics AND
@@ -99,6 +101,51 @@ class RunTask:
     @property
     def key(self) -> str:
         return task_key(self.scheduler, self.platform, self.grid)
+
+
+@dataclass(frozen=True)
+class PlanTask:
+    """One planning unit: compile ``scheduler``'s plan for ``(platform,
+    grid)`` without simulating it.
+
+    The batch-engine experiment path scores centrally (one vectorized
+    submission) but plans per (algorithm, instance); planning is the
+    remaining single-thread bottleneck, so these tasks fan out across
+    processes.  Plans — chunks, policies, demand allocators — all pickle.
+    """
+
+    scheduler: Scheduler
+    platform: Platform
+    grid: BlockGrid
+
+
+def _execute_plan_task(task: PlanTask) -> dict:
+    """Compile one plan to a payload (top level so it pickles).
+
+    Payloads carry the plan (events disabled — the batch path never wants
+    traces) and its wall-clock planning time, or a deterministic ``error``
+    for instances the algorithm cannot schedule.
+    """
+    import time
+
+    t0 = time.perf_counter()
+    try:
+        plan = task.scheduler.plan(task.platform, task.grid)
+    except SchedulingError as exc:
+        return {"error": str(exc), "planning_seconds": time.perf_counter() - t0}
+    plan.collect_events = False
+    return {"plan": plan, "planning_seconds": time.perf_counter() - t0}
+
+
+def plan_tasks(tasks: Sequence[PlanTask], *, parallel=None) -> list[dict]:
+    """Compile every task's plan, in task order, fanning out across worker
+    processes when ``parallel`` asks for it (planning is deterministic, so
+    the fan-out is result-identical to the serial loop)."""
+    workers = min(resolve_workers(parallel), max(1, len(tasks)))
+    if workers <= 1:
+        return [_execute_plan_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_plan_task, tasks))
 
 
 def _json_safe(value):

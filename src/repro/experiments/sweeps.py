@@ -24,6 +24,12 @@ __all__ = [
     "HeterogeneitySweep",
     "heterogeneity_sweep",
     "straggler_sweep",
+    "straggler_scenario",
+    "DYNAMIC_SCENARIOS",
+    "DynamicPoint",
+    "DynamicSweep",
+    "dynamic_scenario",
+    "dynamic_sweep",
 ]
 
 
@@ -93,15 +99,17 @@ def _measure_points(
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     points: list[SweepPoint] = []
     if engine != "fast":
-        if parallel is not None or cache is not None:
+        if cache is not None:
             import warnings
 
             warnings.warn(
-                "parallel=/cache= are ignored when a non-default engine is "
-                "set: they fan out the per-run fast path",
+                f"cache= is ignored with engine={engine!r}: cached payloads "
+                "address complete fast-path runs",
                 stacklevel=3,
             )
-        return _measure_points_engine(labelled_platforms, grid, algorithms, engine)
+        return _measure_points_engine(
+            labelled_platforms, grid, algorithms, engine, parallel
+        )
     if parallel is not None or cache is not None:
         from .parallel import RunTask, run_tasks
 
@@ -155,19 +163,28 @@ def _measure_points(
     return points
 
 
-def _plan_sweep(labelled_platforms, grid, algorithms):
-    """Compile every (point, algorithm) plan; infeasible combinations are
-    skipped exactly like the serial path's SchedulingError handling."""
+def _plan_sweep(labelled_platforms, grid, algorithms, parallel=None):
+    """Compile every (point, algorithm) plan — across worker processes when
+    ``parallel`` asks for it; infeasible combinations are skipped exactly
+    like the serial path's SchedulingError handling."""
+    from .parallel import PlanTask, plan_tasks
+
+    scheds = {name: make_scheduler(name) for name in algorithms}
+    jobs = [
+        (ratio, plat, name)
+        for ratio, plat in labelled_platforms
+        for name in algorithms
+    ]
+    payloads = plan_tasks(
+        [PlanTask(scheds[name], plat, grid) for _ratio, plat, name in jobs],
+        parallel=parallel,
+    )
     keys, runs = [], []
-    for ratio, plat in labelled_platforms:
-        for name in algorithms:
-            try:
-                plan = make_scheduler(name).plan(plat, grid)
-            except SchedulingError:
-                continue
-            plan.collect_events = False
-            keys.append((ratio, plat, name))
-            runs.append((plat, plan))
+    for (ratio, plat, name), payload in zip(jobs, payloads):
+        if "error" in payload:
+            continue
+        keys.append((ratio, plat, name))
+        runs.append((plat, payload["plan"]))
     return keys, runs
 
 
@@ -188,10 +205,12 @@ def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
     ]
 
 
-def _measure_points_engine(labelled_platforms, grid, algorithms, engine) -> list[SweepPoint]:
+def _measure_points_engine(
+    labelled_platforms, grid, algorithms, engine, parallel=None
+) -> list[SweepPoint]:
     from .harness import evaluate_runs
 
-    keys, runs = _plan_sweep(labelled_platforms, grid, algorithms)
+    keys, runs = _plan_sweep(labelled_platforms, grid, algorithms, parallel)
     values = [(m, n) for m, n, _meta in evaluate_runs(runs, engine)]
     return _points_from(labelled_platforms, grid, keys, values)
 
@@ -220,6 +239,47 @@ def heterogeneity_sweep(
     return sweep
 
 
+def straggler_scenario(
+    slowdown: float,
+    *,
+    scale: float = 0.25,
+    p: int = 8,
+    s_elements: int = 80_000,
+    at: float = 0.0,
+) -> tuple["Platform", BlockGrid, "PlatformTimeline"]:
+    """The straggler scenario, defined once for both evaluation paths.
+
+    Returns ``(base_platform, grid, timeline)``: a homogeneous paper-scale
+    platform whose worker 0 (named ``"straggler"``) is slowed ``slowdown``×
+    by a timeline event at ``at``.  The *static* :func:`straggler_sweep`
+    materializes the post-event platform via
+    :meth:`~repro.sim.dynamic.PlatformTimeline.final_platform` (an onset at
+    t=0 and a from-the-start slowdown price identically); the *dynamic*
+    path replays the same timeline mid-run.
+    """
+    from ..core.layout import blocks_from_mb
+    from ..platform.generators import (
+        BASE_BANDWIDTH_MBPS,
+        BASE_GFLOPS,
+        c_from_mbps,
+        scaled_memory,
+        w_from_gflops,
+    )
+    from ..platform.model import Platform, Worker
+    from ..sim.dynamic import PlatformTimeline
+
+    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
+    c = c_from_mbps(BASE_BANDWIDTH_MBPS)
+    w = w_from_gflops(BASE_GFLOPS) / scale
+    m = scaled_memory(blocks_from_mb(1024), scale)
+    workers = [
+        Worker(i, c, w, m, name="straggler" if i == 0 else "") for i in range(p)
+    ]
+    platform = Platform(workers, name=f"straggler-x{slowdown:g}")
+    timeline = PlatformTimeline().straggle(at, 0, slowdown)
+    return platform, grid, timeline
+
+
 def straggler_sweep(
     slowdowns: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
     *,
@@ -238,23 +298,189 @@ def straggler_sweep(
     and converge to the (p-1)-worker makespan; heterogeneity-blind ones keep
     feeding it panels and inherit its pace.  The returned object reuses the
     :class:`HeterogeneitySweep` shape with ``ratio`` = the slowdown factor.
+    The slowdown itself is expressed as a :func:`straggler_scenario`
+    timeline event, so this static sweep and the dynamic-platform scenarios
+    share one definition.
     """
-    from ..platform.generators import BASE_BANDWIDTH_MBPS, BASE_GFLOPS, c_from_mbps, w_from_gflops
-    from ..platform.generators import scaled_memory
-    from ..core.layout import blocks_from_mb
-    from ..platform.model import Platform, Worker
-
     sweep = HeterogeneitySweep(algorithms=list(algorithms))
-    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
-    c = c_from_mbps(BASE_BANDWIDTH_MBPS)
-    w = w_from_gflops(BASE_GFLOPS) / scale
-    m = scaled_memory(blocks_from_mb(1024), scale)
     labelled = []
+    grid = scale_grid(BlockGrid.paper_instance(s_elements), scale)
     for slowdown in slowdowns:
-        workers = [
-            Worker(i, c, w * (slowdown if i == 0 else 1.0), m, name="straggler" if i == 0 else "")
-            for i in range(p)
-        ]
-        labelled.append((slowdown, Platform(workers, name=f"straggler-x{slowdown:g}")))
+        base, grid, timeline = straggler_scenario(
+            slowdown, scale=scale, p=p, s_elements=s_elements
+        )
+        labelled.append(
+            (slowdown, timeline.final_platform(base, name=f"straggler-x{slowdown:g}"))
+        )
     sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache, engine))
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# dynamic-platform sweeps (oblivious vs adaptive vs clairvoyant)
+# ----------------------------------------------------------------------
+
+#: Scenario families of :func:`dynamic_sweep`.
+DYNAMIC_SCENARIOS = ("straggler-onset", "bandwidth-degradation", "crash-recovery")
+
+
+@dataclass(frozen=True)
+class DynamicPoint:
+    """Measurements at one scenario severity.
+
+    ``makespans[algorithm][mode]`` holds the makespan of that algorithm's
+    oblivious / adaptive / clairvoyant evaluation; ``bound`` is the
+    steady-state lower bound on the scenario's final platform.
+    """
+
+    severity: float
+    makespans: dict[str, dict[str, float]]
+    bound: float
+
+    def ratio(self, algorithm: str, mode: str, reference: str = "clairvoyant") -> float:
+        """Makespan of ``mode`` relative to ``reference`` (NaN if missing)."""
+        per_alg = self.makespans.get(algorithm, {})
+        if mode not in per_alg or reference not in per_alg:
+            return float("nan")
+        return per_alg[mode] / per_alg[reference]
+
+
+@dataclass
+class DynamicSweep:
+    """A severity sweep of one dynamic scenario."""
+
+    scenario: str
+    algorithms: list[str]
+    modes: list[str]
+    points: list[DynamicPoint] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Severity × (algorithm, mode) makespans, with the
+        oblivious/clairvoyant and adaptive/clairvoyant gaps."""
+        gaps = "clairvoyant" in self.modes
+        header = f"{'sev':>6}"
+        for alg in self.algorithms:
+            for mode in self.modes:
+                header += f"{alg + ':' + mode[:3]:>15}"
+            if gaps:
+                header += f"{'obl/clv':>10}{'adp/clv':>10}"
+        lines = [header]
+        for pt in self.points:
+            row = f"{pt.severity:>6g}"
+            for alg in self.algorithms:
+                for mode in self.modes:
+                    ms = pt.makespans.get(alg, {}).get(mode)
+                    row += f"{ms:>15.1f}" if ms is not None else f"{'-':>15}"
+                if gaps:
+                    row += f"{pt.ratio(alg, 'oblivious'):>10.2f}"
+                    row += f"{pt.ratio(alg, 'adaptive'):>10.2f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def dynamic_scenario(
+    scenario: str,
+    severity: float,
+    *,
+    p: int = 8,
+    mu: int = 8,
+    scale: float = 1.0,
+    onset_frac: float = 0.3,
+) -> tuple["Platform", BlockGrid, "PlatformTimeline"]:
+    """Build one dynamic-platform instance: ``(platform, grid, timeline)``.
+
+    The base platform is homogeneous with synthetic units (``c = 1``,
+    ``w = 4 = 2 · (2pc/mu)`` — comfortably compute-bound, so every worker
+    enrolls) and a deliberately small chunk side ``mu`` so each worker owns
+    several chunks — the granularity online rescheduling needs.  Event
+    times are placed at ``onset_frac`` of the steady-state lower bound.
+
+    Scenarios (``severity`` =):
+      * ``straggler-onset`` — slowdown factor of worker 0's compute;
+      * ``bandwidth-degradation`` — factor on workers 0 and 1's link cost;
+      * ``crash-recovery`` — outage length as a fraction of the bound
+        (worker 0 crashes, then rejoins).
+    """
+    from ..platform.model import Platform, Worker
+    from ..sim.dynamic import PlatformTimeline
+
+    if scenario not in DYNAMIC_SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; known: {DYNAMIC_SCENARIOS}")
+    if severity <= 0:
+        raise ValueError("severity must be positive")
+    c = 1.0
+    w = 4.0 * p * c / mu  # 2 × the enroll-everyone threshold 2pc/mu
+    m = mu * mu + 4 * mu
+    platform = Platform(
+        [Worker(i, c, w, m) for i in range(p)], name=f"dyn-{scenario}-{severity:g}"
+    )
+    grid = BlockGrid(
+        r=max(1, round(24 * scale)),
+        t=max(2, round(20 * scale)),
+        s=max(p, round(240 * scale)),
+        q=4,
+    )
+    at = onset_frac * makespan_lower_bound(platform, grid)
+    timeline = PlatformTimeline()
+    if scenario == "straggler-onset":
+        timeline.straggle(at, 0, severity)
+    elif scenario == "bandwidth-degradation":
+        timeline.set_bandwidth(at, 0, c * severity)
+        timeline.set_bandwidth(at, 1, c * severity)
+    else:  # crash-recovery
+        timeline.crash(at, 0)
+        timeline.join(at + severity * makespan_lower_bound(platform, grid), 0)
+    return platform, grid, timeline
+
+
+def dynamic_sweep(
+    scenario: str = "straggler-onset",
+    severities: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
+    *,
+    algorithms: Sequence[str] = ("Het", "ODDOML"),
+    modes: Sequence[str] | None = None,
+    p: int = 8,
+    mu: int = 8,
+    scale: float = 1.0,
+    onset_frac: float = 0.3,
+) -> DynamicSweep:
+    """Quantify oblivious vs adaptive vs clairvoyant scheduling on one
+    dynamic scenario across severities.
+
+    Every base algorithm is evaluated through
+    :class:`~repro.schedulers.adaptive.AdaptiveScheduler` in each mode;
+    combinations that cannot be scheduled (or stall on a permanent crash)
+    are left out of the point's ``makespans``.
+    """
+    from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
+    from ..sim.dynamic import DynamicStall
+
+    mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
+    sweep = DynamicSweep(
+        scenario=scenario, algorithms=list(algorithms), modes=mode_list
+    )
+    for severity in severities:
+        platform, grid, timeline = dynamic_scenario(
+            scenario, severity, p=p, mu=mu, scale=scale, onset_frac=onset_frac
+        )
+        final = timeline.final_platform(platform)
+        makespans: dict[str, dict[str, float]] = {}
+        for name in algorithms:
+            per_mode: dict[str, float] = {}
+            for mode in mode_list:
+                wrapper = AdaptiveScheduler(make_scheduler(name), mode)
+                try:
+                    sim = wrapper.run_dynamic(platform, grid, timeline)
+                except (SchedulingError, DynamicStall):
+                    continue
+                per_mode[mode] = sim.makespan
+            if per_mode:
+                makespans[name] = per_mode
+        sweep.points.append(
+            DynamicPoint(
+                severity=severity,
+                makespans=makespans,
+                bound=makespan_lower_bound(final, grid),
+            )
+        )
     return sweep

@@ -1,5 +1,7 @@
-"""The paper's scheduling algorithms (Sections 4-6)."""
+"""The paper's scheduling algorithms (Sections 4-6) and the dynamic-platform
+adaptive wrapper."""
 
+from .adaptive import DYNAMIC_MODES, AdaptiveScheduler
 from .base import Scheduler, SchedulingError
 from .bmm import BMMScheduler
 from .demand_driven import ODDOMLScheduler
@@ -21,6 +23,8 @@ from .selection import (
 from .single_worker import MaxReuseSingleWorker
 
 __all__ = [
+    "DYNAMIC_MODES",
+    "AdaptiveScheduler",
     "Scheduler",
     "SchedulingError",
     "BMMScheduler",

@@ -1,0 +1,489 @@
+"""Online adaptive rescheduling over dynamic platforms.
+
+Every paper algorithm plans against a platform whose parameters never
+change; :class:`AdaptiveScheduler` wraps one of them and evaluates it on a
+:class:`~repro.sim.dynamic.PlatformTimeline` in three modes:
+
+``oblivious``
+    Plan once on the *initial* platform and replay the plan under the
+    timeline — what a static scheduler actually experiences when the
+    platform shifts under it.
+``adaptive``
+    Replay the same initial plan, but at every event boundary consider
+    *online rescheduling*: reclaim the not-yet-started work of degraded or
+    unreachable workers, replan the reclaimed columns with the wrapped
+    scheduler on the *now-current* platform, and optionally abandon
+    (kill + re-execute elsewhere) in-flight chunks.  Candidate reactions —
+    continue unchanged, migrate, migrate + kill — are scored by cloning the
+    live run (:meth:`~repro.sim.dynamic.DynamicRun.probe`) and running each
+    to completion under the current parameters; the best one is applied.
+    Partial row-bands that no column-level replan can absorb are assigned
+    to the earliest-finishing healthy worker through the Section 5
+    selection-time model (:class:`~repro.schedulers.selection
+    .SelectionState`'s ``speculate``/``rollback``).
+``clairvoyant``
+    Plan once on the timeline's *final* platform (knowing, up front, what
+    the platform will become), choosing between enrolling everyone and
+    fencing off the finally-degraded workers by simulated makespan — the
+    reference an online algorithm should be measured against.
+
+Adaptive replanning keeps makespan fidelity, not block coordinates:
+reclaimed columns are re-planned on a reduced grid whose column indices
+are not mapped back onto the original matrix (all engine costs depend only
+on chunk shapes), and abandoned work is re-executed, so ``total_updates``
+counts sunk partial computes.  Trace validation is therefore not supported
+for adaptive runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence
+
+from ..core.blocks import BlockGrid
+from ..core.chunks import Chunk, PanelCursor, make_chunk
+from ..platform.model import Platform, Worker
+from ..sim.allocator import PanelDemandAllocator
+from ..sim.dynamic import DynamicRun, DynamicStall, PlatformTimeline, simulate_dynamic
+from ..sim.engine import SimResult
+from ..sim.fastpath import fast_simulate
+from ..sim.plan import Plan
+from ..sim.policies import StrictOrderPolicy
+from ..sim.worker_state import CMode
+from .base import Scheduler, SchedulingError
+from .selection import SelectionState, usable_mus
+
+__all__ = ["DYNAMIC_MODES", "AdaptiveScheduler"]
+
+#: Evaluation modes per base algorithm (see the module docstring).
+DYNAMIC_MODES = ("oblivious", "adaptive", "clairvoyant")
+
+_INF = math.inf
+
+#: A reclaimed rectangle of C blocks awaiting reassignment.
+_Band = tuple[int, int, int, int]  # (i0, h, j0, width)
+
+
+def _remap_subplan(plan: Plan, include: Sequence[int], p: int, cid_base: int) -> Plan:
+    """Widen a plan built on ``subplatform(include)`` back to ``p`` workers.
+
+    Chunk ids are shifted by ``cid_base`` so they stay unique next to
+    chunks an in-flight run already owns; excluded workers get empty
+    pipelines.  Strict orders are index-mapped; spec-based ready policies
+    and ``c_mode`` carry over; a demand allocator is rebuilt with excluded
+    workers' sides zeroed.
+    """
+    assignments: list[list[Chunk]] = [[] for _ in range(p)]
+    depths = [2] * p
+    for sw, chunks in enumerate(plan.assignments):
+        rw = include[sw]
+        depths[rw] = plan.depths[sw]
+        for ch in chunks:
+            assignments[rw].append(
+                Chunk(
+                    cid=cid_base + ch.cid,
+                    worker=rw,
+                    i0=ch.i0,
+                    h=ch.h,
+                    j0=ch.j0,
+                    w=ch.w,
+                    rounds=ch.rounds,
+                )
+            )
+    policy = plan.policy
+    if isinstance(policy, StrictOrderPolicy):
+        policy = StrictOrderPolicy([include[sw] for sw in policy.order])
+    allocator = plan.allocator
+    if allocator is not None:
+        if not isinstance(allocator, PanelDemandAllocator):
+            raise SchedulingError(f"cannot remap allocator {type(allocator).__name__}")
+        sides = [0] * p
+        for sw, side in enumerate(allocator.sides):
+            sides[include[sw]] = side
+        remapped = PanelDemandAllocator(allocator.grid, sides, toledo=allocator.toledo)
+        remapped.rebase_cids(cid_base)
+        allocator = remapped
+    return Plan(
+        assignments=assignments,
+        policy=policy,
+        depths=depths,
+        allocator=allocator,
+        c_mode=plan.c_mode,
+        collect_events=False,
+        meta=dict(plan.meta),
+    )
+
+
+def _group_reclaimed(
+    chunks: Sequence[Chunk], r: int, *, columns_ok: bool
+) -> tuple[int, list[_Band]]:
+    """Split reclaimed chunks into whole columns and partial row-bands.
+
+    Chunks reclaimed from one worker walk panels top-to-bottom, so per
+    panel ``(j0, width)`` they form a contiguous bottom band.  With
+    ``columns_ok``, a band reaching row 0 over the full height counts as
+    ``width`` whole columns (eligible for a reduced-grid replan through the
+    base scheduler); otherwise every group stays a band.
+    """
+    panels: dict[tuple[int, int], list[Chunk]] = {}
+    for ch in chunks:
+        panels.setdefault((ch.j0, ch.w), []).append(ch)
+    columns = 0
+    bands: list[_Band] = []
+    for (j0, width), group in panels.items():
+        group.sort(key=lambda ch: ch.i0)
+        i0 = group[0].i0
+        h = sum(ch.h for ch in group)
+        if columns_ok and i0 == 0 and h == r:
+            columns += width
+        else:
+            bands.append((i0, h, j0, width))
+    return columns, bands
+
+
+class AdaptiveScheduler:
+    """Evaluate a base scheduler on a dynamic platform (see module doc).
+
+    Not a static :class:`~repro.schedulers.base.Scheduler`: there is no
+    single plan to compile — use :meth:`run_dynamic`.
+    """
+
+    def __init__(self, base: Scheduler, mode: str = "adaptive") -> None:
+        if mode not in DYNAMIC_MODES:
+            raise ValueError(f"unknown mode {mode!r}; known: {DYNAMIC_MODES}")
+        self.base = base
+        self.mode = mode
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}[{self.mode}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AdaptiveScheduler {self.name}>"
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run_dynamic(
+        self,
+        platform: Platform,
+        grid: BlockGrid,
+        timeline: PlatformTimeline,
+        collect_events: bool = False,
+    ) -> SimResult:
+        """Plan per the mode, replay under ``timeline``, return the result
+        (``meta["dynamic"]`` records mode, events and replan decisions).
+
+        ``collect_events`` selects the (traced) reference engine; it is
+        incompatible with the adaptive mode, whose controller needs the
+        fast engine's mutation surface.
+        """
+        if collect_events and self.mode == "adaptive":
+            raise ValueError(
+                "collect_events needs the reference engine, but adaptive "
+                "rescheduling runs on the fast engine; use oblivious or "
+                "clairvoyant mode for traced runs"
+            )
+        self._platform = platform
+        self._grid = grid
+        self._decisions: list[str] = []
+        if self.mode == "clairvoyant":
+            plan = self._clairvoyant_plan(platform, grid, timeline)
+        else:
+            plan = self.base.plan(platform, grid)
+        plan.collect_events = collect_events
+        if isinstance(plan.allocator, PanelDemandAllocator):
+            self._sides = plan.allocator.sides  # before any grants
+            self._toledo = plan.allocator.toledo
+        else:
+            self._sides = usable_mus(platform)
+            self._toledo = False
+        controller = self._on_boundary if self.mode == "adaptive" else None
+        result = simulate_dynamic(
+            platform,
+            plan,
+            timeline,
+            grid,
+            engine="reference" if collect_events else "fast",
+            controller=controller,
+        )
+        result.meta.setdefault("algorithm", self.name)
+        result.meta["dynamic"]["mode"] = self.mode
+        if self.mode == "adaptive":
+            result.meta["dynamic"]["decisions"] = list(self._decisions)
+        return result
+
+    # ------------------------------------------------------------------
+    # clairvoyant planning
+    # ------------------------------------------------------------------
+    def _clairvoyant_plan(
+        self, platform: Platform, grid: BlockGrid, timeline: PlatformTimeline
+    ) -> Plan:
+        final = timeline.final_platform(platform)
+        dead = timeline.crashed_at(_INF, final=True)
+        degraded = set(timeline.affected_workers(platform, _INF)) | dead
+        candidates: list[Plan] = []
+        seen: set[frozenset] = set()
+        for exclude in (frozenset(dead), frozenset(degraded)):
+            if exclude in seen:
+                continue
+            seen.add(exclude)
+            include = [i for i in range(platform.p) if i not in exclude]
+            if not include:
+                continue
+            try:
+                if len(include) == platform.p:
+                    cand = self.base.plan(final, grid)
+                else:
+                    sub = final.subplatform(include)
+                    cand = _remap_subplan(
+                        self.base.plan(sub, grid), include, platform.p, 0
+                    )
+            except SchedulingError:
+                continue
+            cand.collect_events = False
+            candidates.append(cand)
+        if not candidates:
+            raise SchedulingError(f"{self.name}: no feasible plan on the final platform")
+        # allocator plans are consumed by scoring: score a rebuilt copy
+        scores = [
+            fast_simulate(final, self._rescorable(cand)).makespan for cand in candidates
+        ]
+        best = min(range(len(candidates)), key=lambda i: (scores[i], i))
+        plan = candidates[best]
+        plan.meta["clairvoyant_estimate"] = scores[best]
+        return plan
+
+    @staticmethod
+    def _rescorable(plan: Plan) -> Plan:
+        """A scoring copy whose consumable allocator (if any) is cloned."""
+        if plan.allocator is None:
+            return plan
+        return Plan(
+            assignments=[list(chs) for chs in plan.assignments],
+            policy=plan.policy,
+            depths=list(plan.depths),
+            allocator=plan.allocator.clone(),
+            c_mode=plan.c_mode,
+            collect_events=False,
+            meta=dict(plan.meta),
+        )
+
+    # ------------------------------------------------------------------
+    # online rescheduling
+    # ------------------------------------------------------------------
+    def _on_boundary(self, run: DynamicRun, applied) -> None:
+        now = applied[-1].time if applied else 0.0
+        p = run.adapter.p
+        suspects = {
+            i
+            for i in range(p)
+            if run.avail[i] > now
+            or run.cur_cs[i] != run.base_cs[i]
+            or run.cur_ws[i] != run.base_ws[i]
+        }
+        candidates: list[tuple[str, Callable[[DynamicRun], None] | None]] = [
+            ("continue", None)
+        ]
+        for kill in (False, True):
+            migration = self._build_migration(run, suspects, kill)
+            if migration is not None:
+                candidates.append((f"migrate{'+kill' if kill else ''}", migration))
+            if not suspects:
+                break  # without suspects, kill=True is identical
+        if len(candidates) == 1:
+            # nothing to decide: skip the (full-simulation) scoring pass
+            self._decisions.append(f"t={now:g}:continue")
+            return
+        best_label, best_apply, best_score = "continue", None, _INF
+        for label, migration in candidates:
+            probe = run.probe()
+            try:
+                if migration is not None:
+                    migration(probe)
+                score = probe.finish()
+            except (DynamicStall, RuntimeError, SchedulingError):
+                continue
+            if score < best_score:
+                best_label, best_apply, best_score = label, migration, score
+        if best_apply is not None:
+            best_apply(run)
+        self._decisions.append(f"t={now:g}:{best_label}")
+
+    def _build_migration(
+        self, run: DynamicRun, suspects: set[int], kill: bool
+    ) -> Callable[[DynamicRun], None] | None:
+        """Compile one candidate reaction into a closure applicable to the
+        live run or any probe of it; ``None`` when it is a no-op or cannot
+        be built."""
+        platform = self._platform
+        grid = self._grid
+        p = platform.p
+        sides = self._sides
+        healthy = [
+            i
+            for i in range(p)
+            if i not in suspects and run.avail[i] != _INF and sides[i] >= 1
+        ]
+        if not healthy:
+            return None
+
+        # -- what gets reclaimed (read-only; probes replay this exactly)
+        reclaimed: list[Chunk] = []
+        for w in sorted(suspects):
+            pending = run.pending_chunks(w)
+            if pending and run.chunk_started(w) and not kill:
+                pending = pending[1:]
+            reclaimed.extend(pending)
+        # allocator runs: un-walked panel remainders held by suspect
+        # cursors, plus cursor exclusion/re-inclusion
+        new_allocator = None
+        if run.allocator is not None:
+            new_allocator = run.allocator.clone()
+            changed = False
+            for w in range(p):
+                cursor = new_allocator.cursors[w]
+                if w in suspects and cursor is not None:
+                    while cursor.has_next:
+                        ch = cursor.next_chunk(0)  # placeholder cid: geometry only
+                        if ch is not None:
+                            reclaimed.append(ch)
+                            changed = True
+                    new_allocator.cursors[w] = None
+                    changed = True
+                elif (
+                    w not in suspects
+                    and cursor is None
+                    and sides[w] >= 1
+                    and run.avail[w] != _INF
+                ):
+                    new_allocator.cursors[w] = PanelCursor(
+                        w, sides[w], new_allocator.grid, toledo=self._toledo
+                    )
+                    changed = True
+            if not changed:
+                new_allocator = None
+        if not reclaimed and new_allocator is None:
+            return None
+
+        # whole columns can go back through the wrapped scheduler; a demand
+        # allocator re-grants its own columns, so for allocator runs every
+        # already-granted reclaimed group is reassigned directly as a band
+        columns, bands = _group_reclaimed(
+            reclaimed, grid.r, columns_ok=run.allocator is None
+        )
+        cid_base = run.next_cid()
+
+        # -- replan whole columns with the wrapped scheduler on the
+        #    now-current platform
+        subplan = None
+        if columns > 0:
+            cur = Platform(
+                [
+                    Worker(k, run.cur_cs[i], run.cur_ws[i], platform[i].m)
+                    for k, i in enumerate(healthy)
+                ],
+                name="replan",
+            )
+            reduced = BlockGrid(r=grid.r, t=grid.t, s=columns, q=grid.q)
+            try:
+                subplan = _remap_subplan(self.base.plan(cur, reduced), healthy, p, cid_base)
+            except SchedulingError:
+                return None
+            cid_base += sum(len(chs) for chs in subplan.assignments)
+
+        # -- assign partial bands via the selection-time model
+        band_chunks: list[Chunk] = []
+        if bands:
+            eng = run.adapter.engine
+            mus = [sides[i] if i in healthy else 0 for i in range(p)]
+            state = SelectionState(
+                Platform(
+                    [
+                        Worker(i, run.cur_cs[i], run.cur_ws[i], platform[i].m)
+                        for i in range(p)
+                    ],
+                    name="bands",
+                ),
+                grid,
+                mus,
+                count_c=True,
+            )
+            state.port_free = eng.port_free
+            state.ready = list(eng._comp_free)
+            for i0, h, j0, width, target in self._place_bands(bands, state, healthy):
+                side = sides[target]
+                for dj in range(0, width, side):
+                    bw = min(side, width - dj)
+                    for di in range(0, h, side):
+                        bh = min(side, h - di)
+                        band_chunks.append(
+                            make_chunk(
+                                cid_base,
+                                target,
+                                i0 + di,
+                                bh,
+                                j0 + dj,
+                                bw,
+                                grid.t,
+                                toledo=self._toledo,
+                                sigma=side if self._toledo else None,
+                            )
+                        )
+                        cid_base += 1
+
+        # -- strict orders: the spliced tail covering replacement messages
+        order_tail: list[int] | None = None
+        if run._order is not None:
+            extra = (1 if run.c_mode is not CMode.NONE else 0) + (
+                1 if run.c_mode is CMode.BOTH else 0
+            )
+            order_tail = []
+            if subplan is not None:
+                order_tail.extend(subplan.policy.order)
+            for ch in band_chunks:
+                order_tail.extend([ch.worker] * (len(ch.rounds) + extra))
+
+        new_chunks: list[tuple[int, Chunk]] = []
+        if subplan is not None:
+            for rw, chunks in enumerate(subplan.assignments):
+                for ch in chunks:
+                    new_chunks.append((rw, ch))
+        for ch in band_chunks:
+            new_chunks.append((ch.worker, ch))
+
+        cid_top = cid_base  # first id above every chunk this migration makes
+
+        def apply(target: DynamicRun) -> None:
+            for w in sorted(suspects):
+                target.reclaim_unstarted(w)
+                if kill:
+                    target.kill_in_flight(w)
+            if order_tail is not None:
+                # count pending messages before appending replacements
+                target.rebuild_strict_order(order_tail)
+            if new_allocator is not None:
+                alloc = new_allocator.clone()
+                alloc.rebase_cids(max(alloc.next_cid, cid_top))
+                target.set_allocator(alloc)
+            for w, ch in new_chunks:
+                target.append_chunk(w, ch)
+
+        return apply
+
+    @staticmethod
+    def _place_bands(
+        bands: Sequence[_Band], state: SelectionState, healthy: Sequence[int]
+    ) -> Iterator[tuple[int, int, int, int, int]]:
+        """Greedy earliest-completion placement of reclaimed bands, largest
+        first, speculating each candidate through the selection-time model
+        and rolling back (Section 5's delta-update idiom)."""
+        for i0, h, j0, width in sorted(bands, key=lambda b: (-(b[1] * b[3]), b[0], b[2])):
+            best, best_done = healthy[0], _INF
+            for i in healthy:
+                token, _, comp_end = state.speculate(i)
+                state.rollback(token)
+                if comp_end < best_done:
+                    best, best_done = i, comp_end
+            state.assign(best)
+            yield i0, h, j0, width, best

@@ -1,7 +1,21 @@
 """One-port discrete-event simulation of star master-worker platforms."""
 
 from .allocator import Allocator, PanelDemandAllocator
-from .batch import BatchEngine, BatchOutcome, batch_outcomes, batch_simulate, supports_batch
+from .batch import (
+    BatchCompileCache,
+    BatchEngine,
+    BatchOutcome,
+    batch_outcomes,
+    batch_simulate,
+    supports_batch,
+)
+from .dynamic import (
+    DynamicRun,
+    DynamicStall,
+    PlatformTimeline,
+    TimelineEvent,
+    simulate_dynamic,
+)
 from .engine import Engine, SimResult, WorkerStats, simulate
 from .fastpath import FastEngine, fast_simulate, supports_fast_path
 from .plan import Plan
@@ -11,6 +25,7 @@ from .policies import (
     ReadyPolicy,
     StrictOrderPolicy,
     demand_priority,
+    key_spec_of,
     resolve_key_spec,
     selection_order_priority,
 )
@@ -28,17 +43,24 @@ __all__ = [
     "FastEngine",
     "fast_simulate",
     "supports_fast_path",
+    "BatchCompileCache",
     "BatchEngine",
     "BatchOutcome",
     "batch_outcomes",
     "batch_simulate",
     "supports_batch",
+    "DynamicRun",
+    "DynamicStall",
+    "PlatformTimeline",
+    "TimelineEvent",
+    "simulate_dynamic",
     "Plan",
     "PolicyKeySpec",
     "PortPolicy",
     "ReadyPolicy",
     "StrictOrderPolicy",
     "demand_priority",
+    "key_spec_of",
     "resolve_key_spec",
     "selection_order_priority",
     "compute_records",

@@ -80,3 +80,35 @@ class PanelDemandAllocator(Allocator):
             if chunk is not None:
                 self._next_cid += 1
                 assign_chunk(widx, chunk)
+
+    @property
+    def sides(self) -> list[int]:
+        """Per-worker chunk side (0 = excluded)."""
+        return [0 if cur is None else cur.side for cur in self.cursors]
+
+    @property
+    def toledo(self) -> bool:
+        """Whether materialized chunks use Toledo's round structure."""
+        return any(cur.toledo for cur in self.cursors if cur is not None)
+
+    @property
+    def next_cid(self) -> int:
+        """Chunk id the next materialized chunk will receive."""
+        return self._next_cid
+
+    def rebase_cids(self, next_cid: int) -> None:
+        """Continue numbering materialized chunks from ``next_cid`` (the
+        dynamic layer splices allocators into runs with existing chunks)."""
+        if next_cid < self._next_cid:
+            raise ValueError("cannot rebase chunk ids backwards")
+        self._next_cid = next_cid
+
+    def clone(self) -> "PanelDemandAllocator":
+        """Copy with identical grant/walk state, so a what-if continuation
+        can consume panels without disturbing this allocator."""
+        other = PanelDemandAllocator.__new__(PanelDemandAllocator)
+        other.grid = self.grid
+        other.panels = self.panels.clone()
+        other.cursors = [None if cur is None else cur.clone() for cur in self.cursors]
+        other._next_cid = self._next_cid
+        return other

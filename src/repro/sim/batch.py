@@ -69,11 +69,12 @@ from ..platform.model import Platform
 from .engine import WorkerStats
 from .fastpath import fast_simulate
 from .plan import Plan
-from .policies import ReadyPolicy, StrictOrderPolicy, resolve_key_spec
+from .policies import ReadyPolicy, StrictOrderPolicy, key_spec_of
 from .worker_state import CMode
 
 __all__ = [
     "BatchEngine",
+    "BatchCompileCache",
     "BatchOutcome",
     "batch_outcomes",
     "batch_simulate",
@@ -109,7 +110,7 @@ def _batch_mode(plan: Plan):
     if isinstance(policy, StrictOrderPolicy):
         return "strict"
     if isinstance(policy, ReadyPolicy):
-        spec = resolve_key_spec(policy.priority)
+        spec = key_spec_of(policy.priority)
         if spec is not None:
             return ("ready", spec.fields)
     return None
@@ -163,16 +164,118 @@ class BatchOutcome:
         )
 
 
+class BatchCompileCache:
+    """Compiled-stream cache shared across :class:`BatchEngine` instances.
+
+    Compiling a batch splits per-(instance, worker) work into three layers,
+    each cached at its natural sharing granularity:
+
+    * ``tmpl`` — per chunk *shape*: the (kind, nblocks, updates) message
+      template of one round structure (shared by thousands of chunks);
+    * ``struct`` — per ``(plan, worker)``: the concatenated message stream
+      with relative legal-start/ring-slot indices — everything that does
+      not depend on the worker's ``(c, w)`` scalars or the batch layout;
+    * ``stream`` — per ``(plan, worker, c, w)``: the pre-multiplied
+      port/compute cost arrays.
+
+    Candidate populations that share plan objects (HomI shares one scoring
+    plan per ``(n, mu)`` across threshold candidates; a sweep resubmitting
+    the same plan) then recompile nothing but — at most — the two cost
+    multiplies.  One cache instance is created per :func:`batch_outcomes`
+    call and shared across its length buckets; pass an explicit instance to
+    reuse compilations across calls.  Cached values keep their plan (and
+    rounds tuple) alive, so the ``id()``-based keys cannot be recycled
+    while the cache exists.
+    """
+
+    __slots__ = ("tmpl", "struct", "stream")
+
+    def __init__(self) -> None:
+        self.tmpl: dict[tuple, tuple] = {}
+        self.struct: dict[tuple, tuple] = {}
+        self.stream: dict[tuple, tuple] = {}
+
+    def clear(self) -> None:
+        self.tmpl.clear()
+        self.struct.clear()
+        self.stream.clear()
+
+    def worker_struct(self, plan: Plan, w: int, chunk_template) -> tuple:
+        """Parameter-independent message stream of ``plan``'s worker ``w``
+        (must have at least one chunk)."""
+        key = (id(plan), w)
+        hit = self.struct.get(key)
+        if hit is not None:
+            return hit[1]
+        chunks = plan.assignments[w]
+        depth = plan.depths[w]
+        tmpls = [chunk_template(ch, plan.c_mode) for ch in chunks]
+        kind = np.concatenate([t[0] for t in tmpls])
+        nb = np.concatenate([t[1] for t in tmpls])
+        upd = np.concatenate([t[2] for t in tmpls])
+        cid = np.repeat(
+            np.fromiter((ch.cid for ch in chunks), np.int64, len(chunks)),
+            np.fromiter((t[0].size for t in tmpls), np.int64, len(tmpls)),
+        )
+        is_round = kind == _K_ROUND
+        g = np.cumsum(is_round) - 1  # global round index per worker
+        rel_ring = 3 + (g % depth)  # ring slot, relative to the S segment
+        # legal-start source, relative to the segment base: 0 = c_return_end
+        # slot, 1 = compute_end slot, -1 = the frozen 0.0 (warm-up rounds),
+        # else the ring slot of round (g - depth)
+        rel_legal = np.where(
+            kind == _K_C_SEND,
+            0,
+            np.where(kind == _K_C_RETURN, 1, np.where(g < depth, -1, rel_ring)),
+        )
+        blocks_out = int(nb[kind == _K_C_RETURN].sum())
+        struct = (
+            kind,
+            nb,
+            upd,
+            cid,
+            rel_legal,
+            rel_ring,
+            int(nb.sum()) - blocks_out,
+            blocks_out,
+            int(upd.sum()),
+        )
+        self.struct[key] = (plan, struct)
+        return struct
+
+    def worker_stream(
+        self, plan: Plan, w: int, c: float, wcost: float, nb: np.ndarray, upd: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pre-multiplied (comm, comp) cost arrays for worker params
+        ``(c, wcost)`` — one vectorized multiply per stream on a miss,
+        IEEE-identical to the scalar engines' per-message products."""
+        key = (id(plan), w, c, wcost)
+        hit = self.stream.get(key)
+        if hit is not None:
+            return hit[1], hit[2]
+        comm = nb * c
+        comp = upd * wcost
+        self.stream[key] = (plan, comm, comp)
+        return comm, comp
+
+
 class BatchEngine:
     """Vectorized one-port simulator over ``B`` compatible instances.
 
     All plans must share one replay mode (all strict-order, or all ready
     with the same :class:`~repro.sim.policies.PolicyKeySpec`);
     :func:`batch_simulate` groups arbitrary run lists into compatible
-    engines automatically.
+    engines automatically.  ``compile_cache`` shares compiled streams with
+    other engines (see :class:`BatchCompileCache`).
     """
 
-    def __init__(self, runs: Sequence[tuple[Platform, Plan]]) -> None:
+    def __init__(
+        self,
+        runs: Sequence[tuple[Platform, Plan]],
+        *,
+        compile_cache: BatchCompileCache | None = None,
+    ) -> None:
+        self._cache = compile_cache if compile_cache is not None else BatchCompileCache()
         if not runs:
             raise ValueError("need at least one (platform, plan) run")
         modes = {_batch_mode(plan) for _platform, plan in runs}
@@ -190,7 +293,6 @@ class BatchEngine:
         (mode,) = modes
         self._strict = mode == "strict"
         self._key_fields: tuple[str, ...] = () if self._strict else mode[1]
-        self._tmpl_cache: dict[tuple, tuple] = {}
         self._compile(runs)
         self._t = 0
 
@@ -209,7 +311,7 @@ class BatchEngine:
         ``nblocks * c`` / ``updates * w``.
         """
         key = (id(chunk.rounds), chunk.h, chunk.w, c_mode)
-        cached = self._tmpl_cache.get(key)
+        cached = self._cache.tmpl.get(key)
         if cached is not None:
             return cached
         kinds, nbs, upds = [], [], []
@@ -232,7 +334,7 @@ class BatchEngine:
             np.array(upds, dtype=np.int64),
             chunk.rounds,
         )
-        self._tmpl_cache[key] = tmpl
+        self._cache.tmpl[key] = tmpl
         return tmpl
 
     def _compile(self, runs: Sequence[tuple[Platform, Plan]]) -> None:
@@ -291,44 +393,38 @@ class BatchEngine:
                 if not chunks:
                     end[b, w] = pos
                     continue
-                tmpls = [self._chunk_template(ch, plan.c_mode) for ch in chunks]
-                kind = np.concatenate([t[0] for t in tmpls])
-                nb = np.concatenate([t[1] for t in tmpls])
-                upd = np.concatenate([t[2] for t in tmpls])
+                (
+                    kind,
+                    nb,
+                    upd,
+                    cid,
+                    rel_legal,
+                    rel_ring,
+                    blocks_in,
+                    blocks_out,
+                    updates,
+                ) = self._cache.worker_struct(plan, w, self._chunk_template)
+                comm, comp = self._cache.worker_stream(
+                    plan, w, worker.c, worker.w, nb, upd
+                )
                 n = kind.size
                 sl = slice(pos, pos + n)
                 f_kind[sl] = kind
                 f_nb[sl] = nb
-                # one vectorized multiply per stream == the scalar engines'
-                # per-message `nblocks * c` / `updates * w` (IEEE-identical)
-                f_comm[sl] = nb * worker.c
-                f_comp[sl] = upd * worker.w
+                f_comm[sl] = comm
+                f_comp[sl] = comp
                 f_upd[sl] = upd
-                f_cid[sl] = np.repeat(
-                    np.fromiter((ch.cid for ch in chunks), np.int64, len(chunks)),
-                    np.fromiter((t[0].size for t in tmpls), np.int64, len(tmpls)),
-                )
+                f_cid[sl] = cid
                 pos += n
                 end[b, w] = pos
-                # legal-start sources and ring slots, vectorized per stream
-                is_round = kind == _K_ROUND
-                g = np.cumsum(is_round) - 1  # global round index per worker
-                slot = seg[b, w] + 3 + (g % depth)
-                f_ring[sl] = slot
-                f_legal[sl] = np.where(
-                    kind == _K_C_SEND,
-                    seg[b, w],
-                    np.where(
-                        kind == _K_C_RETURN,
-                        seg[b, w] + 1,
-                        np.where(g < depth, 0, slot),
-                    ),
-                )
-                # timing-independent statistics
-                blocks_out = nb[kind == _K_C_RETURN].sum()
+                # relative legal/ring indices anchored at this (b, w)'s S
+                # segment; -1 marks the frozen 0.0 warm-up slot
+                s0 = seg[b, w]
+                f_ring[sl] = s0 + rel_ring
+                f_legal[sl] = np.where(rel_legal < 0, 0, s0 + rel_legal)
                 self._stat_blocks_out[b, w] = blocks_out
-                self._stat_blocks_in[b, w] = nb.sum() - blocks_out
-                self._stat_updates[b, w] = upd.sum()
+                self._stat_blocks_in[b, w] = blocks_in
+                self._stat_updates[b, w] = updates
         assert pos == total_msgs
         self._flat = (f_kind, f_nb, f_comm, f_comp, f_upd, f_cid, f_legal, f_ring)
         self._base, self._end, self._seg, self._depth = base, end, seg, depth_arr
@@ -544,7 +640,11 @@ class BatchEngine:
     # ------------------------------------------------------------------
     @classmethod
     def shared_prefix(
-        cls, runs: Sequence[tuple[Platform, Plan]], prefix_steps: int
+        cls,
+        runs: Sequence[tuple[Platform, Plan]],
+        prefix_steps: int,
+        *,
+        compile_cache: BatchCompileCache | None = None,
     ) -> "BatchEngine":
         """Build a batch whose instances all share their first
         ``prefix_steps`` port messages, simulating the prefix only once.
@@ -556,7 +656,7 @@ class BatchEngine:
         really must be shared: per-instance orders, the touched message
         streams and their prefetch depths are verified to match.
         """
-        full = cls(runs)
+        full = cls(runs, compile_cache=compile_cache)
         if not full._strict:
             raise TypeError("shared_prefix requires strict-order plans")
         if prefix_steps <= 0:
@@ -565,7 +665,7 @@ class BatchEngine:
             raise ValueError("prefix_steps exceeds the shortest instance")
         full._verify_shared_prefix(prefix_steps)
 
-        sub = cls([full._runs[0]])
+        sub = cls([full._runs[0]], compile_cache=full._cache)
         sub.run(max_steps=prefix_steps)
         # broadcast the prefix state: per-instance scalars, then each
         # touched worker's S segment (c_return_end, compute_end,
@@ -706,6 +806,7 @@ def batch_outcomes(
     *,
     force: bool = False,
     min_batch: int = MIN_VECTOR_BATCH,
+    compile_cache: BatchCompileCache | None = None,
 ) -> list[BatchOutcome]:
     """Simulate every ``(platform, plan)`` run, vectorizing compatible
     groups, and return per-run outcomes in input order.
@@ -715,8 +816,12 @@ def batch_outcomes(
     numpy per-step dispatch (>= ``min_batch``, or any size with
     ``force=True``) runs on :class:`BatchEngine` instances, the rest --
     including plans the batch layer cannot interpret at all -- go through
-    the scalar fast path.  Results are bit-identical either way.
+    the scalar fast path.  Results are bit-identical either way.  All
+    buckets share one :class:`BatchCompileCache` (``compile_cache`` or a
+    fresh one), so candidates that share plan objects — e.g. HomI's scoring
+    plans per ``(n, mu)`` — compile their message streams once per call.
     """
+    cache = compile_cache if compile_cache is not None else BatchCompileCache()
     steps = [_plan_steps(plan) for _pf, plan in runs]
     groups: dict[Any, list[int]] = {}
     for i, (_platform, plan) in enumerate(runs):
@@ -736,7 +841,7 @@ def batch_outcomes(
                 for i in bucket:
                     out[i] = _fallback_outcome(*runs[i])
                 continue
-            engine = BatchEngine([runs[i] for i in bucket]).run()
+            engine = BatchEngine([runs[i] for i in bucket], compile_cache=cache).run()
             for i, outcome in zip(bucket, engine.outcomes()):
                 out[i] = outcome
     return out  # type: ignore[return-value]
@@ -747,6 +852,7 @@ def batch_simulate(
     *,
     force: bool = False,
     min_batch: int = MIN_VECTOR_BATCH,
+    compile_cache: BatchCompileCache | None = None,
 ) -> np.ndarray:
     """Makespan of every ``(platform, plan)`` run, in input order.
 
@@ -758,7 +864,7 @@ def batch_simulate(
     """
     if not len(runs):
         return np.zeros(0, dtype=np.float64)
-    return np.array(
-        [o.makespan for o in batch_outcomes(runs, force=force, min_batch=min_batch)],
-        dtype=np.float64,
+    outcomes = batch_outcomes(
+        runs, force=force, min_batch=min_batch, compile_cache=compile_cache
     )
+    return np.array([o.makespan for o in outcomes], dtype=np.float64)

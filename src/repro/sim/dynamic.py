@@ -1,0 +1,786 @@
+"""Dynamic platforms: event timelines and segmented simulation.
+
+The paper evaluates schedulers on platforms whose bandwidths and speeds
+are fixed for the whole run.  This module opens the *non-stationary*
+scenario family: a :class:`PlatformTimeline` is a declarative list of
+piecewise-constant :class:`TimelineEvent`\\ s — bandwidth and speed changes,
+straggler onset and recovery, worker crash and (re)join — and
+:func:`simulate_dynamic` is a segmented driver that replays any plan the
+existing engines understand, cutting the run at each event boundary,
+rescaling the affected worker's pre-multiplied port/compute costs, and
+resuming.
+
+**Segmentation semantics.**  Events are piecewise-constant at *message
+granularity*, matching the block-level cost model of the engines: an event
+at time ``T`` governs every port message whose start time is ``>= T`` (and
+the compute that message schedules); a message already started before ``T``
+completes at its old rates.  Crash windows are availability floors: a
+crashed worker cannot be served between its ``crash`` and the matching
+``join`` (its already-delivered rounds keep computing — the model is a
+network outage, not a power loss); a ``crash`` with no later ``join``
+permanently removes the worker, and a run that still holds messages for it
+raises :class:`DynamicStall` unless a controller migrates the work.
+
+**Bit-identity.**  With an empty timeline the driver posts exactly the
+message sequence of :func:`~repro.sim.fastpath.fast_simulate`, through the
+same :meth:`~repro.sim.fastpath.FastEngine.post_next` arithmetic, so
+makespans and per-worker statistics are bit-identical (the property wall in
+``tests/test_dynamic.py`` pins this across the scheduler × CMode × policy
+matrix).  The same timeline interpretation also runs on the reference
+event engine (``engine="reference"``) for the equivalence wall.
+
+**Online control.**  A ``controller`` callback fires at every event
+boundary with the live :class:`DynamicRun`; it may reclaim unstarted
+chunks, kill in-flight chunks, append replacement chunks, splice a strict
+order or swap the demand allocator — the mechanism under
+:class:`repro.schedulers.adaptive.AdaptiveScheduler`'s online rescheduling.
+:meth:`DynamicRun.probe` clones the whole run (engine, allocator, policy
+cursor) so candidate replans can be scored by running them to completion
+under the *current* parameters without disturbing — or peeking past — the
+live run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from ..core.blocks import BlockGrid
+from ..core.chunks import Chunk
+from ..platform.model import Platform, Worker
+from .allocator import PanelDemandAllocator
+from .engine import Engine, SimResult
+from .fastpath import FastEngine, supports_fast_path
+from .plan import Plan
+from .policies import ReadyPolicy, StrictOrderPolicy, key_spec_of
+from .worker_state import CMode
+
+__all__ = [
+    "EVENT_KINDS",
+    "TimelineEvent",
+    "PlatformTimeline",
+    "DynamicStall",
+    "DynamicRun",
+    "simulate_dynamic",
+]
+
+_INF = math.inf
+
+#: Recognized event kinds (see :class:`PlatformTimeline`'s builders).
+EVENT_KINDS = ("set_bandwidth", "set_speed", "straggle", "recover", "crash", "join")
+
+_VALUE_KINDS = frozenset(("set_bandwidth", "set_speed", "straggle"))
+
+
+class DynamicStall(RuntimeError):
+    """The schedule cannot make progress: every remaining message belongs
+    to a worker that crashed and never rejoins."""
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One piecewise-constant platform change.
+
+    ``value`` is the new ``c`` (``set_bandwidth``), the new ``w``
+    (``set_speed``) or the slowdown factor applied to the *base* ``w``
+    (``straggle``); ``recover``/``crash``/``join`` carry no value.
+    """
+
+    time: float
+    kind: str
+    worker: int
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; known: {EVENT_KINDS}")
+        if not (self.time >= 0.0 and math.isfinite(self.time)):
+            raise ValueError(f"event time must be finite and >= 0, got {self.time!r}")
+        if self.worker < 0:
+            raise ValueError("event worker index must be non-negative")
+        if self.kind in _VALUE_KINDS:
+            if self.value is None or not (self.value > 0 and math.isfinite(self.value)):
+                raise ValueError(f"{self.kind} needs a positive finite value")
+        elif self.value is not None:
+            raise ValueError(f"{self.kind} takes no value")
+
+
+class PlatformTimeline:
+    """Declarative, time-ordered list of platform events.
+
+    Builder methods append an event and return ``self`` for chaining::
+
+        timeline = (
+            PlatformTimeline()
+            .straggle(at=150.0, worker=0, factor=16.0)
+            .recover(at=900.0, worker=0)
+        )
+
+    Events at equal times apply in insertion order.  ``straggle`` composes
+    against the *base* platform (a second straggle replaces, not stacks);
+    ``recover`` restores the base ``(c, w)``.
+    """
+
+    def __init__(self, events: Iterable[TimelineEvent] = ()) -> None:
+        self._events = sorted(events, key=lambda ev: ev.time)
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def _add(self, event: TimelineEvent) -> "PlatformTimeline":
+        # insert after existing events with the same time (stable order)
+        idx = len(self._events)
+        while idx > 0 and self._events[idx - 1].time > event.time:
+            idx -= 1
+        self._events.insert(idx, event)
+        return self
+
+    def set_bandwidth(self, at: float, worker: int, c: float) -> "PlatformTimeline":
+        """From ``at`` on, worker ``worker`` costs ``c`` s/block on the link."""
+        return self._add(TimelineEvent(at, "set_bandwidth", worker, c))
+
+    def set_speed(self, at: float, worker: int, w: float) -> "PlatformTimeline":
+        """From ``at`` on, worker ``worker`` costs ``w`` s/update."""
+        return self._add(TimelineEvent(at, "set_speed", worker, w))
+
+    def straggle(self, at: float, worker: int, factor: float) -> "PlatformTimeline":
+        """From ``at`` on, worker ``worker`` computes ``factor``× slower
+        than its base speed."""
+        return self._add(TimelineEvent(at, "straggle", worker, factor))
+
+    def recover(self, at: float, worker: int) -> "PlatformTimeline":
+        """Restore worker ``worker``'s base ``(c, w)`` at ``at``."""
+        return self._add(TimelineEvent(at, "recover", worker))
+
+    def crash(self, at: float, worker: int) -> "PlatformTimeline":
+        """Worker ``worker`` becomes unreachable at ``at`` (until a later
+        ``join``; forever if none follows)."""
+        return self._add(TimelineEvent(at, "crash", worker))
+
+    def join(self, at: float, worker: int) -> "PlatformTimeline":
+        """Worker ``worker`` becomes reachable again at ``at``."""
+        return self._add(TimelineEvent(at, "join", worker))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[TimelineEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def empty(self) -> bool:
+        return not self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlatformTimeline({len(self._events)} events)"
+
+    def validate_for(self, platform: Platform) -> None:
+        """Raise when an event names a worker outside ``platform``."""
+        for ev in self._events:
+            if ev.worker >= platform.p:
+                raise ValueError(
+                    f"timeline event {ev.kind!r} names worker {ev.worker} "
+                    f"but the platform has only {platform.p}"
+                )
+
+    # ------------------------------------------------------------------
+    # platform views
+    # ------------------------------------------------------------------
+    def params_at(self, base: Platform, time: float) -> tuple[list[float], list[float]]:
+        """Per-worker ``(cs, ws)`` in force at ``time`` (events at exactly
+        ``time`` included), derived from the ``base`` platform.
+
+        The arithmetic here is the single source of truth: the segmented
+        driver applies events through the same expressions, so a platform
+        materialized via :meth:`platform_at` prices messages exactly like
+        the corresponding segment of a dynamic run.
+        """
+        cs, ws = list(base.cs), list(base.ws)
+        for ev in self._events:
+            if ev.time > time:
+                break
+            i = ev.worker
+            if ev.kind == "set_bandwidth":
+                cs[i] = ev.value
+            elif ev.kind == "set_speed":
+                ws[i] = ev.value
+            elif ev.kind == "straggle":
+                ws[i] = base[i].w * ev.value
+            elif ev.kind == "recover":
+                cs[i], ws[i] = base[i].c, base[i].w
+        return cs, ws
+
+    def platform_at(self, base: Platform, time: float, name: str = "") -> Platform:
+        """The platform as priced at ``time`` (memories and names kept)."""
+        cs, ws = self.params_at(base, time)
+        workers = [
+            Worker(wk.index, cs[wk.index], ws[wk.index], wk.m, wk.name) for wk in base
+        ]
+        return Platform(workers, name=name or f"{base.name}@t{time:g}")
+
+    def final_platform(self, base: Platform, name: str = "") -> Platform:
+        """The platform after the last event (the clairvoyant planner's
+        "true" platform)."""
+        last = self._events[-1].time if self._events else 0.0
+        return self.platform_at(base, last, name=name or f"{base.name}@final")
+
+    def crashed_at(self, time: float, *, final: bool = False) -> set[int]:
+        """Workers unreachable at ``time`` — or, with ``final``, workers
+        that never rejoin at all."""
+        down: set[int] = set()
+        for ev in self._events:
+            if not final and ev.time > time:
+                break
+            if ev.kind == "crash":
+                down.add(ev.worker)
+            elif ev.kind == "join":
+                down.discard(ev.worker)
+        return down
+
+    def affected_workers(self, base: Platform, time: float) -> list[int]:
+        """Workers whose parameters at ``time`` differ from ``base``, or
+        that are unreachable at ``time``."""
+        cs, ws = self.params_at(base, time)
+        down = self.crashed_at(time)
+        return [
+            i
+            for i in range(base.p)
+            if i in down or cs[i] != base[i].c or ws[i] != base[i].w
+        ]
+
+
+# ----------------------------------------------------------------------
+# engine adapters
+# ----------------------------------------------------------------------
+class _FastAdapter:
+    """Flat-array engine behind the segmented driver (the default)."""
+
+    supports_control = True
+
+    def __init__(self, platform: Platform, plan: Plan) -> None:
+        self.platform = platform
+        self.engine = FastEngine(platform, depths=plan.depths, c_mode=plan.c_mode)
+        for widx, chunks in enumerate(plan.assignments):
+            for ch in chunks:
+                self.engine.assign_chunk(widx, ch)
+
+    @property
+    def p(self) -> int:
+        return self.platform.p
+
+    @property
+    def port_free(self) -> float:
+        return self.engine.port_free
+
+    def has_pending(self, i: int) -> bool:
+        return self.engine.has_pending(i)
+
+    def head_legal(self, i: int) -> float:
+        return self.engine._head_legal[i]
+
+    def head_cid(self, i: int) -> int:
+        return self.engine._head_cid[i]
+
+    def post(self, i: int, min_start: float) -> None:
+        self.engine.post_next(i, min_start)
+
+    def set_params(self, i: int, c: float, w: float) -> None:
+        self.engine.set_worker_params(i, c, w)
+
+    def refill(self, allocator: PanelDemandAllocator) -> None:
+        allocator.refill_via(self.engine.has_pending, self.engine.assign_chunk)
+
+    @property
+    def pending_workers(self) -> list[int]:
+        return self.engine.pending_workers
+
+    def result(self, grid, meta) -> SimResult:
+        return self.engine.result(grid=grid, meta=meta)
+
+    def clone(self) -> "_FastAdapter":
+        other = _FastAdapter.__new__(_FastAdapter)
+        other.platform = self.platform
+        other.engine = self.engine.clone()
+        return other
+
+
+class _ReferenceAdapter:
+    """Event-engine interpretation of the same timeline semantics (the
+    equivalence wall's second witness; also keeps full traces)."""
+
+    supports_control = False
+
+    def __init__(self, platform: Platform, plan: Plan) -> None:
+        self.platform = platform
+        self.engine = Engine(
+            platform,
+            depths=plan.depths,
+            c_mode=plan.c_mode,
+            collect_events=plan.collect_events,
+        )
+        for widx, chunks in enumerate(plan.assignments):
+            for ch in chunks:
+                self.engine.assign_chunk(widx, ch)
+
+    @property
+    def p(self) -> int:
+        return self.platform.p
+
+    @property
+    def port_free(self) -> float:
+        return self.engine.port_free
+
+    def has_pending(self, i: int) -> bool:
+        return self.engine.has_pending(i)
+
+    def head_legal(self, i: int) -> float:
+        return self.engine.legal_start(i)
+
+    def head_cid(self, i: int) -> int:
+        return self.engine.head(i).chunk.cid
+
+    def post(self, i: int, min_start: float) -> None:
+        self.engine.post_next(i, min_start)
+
+    def set_params(self, i: int, c: float, w: float) -> None:
+        ws = self.engine.workers[i]
+        ws.worker = replace(ws.worker, c=c, w=w)
+
+    def refill(self, allocator: PanelDemandAllocator) -> None:
+        allocator.refill(self.engine)
+
+    @property
+    def pending_workers(self) -> list[int]:
+        return self.engine.pending_workers
+
+    def result(self, grid, meta) -> SimResult:
+        return self.engine.result(grid=grid, meta=meta)
+
+    def clone(self) -> "_ReferenceAdapter":
+        raise TypeError("online control requires the fast engine")
+
+
+# ----------------------------------------------------------------------
+# the segmented driver
+# ----------------------------------------------------------------------
+class DynamicRun:
+    """One segmented simulation in flight.
+
+    Most callers go through :func:`simulate_dynamic`; controllers receive
+    the live run and use the mutation helpers (``reclaim_unstarted``,
+    ``kill_in_flight``, ``append_chunk``, ``set_allocator``,
+    ``rebuild_strict_order``) plus :meth:`probe` for what-if scoring.
+    """
+
+    def __init__(
+        self,
+        adapter,
+        plan: Plan,
+        events: Sequence[TimelineEvent],
+        base_cs: Sequence[float],
+        base_ws: Sequence[float],
+        controller: Callable[["DynamicRun", list[TimelineEvent]], None] | None = None,
+    ) -> None:
+        self.adapter = adapter
+        self.allocator = plan.allocator
+        self.c_mode = plan.c_mode
+        self.controller = controller
+        self.events = list(events)
+        self.eidx = 0
+        self.events_applied = 0
+        p = adapter.p
+        self.base_cs = list(base_cs)
+        self.base_ws = list(base_ws)
+        self.cur_cs = list(base_cs)
+        self.cur_ws = list(base_ws)
+        self.avail = [0.0] * p
+        policy = plan.policy
+        self._order: list[int] | None = None
+        self._pos = 0
+        self._fields: tuple[str, ...] | None = None
+        self._opaque = None
+        if isinstance(policy, StrictOrderPolicy):
+            self._order = list(policy.order)
+        else:
+            spec = key_spec_of(policy.priority) if isinstance(policy, ReadyPolicy) else None
+            if spec is not None:
+                self._fields = spec.fields
+            else:
+                if not isinstance(adapter, _ReferenceAdapter):
+                    raise TypeError(
+                        "opaque policies need the reference engine "
+                        "(simulate_dynamic falls back automatically)"
+                    )
+                self._opaque = policy.fresh()
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def _apply_event(self, ev: TimelineEvent) -> None:
+        i = ev.worker
+        if ev.kind == "set_bandwidth":
+            self.cur_cs[i] = ev.value
+        elif ev.kind == "set_speed":
+            self.cur_ws[i] = ev.value
+        elif ev.kind == "straggle":
+            self.cur_ws[i] = self.base_ws[i] * ev.value
+        elif ev.kind == "recover":
+            self.cur_cs[i] = self.base_cs[i]
+            self.cur_ws[i] = self.base_ws[i]
+        elif ev.kind == "crash":
+            # unreachable until the matching join (forever if none)
+            until = _INF
+            for later in self.events[self.eidx :]:
+                if later.kind == "join" and later.worker == i:
+                    until = later.time
+                    break
+            self.avail[i] = until
+            return
+        else:  # join
+            self.avail[i] = ev.time
+            return
+        self.adapter.set_params(i, self.cur_cs[i], self.cur_ws[i])
+
+    def _apply_due(self, start: float) -> None:
+        applied: list[TimelineEvent] = []
+        while self.eidx < len(self.events) and self.events[self.eidx].time <= start:
+            ev = self.events[self.eidx]
+            self.eidx += 1
+            self._apply_event(ev)
+            applied.append(ev)
+        self.events_applied += len(applied)
+        if self.controller is not None:
+            self.controller(self, applied)
+
+    # ------------------------------------------------------------------
+    # choosing the next message (mirrors the fast path's interpreters)
+    # ------------------------------------------------------------------
+    def _choose(self) -> tuple[int, float] | None:
+        if self._order is not None:
+            return self._choose_strict()
+        return self._choose_ready()
+
+    def _choose_strict(self) -> tuple[int, float] | None:
+        if self._pos >= len(self._order):
+            return None
+        widx = self._order[self._pos]
+        ad = self.adapter
+        if not ad.has_pending(widx):
+            raise RuntimeError(
+                f"strict order names worker {widx} at position {self._pos} "
+                "but it has no pending message"
+            )
+        if self.avail[widx] == _INF:
+            raise DynamicStall(
+                f"strict order blocks on worker {widx}, which crashed and "
+                "never rejoins"
+            )
+        legal = ad.head_legal(widx)
+        a = self.avail[widx]
+        if a > legal:
+            legal = a
+        port_free = ad.port_free
+        return widx, (port_free if port_free > legal else legal)
+
+    def _choose_ready(self) -> tuple[int, float] | None:
+        # Ascending index scan with strict improvement: the same
+        # lexicographic (effective start, spec fields) comparison as
+        # FastEngine._run_ready_generic, with the crash-window floor folded
+        # into each worker's legal start.
+        ad = self.adapter
+        avail = self.avail
+        fields = self._fields
+        port_free = ad.port_free
+        best = -1
+        best_eff = 0.0
+        best_key: tuple = ()
+        for i in range(ad.p):
+            if not ad.has_pending(i) or avail[i] == _INF:
+                continue
+            legal = ad.head_legal(i)
+            if avail[i] > legal:
+                legal = avail[i]
+            eff = port_free if port_free > legal else legal
+            if best < 0 or eff < best_eff:
+                best, best_eff = i, eff
+                best_key = self._key(i, legal)
+            elif eff == best_eff:
+                key = self._key(i, legal)
+                if key < best_key:
+                    best, best_key = i, key
+        if best < 0:
+            return None
+        return best, best_eff
+
+    def _key(self, i: int, legal: float) -> tuple:
+        ad = self.adapter
+        return tuple(
+            ad.head_cid(i) if f == "head_cid" else legal if f == "legal_start" else i
+            for f in self._fields
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> "DynamicRun":
+        if self._opaque is not None:
+            self._run_opaque()
+            return self
+        ad = self.adapter
+        events = self.events
+        while True:
+            if self.allocator is not None:
+                ad.refill(self.allocator)
+            pick = self._choose()
+            if pick is None:
+                if self._order is None and ad.pending_workers:
+                    raise DynamicStall(
+                        "all remaining messages belong to workers that "
+                        f"crashed and never rejoin: {ad.pending_workers}"
+                    )
+                break
+            widx, start = pick
+            if self.eidx < len(events) and events[self.eidx].time <= start:
+                self._apply_due(start)
+                continue  # re-choose under the new parameters/availability
+            ad.post(widx, self.avail[widx])
+            if self._order is not None:
+                self._pos += 1
+        leftover = ad.pending_workers
+        if leftover:
+            raise RuntimeError(
+                f"policy stopped with pending messages on workers {leftover}"
+            )
+        return self
+
+    def _run_opaque(self) -> None:
+        # Opaque policies choose statefully, so the driver cannot re-choose
+        # after an event boundary; parameter events do not alter a choice
+        # already made (legal starts are fixed by past posts), crash masking
+        # would — hence the guard.
+        if any(ev.kind in ("crash", "join") for ev in self.events):
+            raise TypeError(
+                "crash/join events require an engine-interpretable policy "
+                "(StrictOrderPolicy or a PolicyKeySpec ReadyPolicy)"
+            )
+        eng = self.adapter.engine
+        policy = self._opaque
+        while True:
+            if self.allocator is not None:
+                self.adapter.refill(self.allocator)
+            widx = policy.next_choice(eng)
+            if widx is None:
+                break
+            start = eng.effective_start(widx)
+            if self.eidx < len(self.events) and self.events[self.eidx].time <= start:
+                self._apply_due(start)
+            self.adapter.post(widx, 0.0)
+        leftover = self.adapter.pending_workers
+        if leftover:
+            raise RuntimeError(
+                f"policy stopped with pending messages on workers {leftover}"
+            )
+
+    # ------------------------------------------------------------------
+    # controller helpers (fast adapter only)
+    # ------------------------------------------------------------------
+    def _engine(self) -> FastEngine:
+        if not self.adapter.supports_control:
+            raise TypeError("online control requires the fast engine")
+        return self.adapter.engine
+
+    def chunk_started(self, widx: int) -> bool:
+        """Whether worker ``widx``'s current chunk has posted any message."""
+        eng = self._engine()
+        if not eng.has_pending(widx):
+            return False
+        return eng._stage[widx] != eng._init_stage
+
+    def pending_chunks(self, widx: int) -> list[Chunk]:
+        """Chunks still (partly) unposted on worker ``widx``, in order."""
+        eng = self._engine()
+        return [rec[0] for rec in eng._chunks[widx][eng._pos[widx] :]]
+
+    def pending_messages(self, widx: int) -> int:
+        """Port messages worker ``widx`` still has to post."""
+        eng = self._engine()
+        lst = eng._chunks[widx]
+        pos = eng._pos[widx]
+        if pos >= len(lst):
+            return 0
+        extra = (1 if self.c_mode is not CMode.NONE else 0) + (
+            1 if self.c_mode is CMode.BOTH else 0
+        )
+        total = lst[pos][5] + extra - (eng._stage[widx] - eng._init_stage)
+        for rec in lst[pos + 1 :]:
+            total += rec[5] + extra
+        return total
+
+    def _drop_from_all(self, eng: FastEngine, dropped: list) -> None:
+        if not dropped:
+            return
+        gone = {id(rec[0]) for rec in dropped}
+        eng.all_chunks = [ch for ch in eng.all_chunks if id(ch) not in gone]
+
+    def reclaim_unstarted(self, widx: int) -> list[Chunk]:
+        """Remove and return worker ``widx``'s chunks that have not posted
+        any message yet (the in-flight chunk, if any, stays)."""
+        eng = self._engine()
+        lst = eng._chunks[widx]
+        keep = eng._pos[widx] + (1 if self.chunk_started(widx) else 0)
+        dropped = lst[keep:]
+        del lst[keep:]
+        self._drop_from_all(eng, dropped)
+        eng._refresh_head(widx)
+        return [rec[0] for rec in dropped]
+
+    def kill_in_flight(self, widx: int) -> Chunk | None:
+        """Abandon worker ``widx``'s in-flight chunk (sunk communication and
+        compute stay on the books; the chunk must be re-executed elsewhere).
+        Returns the abandoned chunk, or ``None`` if nothing was in flight."""
+        eng = self._engine()
+        if not self.chunk_started(widx):
+            return None
+        pos = eng._pos[widx]
+        dropped = eng._chunks[widx][pos:pos + 1]
+        del eng._chunks[widx][pos:pos + 1]
+        eng._stage[widx] = eng._init_stage
+        self._drop_from_all(eng, dropped)
+        eng._refresh_head(widx)
+        return dropped[0][0]
+
+    def append_chunk(self, widx: int, chunk: Chunk) -> None:
+        """Append a chunk to worker ``widx``'s pipeline."""
+        self._engine().assign_chunk(widx, chunk)
+
+    def set_allocator(self, allocator: PanelDemandAllocator | None) -> None:
+        """Swap the demand allocator driving dynamic refills."""
+        self._engine()
+        self.allocator = allocator
+
+    def rebuild_strict_order(self, new_tail: Sequence[int]) -> None:
+        """Splice the strict order after a replan: per worker, keep the
+        first *n* remaining occurrences (its still-pending messages map to
+        old-order entries positionally), drop the rest, append
+        ``new_tail``."""
+        if self._order is None:
+            raise TypeError("not a strict-order run")
+        eng = self._engine()
+        need = [self.pending_messages(i) for i in range(eng._p)]
+        # exclude messages the new tail itself will serve: new_tail entries
+        # consume pipeline suffixes appended by the replan, so `need` must
+        # be counted BEFORE appending replacement chunks — hence the
+        # contract: rebuild the order first, then append chunks
+        kept: list[int] = []
+        for widx in self._order[self._pos :]:
+            if need[widx] > 0:
+                kept.append(widx)
+                need[widx] -= 1
+        self._order = kept + list(new_tail)
+        self._pos = 0
+
+    def next_cid(self) -> int:
+        """A chunk id strictly above everything the run has seen."""
+        eng = self._engine()
+        top = max((ch.cid for ch in eng.all_chunks), default=-1) + 1
+        for lst in eng._chunks:
+            for rec in lst:
+                if rec[1] >= top:
+                    top = rec[1] + 1
+        if self.allocator is not None:
+            top = max(top, self.allocator.next_cid)
+        return top
+
+    # ------------------------------------------------------------------
+    # what-if probing
+    # ------------------------------------------------------------------
+    def probe(self) -> "DynamicRun":
+        """Clone the run for candidate scoring: same engine state, policy
+        cursor, availability and current parameters, but no future events
+        and no controller — :meth:`finish` then answers "what makespan if
+        conditions stay as they are now and we change nothing else?"."""
+        other = DynamicRun.__new__(DynamicRun)
+        other.adapter = self.adapter.clone()
+        other.allocator = None if self.allocator is None else self.allocator.clone()
+        other.c_mode = self.c_mode
+        other.controller = None
+        other.events = []
+        other.eidx = 0
+        other.events_applied = self.events_applied
+        other.base_cs = self.base_cs
+        other.base_ws = self.base_ws
+        other.cur_cs = list(self.cur_cs)
+        other.cur_ws = list(self.cur_ws)
+        other.avail = list(self.avail)
+        other._order = None if self._order is None else list(self._order)
+        other._pos = self._pos
+        other._fields = self._fields
+        other._opaque = None
+        return other
+
+    def finish(self) -> float:
+        """Run to completion and return the makespan."""
+        self.run()
+        return self.adapter.engine.last_end
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def simulate_dynamic(
+    platform: Platform,
+    plan: Plan,
+    timeline: PlatformTimeline | None = None,
+    grid: BlockGrid | None = None,
+    *,
+    engine: str = "fast",
+    controller: Callable[[DynamicRun, list[TimelineEvent]], None] | None = None,
+) -> SimResult:
+    """Run ``plan`` on ``platform`` under a :class:`PlatformTimeline`.
+
+    With an empty (or ``None``) timeline the result is bit-identical to
+    :func:`~repro.sim.fastpath.fast_simulate`.  ``engine`` selects the
+    underlying simulator: ``"fast"`` (default; falls back to the reference
+    engine for plans the fast path cannot interpret) or ``"reference"``
+    (honours ``plan.collect_events`` for full traces — the equivalence
+    wall's second interpretation; like ``fast_simulate``, the fast engine
+    never records traces regardless of the flag).  ``controller`` fires at
+    every event boundary with the live :class:`DynamicRun` (fast engine
+    only).
+    """
+    if not isinstance(plan, Plan):
+        raise TypeError(f"expected a Plan, got {type(plan)!r}")
+    if timeline is None:
+        timeline = PlatformTimeline()
+    timeline.validate_for(platform)
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}; known: ('fast', 'reference')")
+    if engine == "fast" and supports_fast_path(plan):
+        adapter = _FastAdapter(platform, plan)
+    else:
+        adapter = _ReferenceAdapter(platform, plan)
+    if controller is not None and not adapter.supports_control:
+        raise TypeError(
+            "controller callbacks require the fast engine and a fast-path "
+            "interpretable plan"
+        )
+    run = DynamicRun(
+        adapter,
+        plan,
+        timeline.events,
+        base_cs=platform.cs,
+        base_ws=platform.ws,
+        controller=controller,
+    )
+    run.run()
+    meta = dict(plan.meta)
+    meta["dynamic"] = {
+        "events": len(timeline),
+        "events_applied": run.events_applied,
+    }
+    return adapter.result(grid, meta)

@@ -182,13 +182,20 @@ class Engine:
         """Earliest start accounting for the port being busy."""
         return max(self.port_free, self.legal_start(widx))
 
-    def post_next(self, widx: int) -> PortEvent:
-        """Post worker ``widx``'s next pipeline message on the port."""
+    def post_next(self, widx: int, min_start: float = 0.0) -> PortEvent:
+        """Post worker ``widx``'s next pipeline message on the port.
+
+        ``min_start`` adds an external availability floor (the dynamic
+        layer's crash/join windows); the default 0.0 leaves the start time
+        bit-identical to the two-way ``max``.
+        """
         ws = self.workers[widx]
         msg = ws.head()
         if msg is None:
             raise RuntimeError(f"worker {widx} has no pending message to post")
         start = max(self.port_free, ws.legal_start(msg))
+        if min_start > start:
+            start = min_start
         end = start + msg.nblocks * ws.worker.c
         self.port_free = end
         self.port_busy += end - start

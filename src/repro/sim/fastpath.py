@@ -52,7 +52,7 @@ from .policies import (
     PortPolicy,
     ReadyPolicy,
     StrictOrderPolicy,
-    resolve_key_spec,
+    key_spec_of,
 )
 from .worker_state import CMode
 
@@ -241,9 +241,14 @@ class FastEngine:
     # ------------------------------------------------------------------
     # posting
     # ------------------------------------------------------------------
-    def post_next(self, widx: int) -> None:
+    def post_next(self, widx: int, min_start: float = 0.0) -> None:
         """Post worker ``widx``'s head message on the port (same arithmetic,
-        in the same order, as ``Engine.post_next``)."""
+        in the same order, as ``Engine.post_next``).
+
+        ``min_start`` adds an external availability floor (the dynamic
+        layer's crash/join windows); the default 0.0 leaves the start time
+        bit-identical to the two-way ``max``.
+        """
         kind = self._head_stage_kind[widx]
         if kind == self._K_NONE:
             raise RuntimeError(f"worker {widx} has no pending message to post")
@@ -251,6 +256,8 @@ class FastEngine:
         nblocks = self._head_nblocks[widx]
         port_free = self.port_free
         start = port_free if port_free > legal else legal
+        if min_start > start:
+            start = min_start
         end = start + nblocks * self._c[widx]
         self.port_free = end
         self.port_busy += end - start
@@ -388,6 +395,63 @@ class FastEngine:
         self._refresh_head(widx)
 
     # ------------------------------------------------------------------
+    # full-state cloning and parameter rescaling (dynamic-platform layer)
+    # ------------------------------------------------------------------
+    def clone(self) -> "FastEngine":
+        """Full copy for what-if continuation scoring (O(p + chunks)).
+
+        Unlike the per-worker :meth:`checkpoint`, the clone can diverge
+        arbitrarily — the adaptive rescheduler uses it to score candidate
+        replans by running each to completion.  Chunk records are shared
+        (immutable); per-worker scalar arrays are copied by value.
+        """
+        other = FastEngine.__new__(FastEngine)
+        other.platform = self.platform
+        other.c_mode = self.c_mode
+        other.port_free = self.port_free
+        other.port_busy = self.port_busy
+        other.blocks_through_port = self.blocks_through_port
+        other.total_updates = self.total_updates
+        other.last_end = self.last_end
+        other.all_chunks = list(self.all_chunks)
+        other._p = self._p
+        other._c = list(self._c)
+        other._w = list(self._w)
+        other._depth = list(self._depth)
+        other._init_stage = self._init_stage
+        other._chunks = [list(lst) for lst in self._chunks]
+        other._pos = list(self._pos)
+        other._stage = list(self._stage)
+        other._rounds_posted = list(self._rounds_posted)
+        other._ring = [list(ring) for ring in self._ring]
+        other._ring_pos = list(self._ring_pos)
+        other._comp_free = list(self._comp_free)
+        other._last_comp_end = list(self._last_comp_end)
+        other._c_return_end = list(self._c_return_end)
+        other._blocks_in = list(self._blocks_in)
+        other._blocks_out = list(self._blocks_out)
+        other._updates_done = list(self._updates_done)
+        other._compute_busy = list(self._compute_busy)
+        other._chunks_done = list(self._chunks_done)
+        other._head_legal = list(self._head_legal)
+        other._head_nblocks = list(self._head_nblocks)
+        other._head_cid = list(self._head_cid)
+        other._head_stage_kind = list(self._head_stage_kind)
+        other._round_cache = self._round_cache
+        return other
+
+    def set_worker_params(self, widx: int, c: float, w: float) -> None:
+        """Rescale worker ``widx``'s link and compute costs in place.
+
+        Applies to messages posted (and computes scheduled) *after* the
+        call: the dynamic layer's piecewise-constant platform events.
+        """
+        if c <= 0 or w <= 0:
+            raise ValueError("c and w must be positive")
+        self._c[widx] = c
+        self._w[widx] = w
+
+    # ------------------------------------------------------------------
     # result
     # ------------------------------------------------------------------
     def result(self, grid: BlockGrid | None = None, meta: dict | None = None) -> SimResult:
@@ -436,7 +500,7 @@ class FastEngine:
             else:
                 self._run_strict_alloc(policy.order, allocator)
         elif isinstance(policy, ReadyPolicy):
-            spec = resolve_key_spec(policy.priority)
+            spec = key_spec_of(policy.priority)
             if spec is None:
                 raise TypeError(
                     "FastEngine cannot interpret this ReadyPolicy priority "
@@ -655,7 +719,7 @@ def supports_fast_path(plan: Plan) -> bool:
     if isinstance(policy, StrictOrderPolicy):
         policy_ok = True
     elif isinstance(policy, ReadyPolicy):
-        policy_ok = resolve_key_spec(policy.priority) is not None
+        policy_ok = key_spec_of(policy.priority) is not None
     else:
         policy_ok = False
     allocator_ok = plan.allocator is None or type(plan.allocator) is PanelDemandAllocator

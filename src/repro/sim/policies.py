@@ -40,6 +40,7 @@ __all__ = [
     "ReadyPolicy",
     "PolicyKeySpec",
     "POLICY_KEY_FIELDS",
+    "key_spec_of",
     "resolve_key_spec",
     "selection_order_priority",
     "demand_priority",
@@ -161,25 +162,50 @@ _LEGACY_FAST_KEYS: dict[str, PolicyKeySpec] = {
 }
 
 
+def _legacy_spec(priority) -> PolicyKeySpec | None:
+    """Spec equivalent of a legacy ``fast_key``-marked priority (no warning)."""
+    return _LEGACY_FAST_KEYS.get(getattr(priority, "fast_key", None))
+
+
+def _warn_legacy_marker() -> None:
+    warnings.warn(
+        "the fast_key marker-pair convention is deprecated; declare the "
+        "priority as a PolicyKeySpec (e.g. PolicyKeySpec(('head_cid', "
+        "'worker_index'))) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def key_spec_of(priority) -> PolicyKeySpec | None:
+    """The :class:`PolicyKeySpec` a ready priority *is*, or ``None``.
+
+    This is what the engines (fast path, batch, dynamic) consult: a
+    priority is interpretable iff it is a spec.  Legacy ``fast_key``-marked
+    functions are converted to specs once, at :class:`ReadyPolicy`
+    construction (with a :class:`DeprecationWarning`), so by the time an
+    engine looks, only specs and opaque functions remain.
+    """
+    return priority if isinstance(priority, PolicyKeySpec) else None
+
+
 def resolve_key_spec(priority) -> PolicyKeySpec | None:
-    """The :class:`PolicyKeySpec` a ready priority declares, or ``None``.
+    """Deprecated shim: spec of a priority, resolving legacy markers.
 
     ``None`` means the priority is an opaque function that only the
     reference engine can evaluate.  Legacy ``fast_key``-marked functions
-    resolve to the equivalent spec (deprecated).
+    resolve to the equivalent spec with a :class:`DeprecationWarning`.
+    In-tree code uses :func:`key_spec_of` (engines) or relies on the
+    :class:`ReadyPolicy` constructor conversion; this entry point remains
+    for third-party callers mid-migration.
     """
-    if isinstance(priority, PolicyKeySpec):
-        return priority
-    fast_key = getattr(priority, "fast_key", None)
-    if fast_key in _LEGACY_FAST_KEYS:
-        warnings.warn(
-            "the fast_key marker-pair convention is deprecated; declare the "
-            "priority as a PolicyKeySpec (e.g. PolicyKeySpec(('head_cid', "
-            "'worker_index'))) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _LEGACY_FAST_KEYS[fast_key]
+    spec = key_spec_of(priority)
+    if spec is not None:
+        return spec
+    spec = _legacy_spec(priority)
+    if spec is not None:
+        _warn_legacy_marker()
+        return spec
     return None
 
 
@@ -191,10 +217,17 @@ class ReadyPolicy(PortPolicy):
     when nothing is receivable now, the port jumps to the earliest legal
     start.  ``priority`` is a :class:`PolicyKeySpec` (interpretable by all
     engines) or a legacy ``(engine, widx) -> tuple`` function (reference
-    engine only).
+    engine only).  Legacy ``fast_key``-marked functions are converted to
+    the equivalent spec here, with a deprecation warning, so they keep
+    their fast-path eligibility.
     """
 
     def __init__(self, priority: "PolicyKeySpec | PriorityFn") -> None:
+        if not isinstance(priority, PolicyKeySpec):
+            spec = _legacy_spec(priority)
+            if spec is not None:
+                _warn_legacy_marker()
+                priority = spec
         self.priority = priority
 
     def next_choice(self, engine: Engine) -> int | None:

@@ -433,3 +433,52 @@ def test_homi_dedupe_preserves_choice(het_platform, small_grid):
     ref = simulate(het_platform, clone_plan(plan), small_grid)
     fast = fast_simulate(het_platform, clone_plan(plan), small_grid)
     assert fast.makespan == ref.makespan
+
+
+# ----------------------------------------------------------------------
+# compile cache: shared streams across candidates, bit-identical results
+# ----------------------------------------------------------------------
+def test_compile_cache_shared_across_engines(het_platform, small_grid):
+    """One BatchCompileCache serves many engines: candidates that share a
+    plan object recompile nothing, candidates that share only the plan's
+    structure redo just the two cost multiplies — results stay
+    bit-identical to fresh compilation."""
+    from repro.sim.batch import BatchCompileCache
+
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.collect_events = False
+    variants = [
+        Platform([Worker(w.index, w.c * f, w.w * f, w.m) for w in het_platform])
+        for f in (1.0, 1.5, 2.0)
+    ]
+    runs = [(pf, plan) for pf in variants]
+    fresh = [BatchEngine([run]).run().makespans()[0] for run in runs]
+
+    cache = BatchCompileCache()
+    shared = [BatchEngine([run], compile_cache=cache).run().makespans()[0] for run in runs]
+    assert shared == fresh
+    # the plan's per-worker structure was compiled once, not per engine
+    enrolled = sum(1 for chunks in plan.assignments if chunks)
+    assert len(cache.struct) == enrolled
+    # each distinct (c, w) pair owns one pre-multiplied stream per worker
+    assert len(cache.stream) == enrolled * len(variants)
+
+
+def test_compile_cache_hits_within_one_submission(het_platform, small_grid):
+    """HomI-style populations — one plan object scored on many virtual
+    platforms — hit the struct cache inside a single batch_outcomes call."""
+    from repro.sim.batch import BatchCompileCache
+
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.collect_events = False
+    runs = [
+        (Platform([Worker(w.index, w.c * f, w.w, w.m) for w in het_platform]), plan)
+        for f in (1.0, 1.25, 1.5, 1.75)
+    ]
+    cache = BatchCompileCache()
+    outcomes = batch_outcomes(runs, force=True, compile_cache=cache)
+    singles = [fast_simulate(pf, clone_plan(plan), small_grid) for pf, _ in runs]
+    for outcome, single in zip(outcomes, singles):
+        assert outcome.makespan == single.makespan
+    enrolled = sum(1 for chunks in plan.assignments if chunks)
+    assert len(cache.struct) == enrolled

@@ -330,9 +330,24 @@ class TestEngineSelection:
         res = run_experiment("x", tiny_instances, engine="batch")
         assert all("planning_seconds" in m.meta for m in res.measurements)
 
-    def test_parallel_ignored_for_batch_engine(self, tiny_instances):
-        with pytest.warns(UserWarning, match="ignored"):
+    def test_parallel_plans_across_processes_for_batch_engine(self, tiny_instances):
+        # parallel + explicit engine fans the *planning* out over worker
+        # processes while scoring stays central — results identical, no
+        # warning
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             res = run_experiment("x", tiny_instances, engine="batch", parallel=2)
+        ref = run_experiment("x", tiny_instances)
+        assert [(m.algorithm, m.makespan) for m in res.measurements] == [
+            (m.algorithm, m.makespan) for m in ref.measurements
+        ]
+        assert all("planning_seconds" in m.meta for m in res.measurements)
+
+    def test_cache_ignored_for_batch_engine(self, tiny_instances, tmp_path):
+        with pytest.warns(UserWarning, match="ignored"):
+            res = run_experiment("x", tiny_instances, engine="batch", cache=tmp_path / "c")
         ref = run_experiment("x", tiny_instances)
         assert [(m.algorithm, m.makespan) for m in res.measurements] == [
             (m.algorithm, m.makespan) for m in ref.measurements

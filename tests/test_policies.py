@@ -129,3 +129,37 @@ class TestPolicyKeySpec:
 
         odd.fast_key = "???"
         assert resolve_key_spec(odd) is None
+
+    def test_key_spec_of_never_warns_and_ignores_markers(self):
+        import warnings
+
+        from repro.sim.policies import key_spec_of
+
+        def legacy(engine, widx):
+            return (widx,)
+
+        legacy.fast_key = "cid"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert key_spec_of(selection_order_priority) is selection_order_priority
+            assert key_spec_of(legacy) is None
+            assert key_spec_of(lambda e, w: (w,)) is None
+
+    def test_ready_policy_converts_legacy_marker_with_warning(self):
+        """Legacy fast_key priorities are converted at the policy boundary,
+        so the engines only ever see specs (and keep the fast path)."""
+
+        def legacy(engine, widx):
+            return (engine.head(widx).chunk.cid, widx)
+
+        legacy.fast_key = "cid"
+        with pytest.warns(DeprecationWarning, match="fast_key"):
+            policy = ReadyPolicy(legacy)
+        assert policy.priority == selection_order_priority
+
+    def test_ready_policy_with_spec_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ReadyPolicy(demand_priority)
