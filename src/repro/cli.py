@@ -149,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument(
         "--onset", type=float, default=0.3, help="event time as a fraction of the bound"
     )
+    p_dyn.add_argument(
+        "--stochastic",
+        action="store_true",
+        help="replace each severity's scripted timeline with a seeded random "
+        "Poisson event process of the scenario's family",
+    )
+    p_dyn.add_argument(
+        "--seed", type=int, default=0, help="stochastic timeline seed (reproducible)"
+    )
+    p_dyn.add_argument(
+        "--rate",
+        type=float,
+        default=3.0,
+        help="expected stochastic events over the steady-state-bound horizon",
+    )
 
     p_bounds = sub.add_parser("bounds", help="Section 3 CCR bounds")
     p_bounds.add_argument("--memory", type=int, default=5242, help="worker memory in blocks")
@@ -283,11 +298,21 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         p=args.workers,
         scale=args.scale,
         onset_frac=args.onset,
+        stochastic=args.stochastic,
+        seed=args.seed,
+        rate=args.rate,
     )
-    print(
-        f"{args.scenario} (p={args.workers}, scale {args.scale}, event at "
-        f"{args.onset:g}× the steady-state bound)"
-    )
+    if args.stochastic:
+        print(
+            f"{args.scenario} — stochastic timelines (seed {args.seed}, "
+            f"~{args.rate:g} events per run; rerun with --seed {args.seed} "
+            f"to reproduce; p={args.workers}, scale {args.scale})"
+        )
+    else:
+        print(
+            f"{args.scenario} (p={args.workers}, scale {args.scale}, event at "
+            f"{args.onset:g}× the steady-state bound)"
+        )
     print(sweep.table())
     if "clairvoyant" in modes and "oblivious" in modes:
         print(

@@ -25,6 +25,7 @@ __all__ = [
     "run_experiment",
     "run_dynamic_experiment",
     "evaluate_runs",
+    "evaluate_suite",
     "ENGINES",
 ]
 
@@ -133,9 +134,12 @@ def run_experiment(
     out; with an explicit engine the *plan construction* fans out while
     scoring stays in one central (vectorized, for ``"batch"``) submission.
     ``cache`` (a path or :class:`~repro.experiments.parallel.ResultCache`)
-    skips runs whose content-addressed result is already stored; it
-    requires the eventless fast path and is ignored otherwise.  Both are
-    ignored when ``validate`` or ``collect_events`` asks for full traces.
+    skips runs whose content-addressed result is already stored; it works
+    with the eventless fast path (keyed on the scalar engine fingerprint)
+    and with ``engine="batch"`` (keyed additionally on
+    :data:`~repro.sim.batch.BATCH_ENGINE_VERSION`), and is ignored for the
+    reference engine.  Both are ignored when ``validate`` or
+    ``collect_events`` asks for full traces.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -156,12 +160,12 @@ def run_experiment(
             "set: they need the eventless fast path",
             stacklevel=2,
         )
-    elif cache is not None and engine != "fast":
+    elif cache is not None and engine == "reference":
         import warnings
 
         warnings.warn(
             f"cache= is ignored with engine={engine!r}: cached payloads "
-            "address complete fast-path runs",
+            "address the eventless fast-path/batch runs",
             stacklevel=2,
         )
     if engine != "fast" and full_traces:
@@ -173,7 +177,9 @@ def run_experiment(
             stacklevel=2,
         )
     if engine != "fast" and not full_traces:
-        return _run_with_engine(result, instances, scheds, bounds, engine, parallel)
+        return _run_with_engine(
+            result, instances, scheds, bounds, engine, parallel, cache
+        )
     use_runner = (parallel is not None or cache is not None) and not full_traces
     if use_runner:
         from .parallel import RunTask, run_tasks
@@ -225,35 +231,70 @@ def run_experiment(
     return result
 
 
-def _plan_all(
-    result: ExperimentResult,
-    instances: Sequence[Instance],
-    scheds: Sequence[Scheduler],
+def evaluate_suite(
+    jobs: Sequence[tuple[Scheduler, Platform, BlockGrid]],
+    engine: str,
+    *,
     parallel=None,
-):
-    """Compile every (algorithm, instance) plan, recording failures and
-    per-plan wall-clock planning time.
+    cache=None,
+) -> list[dict]:
+    """Plan and simulate every ``(scheduler, platform, grid)`` job under an
+    explicit engine, returning one JSON-safe payload per job in order
+    (``{"makespan", "n_enrolled", "meta"}`` — meta includes the plan's
+    wall-clock ``planning_seconds`` — or ``{"error"}`` for infeasible
+    jobs).
 
     With ``parallel``, plan construction fans out over worker processes
     (the ROADMAP's "planning is the remaining single-thread bottleneck"
-    item): plans pickle back, scoring stays centralized in the caller.
+    item): plans pickle back, scoring stays centralized — one vectorized
+    :func:`~repro.sim.batch.batch_outcomes` submission for ``"batch"``.
+    With ``cache`` (``engine="batch"`` only), payloads are content-addressed
+    on the batch engine version via :func:`~repro.experiments.parallel
+    .task_key`; hits skip planning *and* simulation, misses are stored
+    back (a hit replays the original run's ``planning_seconds``).
     """
-    from .parallel import PlanTask, plan_tasks
+    from .parallel import PlanTask, _as_cache, _json_safe, plan_tasks, task_key
 
-    jobs = [(sched, inst) for inst in instances for sched in scheds]
-    payloads = plan_tasks(
-        [PlanTask(sched, inst.platform, inst.grid) for sched, inst in jobs],
-        parallel=parallel,
-    )
-    pairs, runs, plannings = [], [], []
-    for (sched, inst), payload in zip(jobs, payloads):
-        if "error" in payload:
-            result.failures[(sched.name, inst.label)] = payload["error"]
-            continue
-        pairs.append((sched, inst))
-        runs.append((inst.platform, payload["plan"]))
-        plannings.append(payload["planning_seconds"])
-    return pairs, runs, plannings
+    store = _as_cache(cache) if engine == "batch" else None
+    payloads: list[dict | None] = [None] * len(jobs)
+    keys: list[str | None] = [None] * len(jobs)
+    todo: list[int] = []
+    for idx, (sched, platform, grid) in enumerate(jobs):
+        if store is not None:
+            keys[idx] = key = task_key(sched, platform, grid, engine="batch")
+            hit = store.get(key)
+            if hit is not None:
+                payloads[idx] = hit
+                continue
+        todo.append(idx)
+    if todo:
+        plan_payloads = plan_tasks(
+            [PlanTask(*jobs[i]) for i in todo], parallel=parallel
+        )
+        runnable = [
+            (i, pp) for i, pp in zip(todo, plan_payloads) if "error" not in pp
+        ]
+        values = evaluate_runs(
+            [(jobs[i][1], pp["plan"]) for i, pp in runnable], engine
+        )
+        cursor = 0
+        for i, pp in zip(todo, plan_payloads):
+            if "error" in pp:
+                payloads[i] = {"error": pp["error"]}
+            else:
+                makespan, n_enrolled, run_meta = values[cursor]
+                cursor += 1
+                meta = _json_safe(dict(run_meta))
+                meta["planning_seconds"] = pp["planning_seconds"]
+                payloads[i] = {
+                    "makespan": makespan,
+                    "n_enrolled": n_enrolled,
+                    "meta": meta,
+                }
+            if store is not None:
+                store.put(keys[i], payloads[i])
+    assert all(p is not None for p in payloads)
+    return payloads  # type: ignore[return-value]
 
 
 def evaluate_runs(runs, engine: str) -> list[tuple[float, int, dict]]:
@@ -287,23 +328,30 @@ def _run_with_engine(
     bounds: dict[str, float],
     engine: str,
     parallel=None,
+    cache=None,
 ) -> ExperimentResult:
     """Plan (optionally across processes), then simulate under an
     explicitly chosen engine (``engine="fast"`` in `run_experiment` goes
     through ``Scheduler.run`` in the main loop instead)."""
-    pairs, runs, plannings = _plan_all(result, instances, scheds, parallel)
-    for (sched, inst), (makespan, n_enrolled, run_meta), planning in zip(
-        pairs, evaluate_runs(runs, engine), plannings
-    ):
-        meta = dict(run_meta)
+    pairs = [(sched, inst) for inst in instances for sched in scheds]
+    payloads = evaluate_suite(
+        [(sched, inst.platform, inst.grid) for sched, inst in pairs],
+        engine,
+        parallel=parallel,
+        cache=cache,
+    )
+    for (sched, inst), payload in zip(pairs, payloads):
+        if "error" in payload:
+            result.failures[(sched.name, inst.label)] = payload["error"]
+            continue
+        meta = dict(payload["meta"])
         meta.setdefault("algorithm", sched.name)
-        meta["planning_seconds"] = planning
         result.measurements.append(
             Measurement(
                 algorithm=sched.name,
                 instance=inst.label,
-                makespan=makespan,
-                n_enrolled=n_enrolled,
+                makespan=payload["makespan"],
+                n_enrolled=payload["n_enrolled"],
                 bound=bounds[inst.label],
                 meta=meta,
             )
@@ -317,6 +365,7 @@ def run_dynamic_experiment(
     schedulers: Sequence[Scheduler] | None = None,
     *,
     modes: Sequence[str] | None = None,
+    validate: bool = False,
 ) -> ExperimentResult:
     """Run every scheduler × dynamic mode on every timeline instance.
 
@@ -328,9 +377,16 @@ def run_dynamic_experiment(
     degrade-once scenarios, indicative otherwise.  Instances a wrapper
     cannot schedule (or that stall on a crashed worker) land in
     ``failures``.
+
+    With ``validate`` every run — adaptive rescheduling included — is
+    recorded (``record_events=True``) and audited by
+    :func:`~repro.sim.validate.validate_dynamic` against its instance's
+    timeline: time-varying one-port/memory/dependency invariants, crash
+    windows, and exact block-grid coverage.
     """
     from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
     from ..sim.dynamic import DynamicStall
+    from ..sim.validate import validate_dynamic
 
     scheds = list(schedulers) if schedulers is not None else default_suite()
     mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
@@ -347,10 +403,14 @@ def run_dynamic_experiment(
         bound = makespan_lower_bound(final, inst.grid)
         for wrapper in wrappers:
             try:
-                sim = wrapper.run_dynamic(inst.platform, inst.grid, inst.timeline)
+                sim = wrapper.run_dynamic(
+                    inst.platform, inst.grid, inst.timeline, record_events=validate
+                )
             except (SchedulingError, DynamicStall) as exc:
                 result.failures[(wrapper.name, inst.label)] = str(exc)
                 continue
+            if validate:
+                validate_dynamic(sim, inst.timeline, grid=inst.grid)
             result.measurements.append(
                 Measurement(
                     algorithm=wrapper.name,

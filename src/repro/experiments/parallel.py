@@ -74,16 +74,31 @@ def fingerprint_grid(grid: BlockGrid) -> str:
     return f"r={grid.r},t={grid.t},s={grid.s},q={grid.q}"
 
 
-def task_key(scheduler: Scheduler, platform: Platform, grid: BlockGrid) -> str:
-    """Content-addressed cache key of one ``(algorithm, instance)`` run."""
-    canon = "|".join(
-        (
-            ENGINE_FINGERPRINT,
-            scheduler.signature,
-            fingerprint_platform(platform),
-            fingerprint_grid(grid),
-        )
-    )
+def task_key(
+    scheduler: Scheduler, platform: Platform, grid: BlockGrid, engine: str = "fast"
+) -> str:
+    """Content-addressed cache key of one ``(algorithm, instance)`` run.
+
+    ``engine="fast"`` (the default, and what :class:`RunTask` uses) keys on
+    :data:`ENGINE_FINGERPRINT` alone — the scalar engines are bit-identical
+    so they share payloads.  ``engine="batch"`` additionally keys on
+    :data:`repro.sim.batch.BATCH_ENGINE_VERSION`: batch results are pinned
+    bit-identical too, but the producing code is distinct, so a batch-layer
+    semantics bump must be able to invalidate its payloads independently.
+    """
+    parts = [
+        ENGINE_FINGERPRINT,
+        scheduler.signature,
+        fingerprint_platform(platform),
+        fingerprint_grid(grid),
+    ]
+    if engine != "fast":
+        if engine != "batch":
+            raise ValueError(f"no cache key scheme for engine {engine!r}")
+        from ..sim.batch import BATCH_ENGINE_VERSION
+
+        parts.insert(1, BATCH_ENGINE_VERSION)
+    canon = "|".join(parts)
     return hashlib.sha256(canon.encode()).hexdigest()
 
 

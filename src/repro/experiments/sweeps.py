@@ -25,6 +25,7 @@ __all__ = [
     "heterogeneity_sweep",
     "straggler_sweep",
     "straggler_scenario",
+    "CANONICAL_SEVERITIES",
     "DYNAMIC_SCENARIOS",
     "DynamicPoint",
     "DynamicSweep",
@@ -99,16 +100,17 @@ def _measure_points(
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     points: list[SweepPoint] = []
     if engine != "fast":
-        if cache is not None:
+        if cache is not None and engine == "reference":
             import warnings
 
             warnings.warn(
                 f"cache= is ignored with engine={engine!r}: cached payloads "
-                "address complete fast-path runs",
+                "address the eventless fast-path/batch runs",
                 stacklevel=3,
             )
+            cache = None
         return _measure_points_engine(
-            labelled_platforms, grid, algorithms, engine, parallel
+            labelled_platforms, grid, algorithms, engine, parallel, cache
         )
     if parallel is not None or cache is not None:
         from .parallel import RunTask, run_tasks
@@ -163,31 +165,6 @@ def _measure_points(
     return points
 
 
-def _plan_sweep(labelled_platforms, grid, algorithms, parallel=None):
-    """Compile every (point, algorithm) plan — across worker processes when
-    ``parallel`` asks for it; infeasible combinations are skipped exactly
-    like the serial path's SchedulingError handling."""
-    from .parallel import PlanTask, plan_tasks
-
-    scheds = {name: make_scheduler(name) for name in algorithms}
-    jobs = [
-        (ratio, plat, name)
-        for ratio, plat in labelled_platforms
-        for name in algorithms
-    ]
-    payloads = plan_tasks(
-        [PlanTask(scheds[name], plat, grid) for _ratio, plat, name in jobs],
-        parallel=parallel,
-    )
-    keys, runs = [], []
-    for (ratio, plat, name), payload in zip(jobs, payloads):
-        if "error" in payload:
-            continue
-        keys.append((ratio, plat, name))
-        runs.append((plat, payload["plan"]))
-    return keys, runs
-
-
 def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
     by_point: dict[int, tuple[dict, dict]] = {}
     for (ratio, plat, name), (makespan, n_enrolled) in zip(keys, values):
@@ -206,12 +183,32 @@ def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
 
 
 def _measure_points_engine(
-    labelled_platforms, grid, algorithms, engine, parallel=None
+    labelled_platforms, grid, algorithms, engine, parallel=None, cache=None
 ) -> list[SweepPoint]:
-    from .harness import evaluate_runs
+    """Plan (optionally across processes, skipping cached batch results),
+    then score centrally under the explicit engine — one vectorized
+    submission for ``"batch"``; infeasible combinations are skipped exactly
+    like the serial path's SchedulingError handling."""
+    from .harness import evaluate_suite
 
-    keys, runs = _plan_sweep(labelled_platforms, grid, algorithms, parallel)
-    values = [(m, n) for m, n, _meta in evaluate_runs(runs, engine)]
+    scheds = {name: make_scheduler(name) for name in algorithms}
+    jobs = [
+        (ratio, plat, name)
+        for ratio, plat in labelled_platforms
+        for name in algorithms
+    ]
+    payloads = evaluate_suite(
+        [(scheds[name], plat, grid) for _ratio, plat, name in jobs],
+        engine,
+        parallel=parallel,
+        cache=cache,
+    )
+    keys, values = [], []
+    for (ratio, plat, name), payload in zip(jobs, payloads):
+        if "error" in payload:
+            continue
+        keys.append((ratio, plat, name))
+        values.append((payload["makespan"], payload["n_enrolled"]))
     return _points_from(labelled_platforms, grid, keys, values)
 
 
@@ -323,6 +320,15 @@ def straggler_sweep(
 #: Scenario families of :func:`dynamic_sweep`.
 DYNAMIC_SCENARIOS = ("straggler-onset", "bandwidth-degradation", "crash-recovery")
 
+#: Canonical severity per named scenario: the single definition behind the
+#: golden dynamic freeze (``tests/data/golden_dynamic.json``) and the
+#: invariant wall, so the two always exercise the same named runs.
+CANONICAL_SEVERITIES = {
+    "straggler-onset": 8.0,
+    "bandwidth-degradation": 4.0,
+    "crash-recovery": 0.2,
+}
+
 
 @dataclass(frozen=True)
 class DynamicPoint:
@@ -433,6 +439,15 @@ def dynamic_scenario(
     return platform, grid, timeline
 
 
+#: Scenario -> :func:`repro.sim.dynamic.random_timeline` family, for the
+#: stochastic sweep mode.
+_SCENARIO_FAMILIES = {
+    "straggler-onset": "straggler",
+    "bandwidth-degradation": "bandwidth",
+    "crash-recovery": "crash",
+}
+
+
 def dynamic_sweep(
     scenario: str = "straggler-onset",
     severities: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
@@ -443,6 +458,9 @@ def dynamic_sweep(
     mu: int = 8,
     scale: float = 1.0,
     onset_frac: float = 0.3,
+    stochastic: bool = False,
+    seed: int = 0,
+    rate: float = 3.0,
 ) -> DynamicSweep:
     """Quantify oblivious vs adaptive vs clairvoyant scheduling on one
     dynamic scenario across severities.
@@ -451,9 +469,22 @@ def dynamic_sweep(
     :class:`~repro.schedulers.adaptive.AdaptiveScheduler` in each mode;
     combinations that cannot be scheduled (or stall on a permanent crash)
     are left out of the point's ``makespans``.
+
+    With ``stochastic`` each severity's scripted timeline is replaced by a
+    seeded random Poisson event process of the scenario's family
+    (:func:`~repro.sim.dynamic.random_timeline`; ``rate`` expected events
+    over the steady-state-bound horizon).  ``severity`` then scales the
+    event magnitudes: the degradation-factor range for straggler /
+    bandwidth scenarios (clamped to the generator's 1.5 floor — a
+    stochastic point labeled below 1.5 draws 1.5× degradations, unlike the
+    scripted mode which applies the literal factor), the outage fraction
+    for crash-recovery.  The draw is deterministic in ``(seed, scenario,
+    severity)``, so a sweep is reproducible from its seed alone.
     """
+    import random as _random
+
     from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
-    from ..sim.dynamic import DynamicStall
+    from ..sim.dynamic import DynamicStall, random_timeline
 
     mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
     sweep = DynamicSweep(
@@ -463,6 +494,22 @@ def dynamic_sweep(
         platform, grid, timeline = dynamic_scenario(
             scenario, severity, p=p, mu=mu, scale=scale, onset_frac=onset_frac
         )
+        if stochastic:
+            rng = _random.Random(f"{seed}|{scenario}|{severity!r}")
+            horizon = makespan_lower_bound(platform, grid)
+            if scenario == "crash-recovery":
+                timeline = random_timeline(
+                    rng, "crash", platform, horizon, rate=rate, outage_frac=severity
+                )
+            else:
+                timeline = random_timeline(
+                    rng,
+                    _SCENARIO_FAMILIES[scenario],
+                    platform,
+                    horizon,
+                    rate=rate,
+                    severity=max(severity, 1.5),
+                )
         final = timeline.final_platform(platform)
         makespans: dict[str, dict[str, float]] = {}
         for name in algorithms:

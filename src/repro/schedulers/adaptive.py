@@ -27,12 +27,19 @@ change; :class:`AdaptiveScheduler` wraps one of them and evaluates it on a
     fencing off the finally-degraded workers by simulated makespan — the
     reference an online algorithm should be measured against.
 
-Adaptive replanning keeps makespan fidelity, not block coordinates:
-reclaimed columns are re-planned on a reduced grid whose column indices
-are not mapped back onto the original matrix (all engine costs depend only
-on chunk shapes), and abandoned work is re-executed, so ``total_updates``
-counts sunk partial computes.  Trace validation is therefore not supported
-for adaptive runs.
+Adaptive replanning is *coordinate-faithful*: reclaimed whole columns are
+re-planned on a reduced grid and the resulting chunks are mapped back onto
+the real reclaimed (row, column) coordinates — splitting a chunk wherever
+its reduced columns are not contiguous in the original matrix, which
+duplicates that chunk's per-round A traffic (the genuine communication
+price of scattering).  The spliced plan is therefore a legal plan over the
+original grid: together with the partial row-bands (always placed at real
+coordinates) the surviving chunks tile C exactly, every reclaimed block is
+re-sent exactly once, and :func:`repro.sim.validate.validate_dynamic` can
+audit any adaptive run recorded with ``record_events=True``.  Abandoned
+(killed) in-flight work is still re-executed, so ``total_updates`` counts
+sunk partial computes; the validator accounts killed chunks separately via
+``meta["dynamic"]["killed_cids"]``.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import math
 from typing import Callable, Iterator, Sequence
 
 from ..core.blocks import BlockGrid
-from ..core.chunks import Chunk, PanelCursor, make_chunk
+from ..core.chunks import Chunk, PanelCursor, RoundSpec, make_chunk
 from ..platform.model import Platform, Worker
 from ..sim.allocator import PanelDemandAllocator
 from ..sim.dynamic import DynamicRun, DynamicStall, PlatformTimeline, simulate_dynamic
@@ -49,7 +56,7 @@ from ..sim.engine import SimResult
 from ..sim.fastpath import fast_simulate
 from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
-from ..sim.worker_state import CMode
+from ..sim.worker_state import c_message_count
 from .base import Scheduler, SchedulingError
 from .selection import SelectionState, usable_mus
 
@@ -64,35 +71,120 @@ _INF = math.inf
 _Band = tuple[int, int, int, int]  # (i0, h, j0, width)
 
 
-def _remap_subplan(plan: Plan, include: Sequence[int], p: int, cid_base: int) -> Plan:
+def _column_runs(ch: Chunk, col_map: Sequence[int]) -> list[tuple[int, int]]:
+    """Maximal contiguous ``(real_j0, width)`` runs of ``ch``'s columns
+    under ``col_map`` (reduced column index -> real column, ascending)."""
+    real = [col_map[j] for j in range(ch.j0, ch.j0 + ch.w)]
+    runs: list[tuple[int, int]] = []
+    start = prev = real[0]
+    for rj in real[1:]:
+        if rj == prev + 1:
+            prev = rj
+        else:
+            runs.append((start, prev - start + 1))
+            start = prev = rj
+    runs.append((start, prev - start + 1))
+    return runs
+
+
+def _narrowed_rounds(ch: Chunk, width: int) -> tuple[RoundSpec, ...]:
+    """``ch``'s round structure restricted to ``width`` of its columns
+    (layout-agnostic: every round keeps its k-range; B and update payloads
+    scale with the width, A payloads stay per-row-per-k)."""
+    if width == ch.w:
+        return ch.rounds
+    return tuple(
+        RoundSpec(
+            k_lo=rd.k_lo,
+            k_hi=rd.k_hi,
+            a_blocks=ch.h * (rd.k_hi - rd.k_lo),
+            b_blocks=width * (rd.k_hi - rd.k_lo),
+            updates=ch.h * width * (rd.k_hi - rd.k_lo),
+        )
+        for rd in ch.rounds
+    )
+
+
+def _remap_subplan(
+    plan: Plan,
+    include: Sequence[int],
+    p: int,
+    cid_base: int,
+    col_map: Sequence[int] | None = None,
+) -> Plan:
     """Widen a plan built on ``subplatform(include)`` back to ``p`` workers.
 
-    Chunk ids are shifted by ``cid_base`` so they stay unique next to
-    chunks an in-flight run already owns; excluded workers get empty
-    pipelines.  Strict orders are index-mapped; spec-based ready policies
-    and ``c_mode`` carry over; a demand allocator is rebuilt with excluded
-    workers' sides zeroed.
+    Chunk ids are re-allocated from ``cid_base`` (in original selection
+    order, so ready policies keep their "earliest selected first"
+    semantics) and stay unique next to chunks an in-flight run already
+    owns; excluded workers get empty pipelines.  Strict orders are
+    index-mapped; spec-based ready policies and ``c_mode`` carry over; a
+    demand allocator is rebuilt with excluded workers' sides zeroed.
+
+    With ``col_map`` the plan was built on a *reduced grid* whose column
+    ``j`` stands for real column ``col_map[j]``: every chunk is mapped back
+    onto real (row, column) coordinates, splitting wherever its reduced
+    columns are not contiguous in the original matrix so each part is a
+    true rectangle of the original grid.  Splitting duplicates the
+    per-round A traffic of the extra parts — the real communication price
+    of scattered reclaimed columns.  Strict orders are re-expanded: each
+    original message slot is replaced by one slot per part, so per-worker
+    occurrence counts match the split streams while the interleaving is
+    preserved.
     """
+    if col_map is not None and plan.allocator is not None:
+        raise SchedulingError("cannot remap a demand allocator onto scattered columns")
+    # geometry pass: the (real_j0, width, rounds) parts of every chunk
+    geoms: list[list[list[tuple[int, int, tuple[RoundSpec, ...]]]]] = []
+    for chunks in plan.assignments:
+        per_worker = []
+        for ch in chunks:
+            if col_map is None:
+                per_worker.append([(ch.j0, ch.w, ch.rounds)])
+            else:
+                per_worker.append(
+                    [(j0, w, _narrowed_rounds(ch, w)) for j0, w in _column_runs(ch, col_map)]
+                )
+        geoms.append(per_worker)
+    # allocate ids in original-cid order (parts of one chunk consecutively)
+    next_id = cid_base
+    cid_of: dict[tuple[int, int], int] = {}
+    for _cid, sw, pos in sorted(
+        (ch.cid, sw, pos)
+        for sw, chunks in enumerate(plan.assignments)
+        for pos, ch in enumerate(chunks)
+    ):
+        cid_of[(sw, pos)] = next_id
+        next_id += len(geoms[sw][pos])
     assignments: list[list[Chunk]] = [[] for _ in range(p)]
     depths = [2] * p
     for sw, chunks in enumerate(plan.assignments):
         rw = include[sw]
         depths[rw] = plan.depths[sw]
-        for ch in chunks:
-            assignments[rw].append(
-                Chunk(
-                    cid=cid_base + ch.cid,
-                    worker=rw,
-                    i0=ch.i0,
-                    h=ch.h,
-                    j0=ch.j0,
-                    w=ch.w,
-                    rounds=ch.rounds,
+        for pos, ch in enumerate(chunks):
+            cid = cid_of[(sw, pos)]
+            for j0, w, rounds in geoms[sw][pos]:
+                assignments[rw].append(
+                    Chunk(cid=cid, worker=rw, i0=ch.i0, h=ch.h, j0=j0, w=w, rounds=rounds)
                 )
-            )
+                cid += 1
     policy = plan.policy
     if isinstance(policy, StrictOrderPolicy):
-        policy = StrictOrderPolicy([include[sw] for sw in policy.order])
+        order: list[int] = []
+        pos_of = [0] * len(plan.assignments)
+        within = [0] * len(plan.assignments)
+        extra = c_message_count(plan.c_mode)
+        for sw in policy.order:
+            ch = plan.assignments[sw][pos_of[sw]]
+            n_msgs = len(ch.rounds) + extra
+            # every part repeats the original chunk's message structure, so
+            # each original slot expands to exactly one slot per part
+            order.extend([include[sw]] * len(geoms[sw][pos_of[sw]]))
+            within[sw] += 1
+            if within[sw] == n_msgs:
+                within[sw] = 0
+                pos_of[sw] += 1
+        policy = StrictOrderPolicy(order)
     allocator = plan.allocator
     if allocator is not None:
         if not isinstance(allocator, PanelDemandAllocator):
@@ -116,29 +208,32 @@ def _remap_subplan(plan: Plan, include: Sequence[int], p: int, cid_base: int) ->
 
 def _group_reclaimed(
     chunks: Sequence[Chunk], r: int, *, columns_ok: bool
-) -> tuple[int, list[_Band]]:
-    """Split reclaimed chunks into whole columns and partial row-bands.
+) -> tuple[list[int], list[_Band]]:
+    """Split reclaimed chunks into whole real columns and partial row-bands.
 
     Chunks reclaimed from one worker walk panels top-to-bottom, so per
     panel ``(j0, width)`` they form a contiguous bottom band.  With
-    ``columns_ok``, a band reaching row 0 over the full height counts as
-    ``width`` whole columns (eligible for a reduced-grid replan through the
-    base scheduler); otherwise every group stays a band.
+    ``columns_ok``, a band reaching row 0 over the full height contributes
+    its *real column indices* (eligible for a reduced-grid replan through
+    the base scheduler, mapped back via ``_remap_subplan``'s ``col_map``);
+    otherwise every group stays a band.  Returns ``(sorted real columns,
+    bands)``.
     """
     panels: dict[tuple[int, int], list[Chunk]] = {}
     for ch in chunks:
         panels.setdefault((ch.j0, ch.w), []).append(ch)
-    columns = 0
+    cols: list[int] = []
     bands: list[_Band] = []
     for (j0, width), group in panels.items():
         group.sort(key=lambda ch: ch.i0)
         i0 = group[0].i0
         h = sum(ch.h for ch in group)
         if columns_ok and i0 == 0 and h == r:
-            columns += width
+            cols.extend(range(j0, j0 + width))
         else:
             bands.append((i0, h, j0, width))
-    return columns, bands
+    cols.sort()
+    return cols, bands
 
 
 class AdaptiveScheduler:
@@ -170,13 +265,19 @@ class AdaptiveScheduler:
         grid: BlockGrid,
         timeline: PlatformTimeline,
         collect_events: bool = False,
+        *,
+        record_events: bool = False,
     ) -> SimResult:
         """Plan per the mode, replay under ``timeline``, return the result
         (``meta["dynamic"]`` records mode, events and replan decisions).
 
         ``collect_events`` selects the (traced) reference engine; it is
         incompatible with the adaptive mode, whose controller needs the
-        fast engine's mutation surface.
+        fast engine's mutation surface.  ``record_events`` instead has the
+        *driver* synthesize the trace (plus the killed-chunk audit) on the
+        fast engine — available in every mode, including adaptive — so the
+        result can be audited with
+        :func:`repro.sim.validate.validate_dynamic`.
         """
         if collect_events and self.mode == "adaptive":
             raise ValueError(
@@ -206,6 +307,7 @@ class AdaptiveScheduler:
             grid,
             engine="reference" if collect_events else "fast",
             controller=controller,
+            record_events=record_events,
         )
         result.meta.setdefault("algorithm", self.name)
         result.meta["dynamic"]["mode"] = self.mode
@@ -369,15 +471,16 @@ class AdaptiveScheduler:
         # whole columns can go back through the wrapped scheduler; a demand
         # allocator re-grants its own columns, so for allocator runs every
         # already-granted reclaimed group is reassigned directly as a band
-        columns, bands = _group_reclaimed(
+        cols, bands = _group_reclaimed(
             reclaimed, grid.r, columns_ok=run.allocator is None
         )
         cid_base = run.next_cid()
 
         # -- replan whole columns with the wrapped scheduler on the
-        #    now-current platform
+        #    now-current platform, mapping the reduced-grid subplan back
+        #    onto the real reclaimed column coordinates
         subplan = None
-        if columns > 0:
+        if cols:
             cur = Platform(
                 [
                     Worker(k, run.cur_cs[i], run.cur_ws[i], platform[i].m)
@@ -385,9 +488,11 @@ class AdaptiveScheduler:
                 ],
                 name="replan",
             )
-            reduced = BlockGrid(r=grid.r, t=grid.t, s=columns, q=grid.q)
+            reduced = BlockGrid(r=grid.r, t=grid.t, s=len(cols), q=grid.q)
             try:
-                subplan = _remap_subplan(self.base.plan(cur, reduced), healthy, p, cid_base)
+                subplan = _remap_subplan(
+                    self.base.plan(cur, reduced), healthy, p, cid_base, col_map=cols
+                )
             except SchedulingError:
                 return None
             cid_base += sum(len(chs) for chs in subplan.assignments)
@@ -435,9 +540,7 @@ class AdaptiveScheduler:
         # -- strict orders: the spliced tail covering replacement messages
         order_tail: list[int] | None = None
         if run._order is not None:
-            extra = (1 if run.c_mode is not CMode.NONE else 0) + (
-                1 if run.c_mode is CMode.BOTH else 0
-            )
+            extra = c_message_count(run.c_mode)
             order_tail = []
             if subplan is not None:
                 order_tail.extend(subplan.policy.order)

@@ -10,10 +10,12 @@ from .batch import (
     supports_batch,
 )
 from .dynamic import (
+    TIMELINE_FAMILIES,
     DynamicRun,
     DynamicStall,
     PlatformTimeline,
     TimelineEvent,
+    random_timeline,
     simulate_dynamic,
 )
 from .engine import Engine, SimResult, WorkerStats, simulate
@@ -30,7 +32,12 @@ from .policies import (
     selection_order_priority,
 )
 from .trace import compute_records, gantt_ascii, port_records, worker_utilization
-from .validate import InvariantViolation, ValidationReport, validate_result
+from .validate import (
+    InvariantViolation,
+    ValidationReport,
+    validate_dynamic,
+    validate_result,
+)
 from .worker_state import CMode, HeadMsg, WorkerSim
 
 __all__ = [
@@ -52,7 +59,9 @@ __all__ = [
     "DynamicRun",
     "DynamicStall",
     "PlatformTimeline",
+    "TIMELINE_FAMILIES",
     "TimelineEvent",
+    "random_timeline",
     "simulate_dynamic",
     "Plan",
     "PolicyKeySpec",
@@ -69,6 +78,7 @@ __all__ = [
     "worker_utilization",
     "InvariantViolation",
     "ValidationReport",
+    "validate_dynamic",
     "validate_result",
     "CMode",
     "HeadMsg",

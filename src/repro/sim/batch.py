@@ -70,9 +70,10 @@ from .engine import WorkerStats
 from .fastpath import fast_simulate
 from .plan import Plan
 from .policies import ReadyPolicy, StrictOrderPolicy, key_spec_of
-from .worker_state import CMode
+from .worker_state import CMode, c_message_count
 
 __all__ = [
+    "BATCH_ENGINE_VERSION",
     "BatchEngine",
     "BatchCompileCache",
     "BatchOutcome",
@@ -81,6 +82,13 @@ __all__ = [
     "supports_batch",
     "MIN_VECTOR_BATCH",
 ]
+
+#: Version tag of the vectorized replay semantics.  The result cache keys
+#: batch-engine experiment runs on it (next to the scalar
+#: :data:`repro.experiments.parallel.ENGINE_FINGERPRINT`), so a change to
+#: the batch compilation/stepping that could move a makespan must bump it
+#: -- that invalidates every payload stored under the batch engine at once.
+BATCH_ENGINE_VERSION = "batch-v1"
 
 #: Below this many compatible instances :func:`batch_simulate` replays the
 #: group through the scalar fast path instead of vectorizing (bit-identical
@@ -118,9 +126,7 @@ def _batch_mode(plan: Plan):
 
 def _plan_steps(plan: Plan) -> int:
     """Port messages a plan will post (timing-independent)."""
-    extra = (1 if plan.c_mode is not CMode.NONE else 0) + (
-        1 if plan.c_mode is CMode.BOTH else 0
-    )
+    extra = c_message_count(plan.c_mode)
     return sum(
         len(ch.rounds) + extra for chunks in plan.assignments for ch in chunks
     )
@@ -186,19 +192,43 @@ class BatchCompileCache:
     reuse compilations across calls.  Cached values keep their plan (and
     rounds tuple) alive, so the ``id()``-based keys cannot be recycled
     while the cache exists.
+
+    Per-tier ``*_hits`` / ``*_misses`` counters account every lookup (a
+    miss is a compilation), so tests — and profiling — can assert exactly
+    which tier recompiled: e.g. re-scoring a shared plan under new worker
+    costs must hit ``tmpl`` and ``struct`` and miss only ``stream`` (the
+    two cost multiplies).  :meth:`clear` resets the counters with the
+    entries.
     """
 
-    __slots__ = ("tmpl", "struct", "stream")
+    __slots__ = (
+        "tmpl",
+        "struct",
+        "stream",
+        "tmpl_hits",
+        "tmpl_misses",
+        "struct_hits",
+        "struct_misses",
+        "stream_hits",
+        "stream_misses",
+    )
 
     def __init__(self) -> None:
         self.tmpl: dict[tuple, tuple] = {}
         self.struct: dict[tuple, tuple] = {}
         self.stream: dict[tuple, tuple] = {}
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.tmpl_hits = self.tmpl_misses = 0
+        self.struct_hits = self.struct_misses = 0
+        self.stream_hits = self.stream_misses = 0
 
     def clear(self) -> None:
         self.tmpl.clear()
         self.struct.clear()
         self.stream.clear()
+        self._reset_counters()
 
     def worker_struct(self, plan: Plan, w: int, chunk_template) -> tuple:
         """Parameter-independent message stream of ``plan``'s worker ``w``
@@ -206,7 +236,9 @@ class BatchCompileCache:
         key = (id(plan), w)
         hit = self.struct.get(key)
         if hit is not None:
+            self.struct_hits += 1
             return hit[1]
+        self.struct_misses += 1
         chunks = plan.assignments[w]
         depth = plan.depths[w]
         tmpls = [chunk_template(ch, plan.c_mode) for ch in chunks]
@@ -252,7 +284,9 @@ class BatchCompileCache:
         key = (id(plan), w, c, wcost)
         hit = self.stream.get(key)
         if hit is not None:
+            self.stream_hits += 1
             return hit[1], hit[2]
+        self.stream_misses += 1
         comm = nb * c
         comp = upd * wcost
         self.stream[key] = (plan, comm, comp)
@@ -313,7 +347,9 @@ class BatchEngine:
         key = (id(chunk.rounds), chunk.h, chunk.w, c_mode)
         cached = self._cache.tmpl.get(key)
         if cached is not None:
+            self._cache.tmpl_hits += 1
             return cached
+        self._cache.tmpl_misses += 1
         kinds, nbs, upds = [], [], []
         cb = chunk.c_blocks
         if c_mode is not CMode.NONE:

@@ -37,7 +37,26 @@ order or swap the demand allocator — the mechanism under
 :meth:`DynamicRun.probe` clones the whole run (engine, allocator, policy
 cursor) so candidate replans can be scored by running them to completion
 under the *current* parameters without disturbing — or peeking past — the
-live run.
+live run.  Controller reactions are causal: once an event at ``T`` has been
+applied, no later message may start before ``T`` (the *event frontier*) —
+a migration decided at ``T`` cannot send replacement chunks into the past.
+For runs without a controller the frontier is provably a no-op (every
+post already starts at or after the last applied event), so static replays
+stay bit-identical.
+
+**Auditability.**  With ``record_events=True`` the driver synthesizes the
+same :class:`~repro.core.ops.PortEvent` / :class:`~repro.core.ops
+.ComputeEvent` records the reference engine would emit — including for
+fast-engine runs under online control, where it also logs killed
+(abandoned) chunk ids into ``meta["dynamic"]`` — so every dynamic run,
+static or adaptive, can be audited by
+:func:`repro.sim.validate.validate_dynamic`.
+
+**Stochastic timelines.**  :func:`random_timeline` draws a seeded Poisson
+event process over the scenario families (straggler / bandwidth / crash /
+mixed); it is the generator behind ``dynamic_sweep(stochastic=...)``,
+``repro-mm dynamic --stochastic`` and the property-fuzz wall in
+``tests/test_dynamic_validation.py``.
 """
 
 from __future__ import annotations
@@ -48,21 +67,24 @@ from typing import Callable, Iterable, Sequence
 
 from ..core.blocks import BlockGrid
 from ..core.chunks import Chunk
+from ..core.ops import ComputeEvent, MsgKind, PortEvent
 from ..platform.model import Platform, Worker
 from .allocator import PanelDemandAllocator
 from .engine import Engine, SimResult
 from .fastpath import FastEngine, supports_fast_path
 from .plan import Plan
 from .policies import ReadyPolicy, StrictOrderPolicy, key_spec_of
-from .worker_state import CMode
+from .worker_state import CMode, c_message_count
 
 __all__ = [
     "EVENT_KINDS",
+    "TIMELINE_FAMILIES",
     "TimelineEvent",
     "PlatformTimeline",
     "DynamicStall",
     "DynamicRun",
     "simulate_dynamic",
+    "random_timeline",
 ]
 
 _INF = math.inf
@@ -385,6 +407,7 @@ class DynamicRun:
         base_cs: Sequence[float],
         base_ws: Sequence[float],
         controller: Callable[["DynamicRun", list[TimelineEvent]], None] | None = None,
+        record: bool = False,
     ) -> None:
         self.adapter = adapter
         self.allocator = plan.allocator
@@ -399,6 +422,15 @@ class DynamicRun:
         self.cur_cs = list(base_cs)
         self.cur_ws = list(base_ws)
         self.avail = [0.0] * p
+        # causality floor: once an event at T applied, no later post starts
+        # before T (only binding after controller mutations — see module doc)
+        self.frontier = 0.0
+        self.killed: list[tuple[int, float]] = []  # (cid, kill time)
+        # the fast adapter has no traces of its own; the driver synthesizes
+        # them (the reference adapter records through its engine instead)
+        synth = record and adapter.supports_control
+        self._port_log: list[PortEvent] | None = [] if synth else None
+        self._comp_log: list[ComputeEvent] | None = [] if synth else None
         policy = plan.policy
         self._order: list[int] | None = None
         self._pos = 0
@@ -454,6 +486,8 @@ class DynamicRun:
             self._apply_event(ev)
             applied.append(ev)
         self.events_applied += len(applied)
+        if applied and applied[-1].time > self.frontier:
+            self.frontier = applied[-1].time
         if self.controller is not None:
             self.controller(self, applied)
 
@@ -481,9 +515,9 @@ class DynamicRun:
                 "never rejoins"
             )
         legal = ad.head_legal(widx)
-        a = self.avail[widx]
-        if a > legal:
-            legal = a
+        floor = self._floor(widx)
+        if floor > legal:
+            legal = floor
         port_free = ad.port_free
         return widx, (port_free if port_free > legal else legal)
 
@@ -499,12 +533,14 @@ class DynamicRun:
         best = -1
         best_eff = 0.0
         best_key: tuple = ()
+        frontier = self.frontier
         for i in range(ad.p):
             if not ad.has_pending(i) or avail[i] == _INF:
                 continue
             legal = ad.head_legal(i)
-            if avail[i] > legal:
-                legal = avail[i]
+            floor = avail[i] if avail[i] > frontier else frontier
+            if floor > legal:
+                legal = floor
             eff = port_free if port_free > legal else legal
             if best < 0 or eff < best_eff:
                 best, best_eff = i, eff
@@ -548,7 +584,7 @@ class DynamicRun:
             if self.eidx < len(events) and events[self.eidx].time <= start:
                 self._apply_due(start)
                 continue  # re-choose under the new parameters/availability
-            ad.post(widx, self.avail[widx])
+            self._post(widx)
             if self._order is not None:
                 self._pos += 1
         leftover = ad.pending_workers
@@ -557,6 +593,47 @@ class DynamicRun:
                 f"policy stopped with pending messages on workers {leftover}"
             )
         return self
+
+    def _floor(self, widx: int) -> float:
+        """External start floor of worker ``widx``'s next message: its
+        crash-window availability and the applied-event frontier."""
+        a = self.avail[widx]
+        return a if a > self.frontier else self.frontier
+
+    def _post(self, widx: int) -> None:
+        """Post worker ``widx``'s head message, synthesizing trace events
+        when recording (same float expressions as ``FastEngine.post_next``,
+        so recorded times are exactly what the engine computes)."""
+        floor = self._floor(widx)
+        log = self._port_log
+        if log is None:
+            self.adapter.post(widx, floor)
+            return
+        eng = self.adapter.engine
+        kind = eng._head_stage_kind[widx]
+        legal = eng._head_legal[widx]
+        nblocks = eng._head_nblocks[widx]
+        cid = eng._head_cid[widx]
+        port_free = eng.port_free
+        start = port_free if port_free > legal else legal
+        if floor > start:
+            start = floor
+        end = start + nblocks * eng._c[widx]
+        st = eng._stage[widx]
+        if kind == FastEngine._K_ROUND:
+            rec = eng._chunks[widx][eng._pos[widx]]
+            updates = rec[4][st - 1]
+            comp_free = eng._comp_free[widx]
+            cs = end if end > comp_free else comp_free
+            ce = cs + updates * eng._w[widx]
+            self._comp_log.append(ComputeEvent(cs, ce, widx, cid, st - 1, updates))
+            mkind, ridx = MsgKind.ROUND, st - 1
+        elif kind == FastEngine._K_C_SEND:
+            mkind, ridx = MsgKind.C_SEND, -1
+        else:
+            mkind, ridx = MsgKind.C_RETURN, -1
+        log.append(PortEvent(start, end, widx, mkind, cid, ridx, nblocks))
+        self.adapter.post(widx, floor)
 
     def _run_opaque(self) -> None:
         # Opaque policies choose statefully, so the driver cannot re-choose
@@ -613,9 +690,7 @@ class DynamicRun:
         pos = eng._pos[widx]
         if pos >= len(lst):
             return 0
-        extra = (1 if self.c_mode is not CMode.NONE else 0) + (
-            1 if self.c_mode is CMode.BOTH else 0
-        )
+        extra = c_message_count(self.c_mode)
         total = lst[pos][5] + extra - (eng._stage[widx] - eng._init_stage)
         for rec in lst[pos + 1 :]:
             total += rec[5] + extra
@@ -641,8 +716,12 @@ class DynamicRun:
 
     def kill_in_flight(self, widx: int) -> Chunk | None:
         """Abandon worker ``widx``'s in-flight chunk (sunk communication and
-        compute stay on the books; the chunk must be re-executed elsewhere).
-        Returns the abandoned chunk, or ``None`` if nothing was in flight."""
+        compute *time* stay on the books; the chunk must be re-executed
+        elsewhere).  The worker discards the chunk's resident blocks at the
+        kill time — the current event frontier — which, combined with the
+        frontier floor on later posts, keeps replacement traffic within the
+        worker's memory.  Returns the abandoned chunk, or ``None`` if
+        nothing was in flight."""
         eng = self._engine()
         if not self.chunk_started(widx):
             return None
@@ -652,6 +731,7 @@ class DynamicRun:
         eng._stage[widx] = eng._init_stage
         self._drop_from_all(eng, dropped)
         eng._refresh_head(widx)
+        self.killed.append((dropped[0][1], self.frontier))
         return dropped[0][0]
 
     def append_chunk(self, widx: int, chunk: Chunk) -> None:
@@ -717,6 +797,10 @@ class DynamicRun:
         other.cur_cs = list(self.cur_cs)
         other.cur_ws = list(self.cur_ws)
         other.avail = list(self.avail)
+        other.frontier = self.frontier
+        other.killed = []
+        other._port_log = None  # probes are what-ifs: never recorded
+        other._comp_log = None
         other._order = None if self._order is None else list(self._order)
         other._pos = self._pos
         other._fields = self._fields
@@ -740,6 +824,7 @@ def simulate_dynamic(
     *,
     engine: str = "fast",
     controller: Callable[[DynamicRun, list[TimelineEvent]], None] | None = None,
+    record_events: bool = False,
 ) -> SimResult:
     """Run ``plan`` on ``platform`` under a :class:`PlatformTimeline`.
 
@@ -752,6 +837,13 @@ def simulate_dynamic(
     never records traces regardless of the flag).  ``controller`` fires at
     every event boundary with the live :class:`DynamicRun` (fast engine
     only).
+
+    With ``record_events`` the result carries full port/compute traces and
+    an audit annex in ``meta["dynamic"]`` (``c_mode``, ``killed_cids``) —
+    everything :func:`repro.sim.validate.validate_dynamic` needs.  On the
+    fast engine the driver synthesizes the events (bit-identical times, no
+    engine overhead when off); on the reference engine the engine's own
+    collection is forced on.
     """
     if not isinstance(plan, Plan):
         raise TypeError(f"expected a Plan, got {type(plan)!r}")
@@ -763,7 +855,13 @@ def simulate_dynamic(
     if engine == "fast" and supports_fast_path(plan):
         adapter = _FastAdapter(platform, plan)
     else:
-        adapter = _ReferenceAdapter(platform, plan)
+        collect = plan.collect_events
+        if record_events:
+            plan.collect_events = True
+        try:
+            adapter = _ReferenceAdapter(platform, plan)
+        finally:
+            plan.collect_events = collect
     if controller is not None and not adapter.supports_control:
         raise TypeError(
             "controller callbacks require the fast engine and a fast-path "
@@ -776,6 +874,7 @@ def simulate_dynamic(
         base_cs=platform.cs,
         base_ws=platform.ws,
         controller=controller,
+        record=record_events,
     )
     run.run()
     meta = dict(plan.meta)
@@ -783,4 +882,97 @@ def simulate_dynamic(
         "events": len(timeline),
         "events_applied": run.events_applied,
     }
-    return adapter.result(grid, meta)
+    if record_events:
+        meta["dynamic"]["c_mode"] = plan.c_mode.name
+        meta["dynamic"]["killed_cids"] = sorted(cid for cid, _t in run.killed)
+        meta["dynamic"]["kills"] = sorted(run.killed)
+    result = adapter.result(grid, meta)
+    if run._port_log is not None:
+        result.port_events = tuple(run._port_log)
+        result.compute_events = tuple(run._comp_log)
+    return result
+
+
+# ----------------------------------------------------------------------
+# stochastic timelines
+# ----------------------------------------------------------------------
+
+#: Event-process families of :func:`random_timeline`.
+TIMELINE_FAMILIES = ("straggler", "bandwidth", "crash", "mixed")
+
+
+def random_timeline(
+    rng,
+    family: str,
+    platform: Platform,
+    horizon: float,
+    *,
+    rate: float = 3.0,
+    severity: float = 8.0,
+    outage_frac: float = 0.25,
+) -> PlatformTimeline:
+    """Draw a seeded Poisson event process over one scenario family.
+
+    Event *arrivals* are Poisson with ``rate`` expected events over
+    ``[0, horizon)`` (exponential inter-arrival gaps drawn from ``rng``, a
+    seeded :class:`random.Random`); each arrival targets a uniformly random
+    worker.  What the event does depends on the family:
+
+    ``straggler``
+        compute slowdown by a factor uniform in ``[1.5, severity]``, with a
+        50% chance of a later ``recover``;
+    ``bandwidth``
+        link cost set to ``base_c`` times a factor uniform in
+        ``[1.5, severity]``, with a 50% chance of a later ``recover``;
+    ``crash``
+        an outage window: ``crash`` now, ``join`` after a duration uniform
+        in ``[0.5, 1.5] * outage_frac * horizon``.  Every crash gets a
+        matching join, so generated timelines are always *recoverable* —
+        the stall-freedom contract the fuzz wall asserts for the adaptive
+        scheduler.  Arrivals for a worker already down are skipped (no
+        nested outages);
+    ``mixed``
+        each arrival picks one of the three uniformly.
+
+    The generator is deterministic in ``rng``'s seed — a fuzz failure is
+    reproduced by re-seeding with the reported seed (see EXPERIMENTS.md).
+    A draw may legitimately contain zero events (Poisson); recovery times
+    may land beyond ``horizon`` (they then never fire, like any event after
+    the run drains).
+    """
+    if family not in TIMELINE_FAMILIES:
+        raise ValueError(f"unknown family {family!r}; known: {TIMELINE_FAMILIES}")
+    if not (horizon > 0 and math.isfinite(horizon)):
+        raise ValueError("horizon must be positive and finite")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if severity < 1.5:
+        raise ValueError(
+            "severity must be >= 1.5 (degradation factors are drawn uniformly "
+            "from [1.5, severity])"
+        )
+    if outage_frac <= 0:
+        raise ValueError("outage_frac must be positive")
+    timeline = PlatformTimeline()
+    down_until = [0.0] * platform.p
+    mean_gap = horizon / rate
+    t = rng.expovariate(1.0 / mean_gap)
+    while t < horizon:
+        kind = family if family != "mixed" else rng.choice(TIMELINE_FAMILIES[:3])
+        widx = rng.randrange(platform.p)
+        if kind == "crash":
+            if down_until[widx] <= t:
+                outage = rng.uniform(0.5, 1.5) * outage_frac * horizon
+                timeline.crash(t, widx)
+                timeline.join(t + outage, widx)
+                down_until[widx] = t + outage
+        elif kind == "straggler":
+            timeline.straggle(t, widx, rng.uniform(1.5, severity))
+            if rng.random() < 0.5:
+                timeline.recover(t + rng.uniform(0.1, 0.6) * horizon, widx)
+        else:  # bandwidth
+            timeline.set_bandwidth(t, widx, platform[widx].c * rng.uniform(1.5, severity))
+            if rng.random() < 0.5:
+                timeline.recover(t + rng.uniform(0.1, 0.6) * horizon, widx)
+        t += rng.expovariate(1.0 / mean_gap)
+    return timeline

@@ -26,7 +26,17 @@ from ..core.chunks import Chunk
 from ..core.ops import ComputeEvent, MsgKind, PortEvent
 from ..platform.model import Worker
 
-__all__ = ["CMode", "HeadMsg", "WorkerSim"]
+__all__ = ["CMode", "HeadMsg", "WorkerSim", "c_message_count"]
+
+
+def c_message_count(c_mode: "CMode") -> int:
+    """Port messages a chunk's C blocks cost under ``c_mode``: the
+    ``C_SEND`` (any mode but NONE) plus the ``C_RETURN`` (BOTH only).
+    The single definition behind every per-chunk message-count formula
+    (plan step counts, strict-order splicing, pending-message audits)."""
+    return (1 if c_mode is not CMode.NONE else 0) + (
+        1 if c_mode is CMode.BOTH else 0
+    )
 
 
 class CMode(Enum):

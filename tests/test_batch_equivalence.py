@@ -482,3 +482,90 @@ def test_compile_cache_hits_within_one_submission(het_platform, small_grid):
         assert outcome.makespan == single.makespan
     enrolled = sum(1 for chunks in plan.assignments if chunks)
     assert len(cache.struct) == enrolled
+
+
+def test_compile_cache_cost_only_change_recompiles_two_multiplies(
+    het_platform, small_grid
+):
+    """Re-scoring one shared plan under new worker costs must hit the tmpl
+    and struct tiers and miss only the stream tier — i.e. recompile nothing
+    but the comm and comp cost multiplies."""
+    from repro.sim.batch import BatchCompileCache
+
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.collect_events = False
+    enrolled = sum(1 for chunks in plan.assignments if chunks)
+    cache = BatchCompileCache()
+    base = BatchEngine([(het_platform, plan)], compile_cache=cache).run().makespans()[0]
+    assert cache.struct_misses == enrolled
+    assert cache.stream_misses == enrolled
+    struct_misses = cache.struct_misses
+    tmpl_misses = cache.tmpl_misses
+
+    scaled = Platform(
+        [Worker(w.index, w.c * 1.5, w.w * 2.0, w.m) for w in het_platform]
+    )
+    rescored = (
+        BatchEngine([(scaled, plan)], compile_cache=cache).run().makespans()[0]
+    )
+    # structure and templates fully reused ...
+    assert cache.struct_misses == struct_misses
+    assert cache.tmpl_misses == tmpl_misses
+    assert cache.struct_hits == enrolled
+    assert cache.tmpl_hits >= 1
+    # ... only the per-(plan, worker) cost multiplies recompiled
+    assert cache.stream_misses == 2 * enrolled
+    # and the rescored makespan is still bit-identical to a fresh replay
+    assert rescored == fast_simulate(scaled, clone_plan(plan), small_grid).makespan
+    assert base == fast_simulate(het_platform, clone_plan(plan), small_grid).makespan
+
+
+def test_compile_cache_reuse_across_buckets(het_platform):
+    """One batch_outcomes call shares its compile cache across length
+    buckets: duplicate plan submissions reuse struct+stream wholesale, and
+    a short bucket's chunk shapes hit the tmpl tier compiled by the long
+    bucket (the plans' message counts differ 4x, so they cannot share a
+    bucket — :data:`_BUCKET_RATIO` is 2)."""
+    from repro.sim.batch import BatchCompileCache, _plan_steps
+
+    long_plan = make_scheduler("Hom").plan(het_platform, BlockGrid(r=6, t=5, s=24, q=2))
+    short_plan = make_scheduler("Hom").plan(het_platform, BlockGrid(r=6, t=5, s=6, q=2))
+    for plan in (long_plan, short_plan):
+        plan.collect_events = False
+    assert _plan_steps(long_plan) > 2 * _plan_steps(short_plan)
+
+    runs = [
+        (het_platform, long_plan),
+        (het_platform, long_plan),
+        (het_platform, short_plan),
+        (het_platform, short_plan),
+    ]
+    cache = BatchCompileCache()
+    outcomes = batch_outcomes(runs, force=True, compile_cache=cache)
+    for (pf, plan), outcome in zip(runs, outcomes):
+        assert outcome.makespan == fast_simulate(pf, clone_plan(plan)).makespan
+    enrolled_long = sum(1 for chunks in long_plan.assignments if chunks)
+    enrolled_short = sum(1 for chunks in short_plan.assignments if chunks)
+    # struct/stream compiled once per (plan, worker) — the duplicate
+    # submissions are pure hits, across both buckets of the one call
+    assert cache.struct_misses == enrolled_long + enrolled_short
+    assert cache.struct_hits >= enrolled_long + enrolled_short
+    assert cache.stream_misses == enrolled_long + enrolled_short
+    assert cache.stream_hits >= enrolled_long + enrolled_short
+    # the short bucket's chunk shapes were already templated by the long one
+    assert cache.tmpl_hits > 0
+
+
+def test_compile_cache_clear_resets_accounting(het_platform, small_grid):
+    from repro.sim.batch import BatchCompileCache
+
+    plan = make_scheduler("Hom").plan(het_platform, small_grid)
+    plan.collect_events = False
+    cache = BatchCompileCache()
+    BatchEngine([(het_platform, plan)], compile_cache=cache).run()
+    assert cache.struct_misses > 0
+    cache.clear()
+    assert not cache.struct and not cache.stream and not cache.tmpl
+    assert cache.struct_misses == cache.struct_hits == 0
+    assert cache.stream_misses == cache.stream_hits == 0
+    assert cache.tmpl_misses == cache.tmpl_hits == 0

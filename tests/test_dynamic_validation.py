@@ -1,0 +1,423 @@
+"""The dynamic invariant/fuzz wall.
+
+Every run the dynamics subsystem can produce — any registry scheduler,
+any :data:`~repro.schedulers.adaptive.DYNAMIC_MODES` evaluation mode, the
+fast or the reference engine, scripted or random timelines — must pass
+:func:`repro.sim.validate.validate_dynamic` with zero invariant
+violations: one-port exclusivity, message/compute durations priced at the
+*time-varying* worker parameters, no service inside crash windows, killed
+chunks never returning C blocks, every surviving chunk completing exactly
+once, and the surviving chunks tiling the block grid exactly (reclaimed
+work re-sent exactly once — the coordinate-faithfulness contract of
+adaptive replanning).
+
+The fuzz wall draws seeded random cases; a failure message always carries
+the reproducing seed.  To replay one case by hand::
+
+    PYTHONPATH=src python -c "
+    import tests.test_dynamic_validation as wall; wall.replay(SEED)"
+
+Environment knobs: ``REPRO_FUZZ_SEED`` (base seed; the literal string
+``random`` draws a fresh one and prints it — used by the longer CI pass),
+``REPRO_FUZZ_RUNS`` (validated-run target of the slow randomized pass).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.ops import MsgKind, PortEvent
+from repro.experiments.harness import DynamicInstance, run_dynamic_experiment
+from repro.experiments.sweeps import (
+    CANONICAL_SEVERITIES,
+    DYNAMIC_SCENARIOS,
+    dynamic_scenario,
+    dynamic_sweep,
+)
+from repro.platform.model import Platform, Worker
+from repro.schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
+from repro.schedulers.base import SchedulingError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.dynamic import (
+    TIMELINE_FAMILIES,
+    DynamicStall,
+    PlatformTimeline,
+    random_timeline,
+    simulate_dynamic,
+)
+from repro.sim.fastpath import fast_simulate
+from repro.sim.validate import InvariantViolation, validate_dynamic
+from repro.theory.steady_state import makespan_lower_bound
+
+# The paper's seven (the default suite): the algorithms whose runs the
+# validator is a contract for.  MaxReuse1 is deliberately absent — it
+# overfills worker memory by design (its single-buffered layout predates
+# the depth-aware occupancy model) and fails validate_result on *static*
+# platforms already.
+NAMES = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM")
+
+#: Fixed-seed budget of the tier-1 wall (>= 200 validated random timelines,
+#: the acceptance floor of the dynamics subsystem).
+TIER1_RUNS = 200
+_CHUNK = 25
+
+
+_RANDOM_BASE: int | None = None
+
+
+def _seed_base() -> int:
+    env = os.environ.get("REPRO_FUZZ_SEED", "427").strip()
+    if env == "random":
+        # drawn once per process: every test shares one base, so a whole
+        # randomized suite run reproduces from the single printed seed
+        global _RANDOM_BASE
+        if _RANDOM_BASE is None:
+            _RANDOM_BASE = int(time.time())
+            print(f"\n[fuzz] REPRO_FUZZ_SEED=random -> base seed {_RANDOM_BASE} "
+                  f"(reproduce with REPRO_FUZZ_SEED={_RANDOM_BASE})")
+        return _RANDOM_BASE
+    return int(env)
+
+
+def _case(seed: int):
+    """One seeded random case: (platform, grid, timeline, name, mode)."""
+    rng = random.Random(seed)
+    p = rng.choice((3, 4, 5))
+    mu = rng.choice((3, 4))
+    c = 1.0
+    w = rng.uniform(1.5, 4.0) * p * c / mu  # compute-bound: everyone enrolls
+    m = mu * mu + 4 * mu
+    platform = Platform([Worker(i, c, w, m) for i in range(p)])
+    grid = BlockGrid(
+        r=rng.choice((6, 8)), t=rng.choice((4, 6)), s=rng.choice((18, 24)), q=2
+    )
+    family = rng.choice(TIMELINE_FAMILIES)
+    horizon = makespan_lower_bound(platform, grid)
+    timeline = random_timeline(
+        rng,
+        family,
+        platform,
+        horizon,
+        rate=rng.uniform(1.0, 5.0),
+        severity=rng.uniform(2.0, 16.0),
+    )
+    name = rng.choice(NAMES)
+    mode = rng.choice(DYNAMIC_MODES)
+    return platform, grid, timeline, name, mode
+
+
+def _run_and_validate(seed: int) -> bool:
+    """Run one seeded case and audit it; False when unschedulable."""
+    platform, grid, timeline, name, mode = _case(seed)
+    try:
+        sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
+            platform, grid, timeline, record_events=True
+        )
+    except SchedulingError:
+        return False  # instance infeasible for this algorithm: vacuous
+    validate_dynamic(sim, timeline, grid=grid)
+    return True
+
+
+def replay(seed: int) -> None:
+    """Re-run one fuzz case by its reported seed (debugging entry point)."""
+    platform, grid, timeline, name, mode = _case(seed)
+    print(f"seed={seed}: {name}[{mode}] on p={platform.p}, {grid}, "
+          f"{len(timeline)} events")
+    _run_and_validate(seed)
+    print("validated OK")
+
+
+# ----------------------------------------------------------------------
+# the wall: every random run validates
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range(TIER1_RUNS // _CHUNK))
+def test_fuzz_every_random_run_validates(chunk):
+    base = _seed_base()
+    validated = 0
+    for i in range(_CHUNK):
+        seed = base + chunk * _CHUNK + i
+        try:
+            validated += _run_and_validate(seed)
+        except (InvariantViolation, DynamicStall, RuntimeError) as exc:
+            pytest.fail(
+                f"dynamic run broke an invariant ({type(exc).__name__}: {exc}); "
+                f"reproduce with tests.test_dynamic_validation.replay({seed})"
+            )
+    # the wall must stay non-vacuous: _case draws feasible instances by
+    # construction, so nearly every seed must actually run and validate
+    assert validated >= _CHUNK - 3, f"only {validated}/{_CHUNK} cases ran"
+
+
+@pytest.mark.slow
+def test_fuzz_wall_randomized_long():
+    """Longer pass for bench-smoke: REPRO_FUZZ_SEED=random draws (and
+    prints) a fresh base seed; REPRO_FUZZ_RUNS sets the validated-run
+    target."""
+    base = _seed_base()
+    target = int(os.environ.get("REPRO_FUZZ_RUNS", "400"))
+    validated = attempts = 0
+    while validated < target and attempts < 3 * target:
+        seed = base + 100_000 + attempts
+        attempts += 1
+        try:
+            if _run_and_validate(seed):
+                validated += 1
+        except (InvariantViolation, DynamicStall, RuntimeError) as exc:
+            pytest.fail(
+                f"dynamic run broke an invariant ({type(exc).__name__}: {exc}); "
+                f"reproduce with tests.test_dynamic_validation.replay({seed})"
+            )
+    assert validated >= target
+
+
+# ----------------------------------------------------------------------
+# named scenarios: every scheduler x mode validates
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scenario", DYNAMIC_SCENARIOS)
+@pytest.mark.parametrize("name", ["Het", "ODDOML", "Hom", "BMM"])
+def test_named_scenarios_validate_all_modes(scenario, name):
+    platform, grid, timeline = dynamic_scenario(
+        scenario, CANONICAL_SEVERITIES[scenario], scale=0.3
+    )
+    for mode in DYNAMIC_MODES:
+        sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
+            platform, grid, timeline, record_events=True
+        )
+        report = validate_dynamic(sim, timeline, grid=grid)
+        assert report.n_port_events > 0
+
+
+def test_adaptive_migration_with_kill_validates():
+    """The heaviest mutation path — reclaim + kill + coordinate-faithful
+    replan + strict-order splice — must leave an auditable run."""
+    platform, grid, timeline = dynamic_scenario("straggler-onset", 16.0, scale=0.5)
+    sim = AdaptiveScheduler(make_scheduler("Hom"), "adaptive").run_dynamic(
+        platform, grid, timeline, record_events=True
+    )
+    assert any("migrate" in d for d in sim.meta["dynamic"]["decisions"])
+    validate_dynamic(sim, timeline, grid=grid)
+
+
+# ----------------------------------------------------------------------
+# engines agree and both validate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("offset", range(12))
+def test_fuzz_engines_agree_and_validate(offset):
+    seed = _seed_base() + 50_000 + offset
+    platform, grid, timeline, name, _mode = _case(seed)
+    try:
+        plan_a = make_scheduler(name).plan(platform, grid)
+        plan_b = make_scheduler(name).plan(platform, grid)
+    except SchedulingError:
+        return
+    fast = simulate_dynamic(
+        platform, plan_a, timeline, grid, engine="fast", record_events=True
+    )
+    ref = simulate_dynamic(
+        platform, plan_b, timeline, grid, engine="reference", record_events=True
+    )
+    assert fast.makespan == ref.makespan, f"engines disagree (replay seed {seed})"
+    assert fast.worker_stats == ref.worker_stats, f"replay seed {seed}"
+    for sim in (fast, ref):
+        validate_dynamic(sim, timeline, grid=grid)
+    # the synthesized fast-path trace is the reference engine's trace
+    if fast.port_events:  # fast adapter may fall back for opaque plans
+        assert fast.port_events == ref.port_events, f"replay seed {seed}"
+        assert fast.compute_events == ref.compute_events, f"replay seed {seed}"
+
+
+# ----------------------------------------------------------------------
+# empty timelines: all three modes coincide with the static run
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", NAMES)
+def test_empty_timeline_modes_coincide(name, het_platform, ragged_grid):
+    sched = make_scheduler(name)
+    static = fast_simulate(
+        het_platform, sched.plan(het_platform, ragged_grid), ragged_grid
+    )
+    empty = PlatformTimeline()
+    for mode in DYNAMIC_MODES:
+        sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
+            het_platform, ragged_grid, empty, record_events=True
+        )
+        assert sim.makespan == static.makespan, (name, mode)
+        assert sim.worker_stats == static.worker_stats, (name, mode)
+        validate_dynamic(sim, empty, grid=ragged_grid)
+
+
+# ----------------------------------------------------------------------
+# stall-freedom on recoverable timelines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("offset", range(10))
+def test_adaptive_never_stalls_on_recoverable_timelines(offset):
+    """random_timeline joins every crash, so no adaptive run may raise
+    DynamicStall — even under dense outage processes."""
+    seed = _seed_base() + 70_000 + offset
+    rng = random.Random(seed)
+    platform, grid, _tl, name, _mode = _case(seed)
+    horizon = makespan_lower_bound(platform, grid)
+    dense = random_timeline(
+        rng, "crash", platform, horizon, rate=6.0, outage_frac=0.4
+    )
+    try:
+        sim = AdaptiveScheduler(make_scheduler(name), "adaptive").run_dynamic(
+            platform, grid, dense, record_events=True
+        )
+    except SchedulingError:
+        return
+    except DynamicStall:
+        pytest.fail(f"adaptive stalled on a recoverable timeline (seed {seed})")
+    validate_dynamic(sim, dense, grid=grid)
+
+
+def test_adaptive_survives_permanent_crash_and_validates():
+    """A crash with no join: oblivious stalls, adaptive migrates the dead
+    worker's columns — and the migrated run still tiles the grid."""
+    platform, grid, _tl = dynamic_scenario("straggler-onset", 2.0, scale=0.4)
+    nominal = make_scheduler("Het").run(platform, grid, collect_events=False).makespan
+    timeline = PlatformTimeline().crash(0.25 * nominal, 0)
+    with pytest.raises(DynamicStall):
+        AdaptiveScheduler(make_scheduler("Het"), "oblivious").run_dynamic(
+            platform, grid, timeline
+        )
+    sim = AdaptiveScheduler(make_scheduler("Het"), "adaptive").run_dynamic(
+        platform, grid, timeline, record_events=True
+    )
+    assert any("migrate" in d for d in sim.meta["dynamic"]["decisions"])
+    validate_dynamic(sim, timeline, grid=grid)
+
+
+# ----------------------------------------------------------------------
+# harness/sweep integration of the validator and the generator
+# ----------------------------------------------------------------------
+def test_run_dynamic_experiment_validate_flag(het_platform, small_grid):
+    tl = PlatformTimeline().straggle(5.0, 0, 8.0)
+    res = run_dynamic_experiment(
+        "dyn",
+        [DynamicInstance("x", het_platform, small_grid, tl)],
+        [make_scheduler("ODDOML")],
+        modes=("oblivious", "adaptive"),
+        validate=True,
+    )
+    assert len(res.measurements) == 2
+    for m in res.measurements:
+        assert m.meta["dynamic"]["c_mode"] == "BOTH"
+
+
+def test_stochastic_sweep_deterministic_in_seed():
+    a = dynamic_sweep(
+        "straggler-onset", (8.0,), algorithms=("ODDOML",), scale=0.3,
+        stochastic=True, seed=11,
+    )
+    b = dynamic_sweep(
+        "straggler-onset", (8.0,), algorithms=("ODDOML",), scale=0.3,
+        stochastic=True, seed=11,
+    )
+    c = dynamic_sweep(
+        "straggler-onset", (8.0,), algorithms=("ODDOML",), scale=0.3,
+        stochastic=True, seed=12,
+    )
+    assert a.points[0].makespans == b.points[0].makespans
+    # a different seed draws a different event process (the timelines can
+    # coincide only by freak chance on this scale)
+    assert a.points[0].makespans != c.points[0].makespans
+
+
+def test_random_timeline_contract(het_platform):
+    rng = random.Random(3)
+    with pytest.raises(ValueError, match="unknown family"):
+        random_timeline(rng, "meteor", het_platform, 100.0)
+    with pytest.raises(ValueError, match="horizon"):
+        random_timeline(rng, "crash", het_platform, 0.0)
+    with pytest.raises(ValueError, match="severity"):
+        random_timeline(rng, "straggler", het_platform, 100.0, severity=1.0)
+    for family in TIMELINE_FAMILIES:
+        tl = random_timeline(random.Random(5), family, het_platform, 500.0, rate=8.0)
+        tl.validate_for(het_platform)
+        # every crash has a matching join: recoverable by construction
+        assert not tl.crashed_at(float("inf"), final=True)
+
+
+def test_random_timeline_seed_determinism(het_platform):
+    one = random_timeline(random.Random(9), "mixed", het_platform, 300.0)
+    two = random_timeline(random.Random(9), "mixed", het_platform, 300.0)
+    assert one.events == two.events
+
+
+# ----------------------------------------------------------------------
+# the oracle has teeth: corrupted dynamic runs are rejected
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def recorded_straggler():
+    platform, grid, timeline = dynamic_scenario("straggler-onset", 8.0, scale=0.3)
+    sim = AdaptiveScheduler(make_scheduler("Het"), "oblivious").run_dynamic(
+        platform, grid, timeline, record_events=True
+    )
+    return sim, timeline, grid
+
+
+class TestValidatorCatchesCorruption:
+    def test_stale_rate_pricing_rejected(self, recorded_straggler):
+        sim, timeline, grid = recorded_straggler
+        onset = timeline.events[0].time
+        ports = list(sim.port_events)
+        idx = next(
+            i for i, e in enumerate(ports)
+            if e.worker == 0 and e.kind is MsgKind.ROUND and e.start >= onset
+        )
+        e = ports[idx]
+        # extend the message as if the straggle also halved the bandwidth
+        ports[idx] = PortEvent(
+            e.start, e.start + 2.0 * e.duration, e.worker, e.kind, e.cid,
+            e.round_idx, e.nblocks,
+        )
+        import dataclasses
+
+        bad = dataclasses.replace(sim, port_events=tuple(ports))
+        with pytest.raises(InvariantViolation):
+            validate_dynamic(bad, timeline, grid=grid, check_memory=False)
+
+    def test_service_inside_crash_window_rejected(self, recorded_straggler):
+        sim, _timeline, grid = recorded_straggler
+        e = sim.port_events[len(sim.port_events) // 2]
+        window = (
+            PlatformTimeline()
+            .crash(e.start - 1e-6, e.worker)
+            .join(e.end + 1e9, e.worker)
+        )
+        with pytest.raises(InvariantViolation, match="crash window"):
+            validate_dynamic(sim, window, grid=grid, check_memory=False)
+
+    def test_missing_coverage_rejected(self, recorded_straggler):
+        sim, timeline, grid = recorded_straggler
+        import dataclasses
+
+        bad = dataclasses.replace(sim, chunks=sim.chunks[:-1])
+        with pytest.raises(InvariantViolation):
+            validate_dynamic(bad, timeline, grid=grid, check_memory=False)
+
+    def test_killed_chunk_returning_c_rejected(self, recorded_straggler):
+        sim, timeline, grid = recorded_straggler
+        import copy
+
+        bad = copy.deepcopy(sim)
+        victim = bad.chunks[-1]
+        bad.chunks = tuple(ch for ch in bad.chunks if ch.cid != victim.cid)
+        bad.meta["dynamic"]["killed_cids"] = [victim.cid]
+        with pytest.raises(InvariantViolation, match="returned C blocks"):
+            validate_dynamic(bad, timeline, grid=grid, check_memory=False)
+
+    def test_unrecorded_run_rejected(self, recorded_straggler):
+        _sim, timeline, grid = recorded_straggler
+        platform, grid2, tl = dynamic_scenario("straggler-onset", 8.0, scale=0.3)
+        plain = AdaptiveScheduler(make_scheduler("Het"), "oblivious").run_dynamic(
+            platform, grid2, tl
+        )
+        with pytest.raises(InvariantViolation, match="record_events"):
+            validate_dynamic(plain, tl, grid=grid2)

@@ -345,12 +345,85 @@ class TestEngineSelection:
         ]
         assert all("planning_seconds" in m.meta for m in res.measurements)
 
-    def test_cache_ignored_for_batch_engine(self, tiny_instances, tmp_path):
+    def test_cache_ignored_for_reference_engine(self, tiny_instances, tmp_path):
         with pytest.warns(UserWarning, match="ignored"):
-            res = run_experiment("x", tiny_instances, engine="batch", cache=tmp_path / "c")
+            res = run_experiment(
+                "x", tiny_instances, engine="reference", cache=tmp_path / "c"
+            )
         ref = run_experiment("x", tiny_instances)
         assert [(m.algorithm, m.makespan) for m in res.measurements] == [
             (m.algorithm, m.makespan) for m in ref.measurements
+        ]
+
+    def test_batch_engine_cache_roundtrip(self, tiny_instances, tmp_path):
+        # cache= is honored with engine=batch: the cold run stores, the warm
+        # run hits for every (algorithm, instance) — measurements exact
+        cache = ResultCache(tmp_path)
+        cold = run_experiment("x", tiny_instances, engine="batch", cache=cache)
+        stored = len(cache)
+        warm = run_experiment("x", tiny_instances, engine="batch", cache=cache)
+        assert stored > 0
+        assert cache.hits >= stored
+        assert [
+            (m.algorithm, m.instance, m.makespan, m.n_enrolled)
+            for m in cold.measurements
+        ] == [
+            (m.algorithm, m.instance, m.makespan, m.n_enrolled)
+            for m in warm.measurements
+        ]
+        assert cold.failures == warm.failures
+        # hits replay the original planning time (documented behavior)
+        assert all("planning_seconds" in m.meta for m in warm.measurements)
+        # and the cached results equal an uncached batch run exactly
+        ref = run_experiment("x", tiny_instances, engine="batch")
+        assert [(m.algorithm, m.makespan) for m in warm.measurements] == [
+            (m.algorithm, m.makespan) for m in ref.measurements
+        ]
+
+    def test_batch_cache_failures_roundtrip(self, small_grid, tmp_path):
+        starved = Platform([Worker(0, 1.0, 1.0, 2)])
+        inst = [Instance("starved", starved, small_grid)]
+        cache = ResultCache(tmp_path)
+        r1 = run_experiment("x", inst, engine="batch", cache=cache)
+        r2 = run_experiment("x", inst, engine="batch", cache=cache)
+        assert r1.failures and r1.failures == r2.failures
+        assert cache.hits > 0
+
+    def test_batch_key_distinct_from_fast_key(self, het_platform, small_grid):
+        s = make_scheduler("Het")
+        assert task_key(s, het_platform, small_grid, engine="batch") != task_key(
+            s, het_platform, small_grid
+        )
+        assert task_key(s, het_platform, small_grid, engine="batch") == task_key(
+            make_scheduler("Het"), het_platform, small_grid, engine="batch"
+        )
+        with pytest.raises(ValueError, match="no cache key scheme"):
+            task_key(s, het_platform, small_grid, engine="reference")
+
+    def test_batch_key_tracks_batch_engine_version(self, het_platform, small_grid, monkeypatch):
+        from repro.sim import batch as batch_mod
+
+        s = make_scheduler("Het")
+        before = task_key(s, het_platform, small_grid, engine="batch")
+        monkeypatch.setattr(batch_mod, "BATCH_ENGINE_VERSION", "batch-v999")
+        after = task_key(s, het_platform, small_grid, engine="batch")
+        assert before != after
+        # the scalar key scheme is untouched by a batch version bump
+        assert task_key(s, het_platform, small_grid) == task_key(
+            s, het_platform, small_grid
+        )
+
+    def test_sweep_batch_cache_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = heterogeneity_sweep((2.0, 4.0), scale=0.1, engine="batch", cache=cache)
+        b = heterogeneity_sweep((2.0, 4.0), scale=0.1, engine="batch", cache=cache)
+        fast = heterogeneity_sweep((2.0, 4.0), scale=0.1)
+        assert cache.hits > 0
+        assert [(p.ratio, p.makespans, p.enrollment) for p in a.points] == [
+            (p.ratio, p.makespans, p.enrollment) for p in b.points
+        ]
+        assert [(p.ratio, p.makespans) for p in a.points] == [
+            (p.ratio, p.makespans) for p in fast.points
         ]
 
     def test_sweep_engines_identical(self):
