@@ -6,7 +6,7 @@ Subcommands
 ``summary``   run the Figure 9 cross-experiment summary
 ``run``       run one algorithm on one platform/grid, print details/Gantt
 ``sweep``     relative cost vs degree of heterogeneity
-``dynamic``   dynamic-platform scenarios: oblivious vs adaptive vs clairvoyant
+``dynamic``   dynamic-platform scenarios: oblivious/adaptive/reselect/clairvoyant
 ``bounds``    print the Section 3 CCR bounds for a memory size
 ``table2``    demonstrate the bandwidth-centric memory infeasibility
 ``platforms`` list the built-in platform generators
@@ -141,13 +141,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dyn.add_argument(
         "--modes",
-        default=",".join(DYNAMIC_MODES),
-        help="comma-separated evaluation modes",
+        default="oblivious,adaptive,clairvoyant",
+        help=f"comma-separated evaluation modes (known: {','.join(DYNAMIC_MODES)})",
+    )
+    p_dyn.add_argument(
+        "--reselect",
+        action="store_true",
+        help="also evaluate mode=reselect: scenario-aware threshold "
+        "re-selection for Hom/HomI at every event boundary (shared-prefix "
+        "incremental batch re-search; other bases fall back to adaptive)",
     )
     p_dyn.add_argument("--scale", type=float, default=0.5, help="problem scale")
     p_dyn.add_argument("--workers", type=int, default=8, help="platform size p")
     p_dyn.add_argument(
         "--onset", type=float, default=0.3, help="event time as a fraction of the bound"
+    )
+    p_dyn.add_argument(
+        "--recover",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="degraded workers recover at this fraction of the bound "
+        "(transient degradations — where re-selection can re-enroll)",
+    )
+    p_dyn.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed dynamic result cache (keys cover the full "
+        "timeline content and the stochastic seed/rate)",
     )
     p_dyn.add_argument(
         "--stochastic",
@@ -287,20 +309,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_dynamic(args: argparse.Namespace) -> int:
     from .experiments.sweeps import dynamic_sweep
 
+    if args.stochastic and args.recover is not None:
+        print(
+            "error: --recover applies to scripted timelines only; "
+            "--stochastic draws its own recovery events",
+            file=sys.stderr,
+        )
+        return 2
     severities = tuple(float(x) for x in args.severities.split(",") if x.strip())
     algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
-    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    if args.reselect and "reselect" not in modes:
+        # keep clairvoyant last so the table's ratio columns stay meaningful
+        at = modes.index("clairvoyant") if "clairvoyant" in modes else len(modes)
+        modes.insert(at, "reselect")
     sweep = dynamic_sweep(
         args.scenario,
         severities,
         algorithms=algorithms,
-        modes=modes,
+        modes=tuple(modes),
         p=args.workers,
         scale=args.scale,
         onset_frac=args.onset,
+        recover_frac=args.recover,
         stochastic=args.stochastic,
         seed=args.seed,
         rate=args.rate,
+        cache=args.cache,
     )
     if args.stochastic:
         print(

@@ -371,8 +371,8 @@ def run_dynamic_experiment(
 
     Each base algorithm is wrapped in an
     :class:`~repro.schedulers.adaptive.AdaptiveScheduler` per mode
-    (``oblivious`` / ``adaptive`` / ``clairvoyant`` by default), and each
-    measurement is labelled ``"<alg>[<mode>]"``.  The recorded bound is the
+    (``oblivious`` / ``adaptive`` / ``reselect`` / ``clairvoyant`` by
+    default), and each measurement is labelled ``"<alg>[<mode>]"``.  The recorded bound is the
     steady-state lower bound on the timeline's *final* platform — exact for
     degrade-once scenarios, indicative otherwise.  Instances a wrapper
     cannot schedule (or that stall on a crashed worker) land in

@@ -50,7 +50,9 @@ __all__ = [
     "ResultCache",
     "fingerprint_platform",
     "fingerprint_grid",
+    "fingerprint_timeline",
     "task_key",
+    "dynamic_task_key",
     "resolve_workers",
     "run_tasks",
     "plan_tasks",
@@ -72,6 +74,64 @@ def fingerprint_platform(platform: Platform) -> str:
 def fingerprint_grid(grid: BlockGrid) -> str:
     """Canonical string of the block-grid shape."""
     return f"r={grid.r},t={grid.t},s={grid.s},q={grid.q}"
+
+
+def fingerprint_timeline(timeline) -> str:
+    """Canonical string of a :class:`~repro.sim.dynamic.PlatformTimeline`'s
+    timing-relevant content: every event's time, kind, worker and value
+    (``repr`` keeps floats exact).  Two stochastic draws collide only if
+    they produce literally the same event sequence."""
+    return ";".join(
+        f"{ev.time!r}:{ev.kind}:{ev.worker}:{ev.value!r}" for ev in timeline.events
+    )
+
+
+def dynamic_task_key(
+    scheduler: Scheduler,
+    mode: str,
+    platform: Platform,
+    grid: BlockGrid,
+    timeline,
+    *,
+    generator: str = "",
+) -> str:
+    """Content-addressed cache key of one dynamic run: ``(base algorithm,
+    evaluation mode, instance, timeline)``.
+
+    The timeline is keyed by its full event content, and ``generator``
+    additionally folds in how it was produced — the stochastic sweeps pass
+    their ``(seed, scenario/family, severity, rate)`` spec — so two
+    different seeds (or rates) can never alias even in the astronomically
+    unlikely case their parametrization would.  Controlled modes
+    (``adaptive``/``reselect``) additionally key on
+    :data:`repro.schedulers.adaptive.ADAPTIVE_CONTROLLER_VERSION` — their
+    makespans depend on the boundary decision heuristics, not just the
+    engine semantics — and ``mode="reselect"`` also on
+    :data:`repro.sim.batch.BATCH_ENGINE_VERSION`: its boundary re-search
+    *decisions* run on the batch engine, so a batch semantics bump must be
+    able to invalidate those payloads independently (the other modes never
+    consult the batch layer).
+    """
+    parts = [
+        ENGINE_FINGERPRINT,
+        scheduler.signature,
+        f"mode={mode}",
+        fingerprint_platform(platform),
+        fingerprint_grid(grid),
+        fingerprint_timeline(timeline),
+    ]
+    if generator:
+        parts.append(f"generator={generator}")
+    if mode in ("adaptive", "reselect"):
+        from ..schedulers.adaptive import ADAPTIVE_CONTROLLER_VERSION
+
+        parts.insert(1, ADAPTIVE_CONTROLLER_VERSION)
+    if mode == "reselect":
+        from ..sim.batch import BATCH_ENGINE_VERSION
+
+        parts.insert(1, BATCH_ENGINE_VERSION)
+    canon = "|".join(parts)
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 def task_key(

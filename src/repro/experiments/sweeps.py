@@ -392,6 +392,7 @@ def dynamic_scenario(
     mu: int = 8,
     scale: float = 1.0,
     onset_frac: float = 0.3,
+    recover_frac: float | None = None,
 ) -> tuple["Platform", BlockGrid, "PlatformTimeline"]:
     """Build one dynamic-platform instance: ``(platform, grid, timeline)``.
 
@@ -406,6 +407,14 @@ def dynamic_scenario(
       * ``bandwidth-degradation`` — factor on workers 0 and 1's link cost;
       * ``crash-recovery`` — outage length as a fraction of the bound
         (worker 0 crashes, then rejoins).
+
+    With ``recover_frac`` every degraded worker recovers its base
+    parameters at that fraction of the bound (straggler / bandwidth
+    scenarios; crash-recovery already rejoins).  Transient degradations
+    are where boundary-time threshold re-selection earns its keep: a
+    recovery boundary has *no* suspects, so generic migration never
+    re-enrolls the recovered worker — only re-selection puts it back to
+    work (see ``benchmarks/test_bench_reselect.py``).
     """
     from ..platform.model import Platform, Worker
     from ..sim.dynamic import PlatformTimeline
@@ -426,7 +435,8 @@ def dynamic_scenario(
         s=max(p, round(240 * scale)),
         q=4,
     )
-    at = onset_frac * makespan_lower_bound(platform, grid)
+    bound = makespan_lower_bound(platform, grid)
+    at = onset_frac * bound
     timeline = PlatformTimeline()
     if scenario == "straggler-onset":
         timeline.straggle(at, 0, severity)
@@ -435,7 +445,12 @@ def dynamic_scenario(
         timeline.set_bandwidth(at, 1, c * severity)
     else:  # crash-recovery
         timeline.crash(at, 0)
-        timeline.join(at + severity * makespan_lower_bound(platform, grid), 0)
+        timeline.join(at + severity * bound, 0)
+    if recover_frac is not None and scenario != "crash-recovery":
+        if recover_frac <= onset_frac:
+            raise ValueError("recover_frac must come after onset_frac")
+        for widx in sorted({ev.worker for ev in timeline.events}):
+            timeline.recover(recover_frac * bound, widx)
     return platform, grid, timeline
 
 
@@ -458,17 +473,20 @@ def dynamic_sweep(
     mu: int = 8,
     scale: float = 1.0,
     onset_frac: float = 0.3,
+    recover_frac: float | None = None,
     stochastic: bool = False,
     seed: int = 0,
     rate: float = 3.0,
+    cache=None,
 ) -> DynamicSweep:
-    """Quantify oblivious vs adaptive vs clairvoyant scheduling on one
-    dynamic scenario across severities.
+    """Quantify oblivious vs adaptive vs reselect vs clairvoyant scheduling
+    on one dynamic scenario across severities.
 
     Every base algorithm is evaluated through
     :class:`~repro.schedulers.adaptive.AdaptiveScheduler` in each mode;
     combinations that cannot be scheduled (or stall on a permanent crash)
-    are left out of the point's ``makespans``.
+    are left out of the point's ``makespans``.  ``recover_frac`` makes the
+    scripted degradations transient (see :func:`dynamic_scenario`).
 
     With ``stochastic`` each severity's scripted timeline is replaced by a
     seeded random Poisson event process of the scenario's family
@@ -480,20 +498,43 @@ def dynamic_sweep(
     scripted mode which applies the literal factor), the outage fraction
     for crash-recovery.  The draw is deterministic in ``(seed, scenario,
     severity)``, so a sweep is reproducible from its seed alone.
+
+    ``cache`` (a path or :class:`~repro.experiments.parallel.ResultCache`)
+    skips runs whose content-addressed payload is already stored.  Keys
+    come from :func:`~repro.experiments.parallel.dynamic_task_key`: they
+    cover the full event content of the timeline *plus* the stochastic
+    generator spec (seed/family/severity/rate), so re-running with a
+    different seed or rate can never surface another draw's stale
+    makespans; reselect-mode payloads are additionally keyed on the batch
+    engine version their boundary re-searches ran under.
     """
     import random as _random
 
     from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
     from ..sim.dynamic import DynamicStall, random_timeline
+    from .parallel import _as_cache, dynamic_task_key
 
+    if stochastic and recover_frac is not None:
+        raise ValueError(
+            "recover_frac applies to scripted timelines only; stochastic "
+            "draws schedule their own recovery events (see random_timeline)"
+        )
     mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
+    store = _as_cache(cache)
     sweep = DynamicSweep(
         scenario=scenario, algorithms=list(algorithms), modes=mode_list
     )
     for severity in severities:
         platform, grid, timeline = dynamic_scenario(
-            scenario, severity, p=p, mu=mu, scale=scale, onset_frac=onset_frac
+            scenario,
+            severity,
+            p=p,
+            mu=mu,
+            scale=scale,
+            onset_frac=onset_frac,
+            recover_frac=recover_frac,
         )
+        generator = ""
         if stochastic:
             rng = _random.Random(f"{seed}|{scenario}|{severity!r}")
             horizon = makespan_lower_bound(platform, grid)
@@ -510,17 +551,39 @@ def dynamic_sweep(
                     rate=rate,
                     severity=max(severity, 1.5),
                 )
+            generator = (
+                f"stochastic:{seed}|{_SCENARIO_FAMILIES[scenario]}|"
+                f"{severity!r}|{rate!r}"
+            )
         final = timeline.final_platform(platform)
         makespans: dict[str, dict[str, float]] = {}
         for name in algorithms:
             per_mode: dict[str, float] = {}
             for mode in mode_list:
                 wrapper = AdaptiveScheduler(make_scheduler(name), mode)
+                key = None
+                if store is not None:
+                    key = dynamic_task_key(
+                        wrapper.base, mode, platform, grid, timeline,
+                        generator=generator,
+                    )
+                    hit = store.get(key)
+                    if hit is not None:
+                        if "error" not in hit:
+                            per_mode[mode] = hit["makespan"]
+                        continue
                 try:
                     sim = wrapper.run_dynamic(platform, grid, timeline)
-                except (SchedulingError, DynamicStall):
+                except (SchedulingError, DynamicStall) as exc:
+                    if store is not None:
+                        store.put(key, {"error": str(exc)})
                     continue
                 per_mode[mode] = sim.makespan
+                if store is not None:
+                    store.put(
+                        key,
+                        {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
+                    )
             if per_mode:
                 makespans[name] = per_mode
         sweep.points.append(

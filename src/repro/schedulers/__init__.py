@@ -6,7 +6,13 @@ from .base import Scheduler, SchedulingError
 from .bmm import BMMScheduler
 from .demand_driven import ODDOMLScheduler
 from .heterogeneous import HetScheduler
-from .homogeneous import HomIScheduler, HomScheduler, homogeneous_plan, homogeneous_worker_count
+from .homogeneous import (
+    HomIScheduler,
+    HomScheduler,
+    ReselectionChoice,
+    homogeneous_plan,
+    homogeneous_worker_count,
+)
 from .min_min import OMMOMLScheduler
 from .registry import SCHEDULERS, default_suite, make_scheduler
 from .round_robin import ORROMLScheduler
@@ -32,6 +38,7 @@ __all__ = [
     "HetScheduler",
     "HomIScheduler",
     "HomScheduler",
+    "ReselectionChoice",
     "homogeneous_plan",
     "homogeneous_worker_count",
     "OMMOMLScheduler",

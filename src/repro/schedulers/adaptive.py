@@ -21,6 +21,24 @@ change; :class:`AdaptiveScheduler` wraps one of them and evaluates it on a
     to the earliest-finishing healthy worker through the Section 5
     selection-time model (:class:`~repro.schedulers.selection
     .SelectionState`'s ``speculate``/``rollback``).
+``reselect``
+    Everything ``adaptive`` does, plus *scenario-aware threshold
+    re-selection* for the virtual-platform algorithms (Hom/HomI — any base
+    scheduler exposing ``reselection_candidates``): at each event boundary
+    the whole remaining unstarted work of **every** worker is reclaimed and
+    the virtual-platform threshold search is re-run on the *current*
+    degraded/healthy parameters.  Each surviving threshold candidate's
+    replanned suffix is spliced behind the run's executed history and the
+    candidate population is scored in one incremental
+    :meth:`~repro.sim.batch.BatchEngine.shared_prefix` batch — the shared
+    executed-so-far prefix is simulated once and broadcast, only the
+    divergent replanned tails are replayed, and one
+    :class:`~repro.sim.batch.BatchCompileCache` is reused across
+    boundaries — so re-searching at every boundary costs a fraction of the
+    from-scratch ``_evaluate_candidates`` replay.  The best threshold
+    candidate then competes against ``continue``/``migrate`` on probe
+    clones like any other reaction; bases without a threshold search fall
+    back to plain ``adaptive`` behaviour.
 ``clairvoyant``
     Plan once on the timeline's *final* platform (knowing, up front, what
     the platform will become), choosing between enrolling everyone and
@@ -51,6 +69,7 @@ from ..core.blocks import BlockGrid
 from ..core.chunks import Chunk, PanelCursor, RoundSpec, make_chunk
 from ..platform.model import Platform, Worker
 from ..sim.allocator import PanelDemandAllocator
+from ..sim.batch import BatchCompileCache, shared_prefix_makespans
 from ..sim.dynamic import DynamicRun, DynamicStall, PlatformTimeline, simulate_dynamic
 from ..sim.engine import SimResult
 from ..sim.fastpath import fast_simulate
@@ -58,12 +77,24 @@ from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
 from ..sim.worker_state import c_message_count
 from .base import Scheduler, SchedulingError
+from .homogeneous import homogeneous_plan
 from .selection import SelectionState, usable_mus
 
-__all__ = ["DYNAMIC_MODES", "AdaptiveScheduler"]
+__all__ = ["ADAPTIVE_CONTROLLER_VERSION", "DYNAMIC_MODES", "AdaptiveScheduler"]
 
 #: Evaluation modes per base algorithm (see the module docstring).
-DYNAMIC_MODES = ("oblivious", "adaptive", "clairvoyant")
+DYNAMIC_MODES = ("oblivious", "adaptive", "reselect", "clairvoyant")
+
+#: Version tag of the online controller's decision logic (suspect
+#: detection, candidate construction, scoring).  The dynamic result cache
+#: keys controlled-mode runs on it (:func:`repro.experiments.parallel
+#: .dynamic_task_key`), so a change to the boundary heuristics that can
+#: move a recorded makespan must bump it — that invalidates every stored
+#: adaptive/reselect payload at once.
+ADAPTIVE_CONTROLLER_VERSION = "controller-v1"
+
+#: Modes whose runs are steered online at event boundaries.
+_CONTROLLED_MODES = ("adaptive", "reselect")
 
 _INF = math.inf
 
@@ -212,12 +243,15 @@ def _group_reclaimed(
     """Split reclaimed chunks into whole real columns and partial row-bands.
 
     Chunks reclaimed from one worker walk panels top-to-bottom, so per
-    panel ``(j0, width)`` they form a contiguous bottom band.  With
-    ``columns_ok``, a band reaching row 0 over the full height contributes
-    its *real column indices* (eligible for a reduced-grid replan through
-    the base scheduler, mapped back via ``_remap_subplan``'s ``col_map``);
-    otherwise every group stays a band.  Returns ``(sorted real columns,
-    bands)``.
+    panel ``(j0, width)`` they form a contiguous bottom band — but chunks
+    reclaimed from *several* workers (the re-selection path, or a kill
+    after an earlier band migration) can leave row gaps owned by kept or
+    completed chunks, so each panel group is split into its maximal
+    contiguous row runs rather than summed blindly.  With ``columns_ok``,
+    a run covering rows 0..r contributes its *real column indices*
+    (eligible for a reduced-grid replan through the base scheduler, mapped
+    back via ``_remap_subplan``'s ``col_map``); every other run stays a
+    band.  Returns ``(sorted real columns, bands)``.
     """
     panels: dict[tuple[int, int], list[Chunk]] = {}
     for ch in chunks:
@@ -226,12 +260,21 @@ def _group_reclaimed(
     bands: list[_Band] = []
     for (j0, width), group in panels.items():
         group.sort(key=lambda ch: ch.i0)
-        i0 = group[0].i0
-        h = sum(ch.h for ch in group)
-        if columns_ok and i0 == 0 and h == r:
-            cols.extend(range(j0, j0 + width))
-        else:
-            bands.append((i0, h, j0, width))
+        runs: list[tuple[int, int]] = []
+        start = group[0].i0
+        end = start + group[0].h
+        for ch in group[1:]:
+            if ch.i0 == end:
+                end = ch.i0 + ch.h
+            else:
+                runs.append((start, end - start))
+                start, end = ch.i0, ch.i0 + ch.h
+        runs.append((start, end - start))
+        for i0, h in runs:
+            if columns_ok and i0 == 0 and h == r:
+                cols.extend(range(j0, j0 + width))
+            else:
+                bands.append((i0, h, j0, width))
     cols.sort()
     return cols, bands
 
@@ -248,6 +291,10 @@ class AdaptiveScheduler:
             raise ValueError(f"unknown mode {mode!r}; known: {DYNAMIC_MODES}")
         self.base = base
         self.mode = mode
+        # one compiled-stream cache per wrapper: the boundary re-search
+        # reuses chunk templates (and any shared streams) across *all*
+        # event boundaries of a run instead of recompiling per boundary
+        self._batch_cache = BatchCompileCache() if mode == "reselect" else None
 
     @property
     def name(self) -> str:
@@ -279,15 +326,25 @@ class AdaptiveScheduler:
         result can be audited with
         :func:`repro.sim.validate.validate_dynamic`.
         """
-        if collect_events and self.mode == "adaptive":
+        if collect_events and self.mode in _CONTROLLED_MODES:
             raise ValueError(
-                "collect_events needs the reference engine, but adaptive "
-                "rescheduling runs on the fast engine; use oblivious or "
-                "clairvoyant mode for traced runs"
+                "collect_events needs the reference engine, but online "
+                f"rescheduling (mode={self.mode!r}) runs on the fast "
+                "engine; use oblivious or clairvoyant mode for traced runs"
             )
         self._platform = platform
         self._grid = grid
         self._decisions: list[str] = []
+        self._reselect_stats = {
+            "boundaries": 0,
+            "searches": 0,
+            "candidates": 0,
+            "prefix_steps": 0,
+            "suffix_steps": 0,
+            # what a from-scratch replay of every candidate would have
+            # simulated: sum of full candidate plan lengths
+            "full_steps": 0,
+        }
         if self.mode == "clairvoyant":
             plan = self._clairvoyant_plan(platform, grid, timeline)
         else:
@@ -299,7 +356,7 @@ class AdaptiveScheduler:
         else:
             self._sides = usable_mus(platform)
             self._toledo = False
-        controller = self._on_boundary if self.mode == "adaptive" else None
+        controller = self._on_boundary if self.mode in _CONTROLLED_MODES else None
         result = simulate_dynamic(
             platform,
             plan,
@@ -311,8 +368,10 @@ class AdaptiveScheduler:
         )
         result.meta.setdefault("algorithm", self.name)
         result.meta["dynamic"]["mode"] = self.mode
-        if self.mode == "adaptive":
+        if self.mode in _CONTROLLED_MODES:
             result.meta["dynamic"]["decisions"] = list(self._decisions)
+        if self.mode == "reselect":
+            result.meta["dynamic"]["reselect"] = dict(self._reselect_stats)
         return result
 
     # ------------------------------------------------------------------
@@ -393,6 +452,14 @@ class AdaptiveScheduler:
                 candidates.append((f"migrate{'+kill' if kill else ''}", migration))
             if not suspects:
                 break  # without suspects, kill=True is identical
+        if self.mode == "reselect":
+            self._reselect_stats["boundaries"] += 1
+            for kill in (False, True):
+                reselection = self._build_reselection(run, suspects, kill)
+                if reselection is not None:
+                    candidates.append(
+                        (f"reselect{'+kill' if kill else ''}", reselection)
+                    )
         if len(candidates) == 1:
             # nothing to decide: skip the (full-simulation) scoring pass
             self._decisions.append(f"t={now:g}:continue")
@@ -500,42 +567,10 @@ class AdaptiveScheduler:
         # -- assign partial bands via the selection-time model
         band_chunks: list[Chunk] = []
         if bands:
-            eng = run.adapter.engine
-            mus = [sides[i] if i in healthy else 0 for i in range(p)]
-            state = SelectionState(
-                Platform(
-                    [
-                        Worker(i, run.cur_cs[i], run.cur_ws[i], platform[i].m)
-                        for i in range(p)
-                    ],
-                    name="bands",
-                ),
-                grid,
-                mus,
-                count_c=True,
+            band_chunks = self._materialize_bands(
+                self._band_placements(run, bands, healthy), cid_base
             )
-            state.port_free = eng.port_free
-            state.ready = list(eng._comp_free)
-            for i0, h, j0, width, target in self._place_bands(bands, state, healthy):
-                side = sides[target]
-                for dj in range(0, width, side):
-                    bw = min(side, width - dj)
-                    for di in range(0, h, side):
-                        bh = min(side, h - di)
-                        band_chunks.append(
-                            make_chunk(
-                                cid_base,
-                                target,
-                                i0 + di,
-                                bh,
-                                j0 + dj,
-                                bw,
-                                grid.t,
-                                toledo=self._toledo,
-                                sigma=side if self._toledo else None,
-                            )
-                        )
-                        cid_base += 1
+            cid_base += len(band_chunks)
 
         # -- strict orders: the spliced tail covering replacement messages
         order_tail: list[int] | None = None
@@ -569,6 +604,290 @@ class AdaptiveScheduler:
                 alloc = new_allocator.clone()
                 alloc.rebase_cids(max(alloc.next_cid, cid_top))
                 target.set_allocator(alloc)
+            elif target.allocator is not None:
+                # no cursor changes, but the replacement chunks below
+                # consume ids the allocator would otherwise grant next --
+                # without the rebase a later grant duplicates a chunk id
+                target.allocator.rebase_cids(
+                    max(target.allocator.next_cid, cid_top)
+                )
+            for w, ch in new_chunks:
+                target.append_chunk(w, ch)
+
+        return apply
+
+    def _band_placements(
+        self, run: DynamicRun, bands: Sequence[_Band], healthy: Sequence[int]
+    ) -> list[tuple[int, int, int, int, int]]:
+        """Greedy targets for reclaimed partial bands on the current
+        parameters: ``(i0, h, j0, width, target)`` per band.  Placement
+        depends only on the live run state, so one placement pass serves
+        every candidate of a boundary (they differ only in chunk ids)."""
+        platform = self._platform
+        p = platform.p
+        sides = self._sides
+        eng = run.adapter.engine
+        mus = [sides[i] if i in healthy else 0 for i in range(p)]
+        state = SelectionState(
+            Platform(
+                [
+                    Worker(i, run.cur_cs[i], run.cur_ws[i], platform[i].m)
+                    for i in range(p)
+                ],
+                name="bands",
+            ),
+            self._grid,
+            mus,
+            count_c=True,
+        )
+        state.port_free = eng.port_free
+        state.ready = list(eng._comp_free)
+        return list(self._place_bands(bands, state, healthy))
+
+    def _materialize_bands(
+        self, placements: Sequence[tuple[int, int, int, int, int]], cid_base: int
+    ) -> list[Chunk]:
+        """Cut placed bands into memory-sized chunks, ids from ``cid_base``."""
+        out: list[Chunk] = []
+        for i0, h, j0, width, target in placements:
+            side = self._sides[target]
+            for dj in range(0, width, side):
+                bw = min(side, width - dj)
+                for di in range(0, h, side):
+                    bh = min(side, h - di)
+                    out.append(
+                        make_chunk(
+                            cid_base,
+                            target,
+                            i0 + di,
+                            bh,
+                            j0 + dj,
+                            bw,
+                            self._grid.t,
+                            toledo=self._toledo,
+                            sigma=side if self._toledo else None,
+                        )
+                    )
+                    cid_base += 1
+        return out
+
+    def _build_reselection(
+        self, run: DynamicRun, suspects: set[int], kill: bool
+    ) -> Callable[[DynamicRun], None] | None:
+        """Compile the scenario-aware threshold re-selection reaction.
+
+        Reclaims the unstarted work of *every* worker (re-selection may
+        redistribute, shrink or grow the enrolled set — not just shed a
+        suspect's load; with ``kill`` it also abandons suspects' in-flight
+        chunks), re-runs the base scheduler's virtual-platform threshold
+        search on the current parameters — both over every reachable
+        worker and over the suspects-fenced subset, mirroring the
+        clairvoyant planner's enroll-all/fence-degraded pair — and scores
+        every surviving candidate as a *continuation of this run*: each
+        candidate's full strict order is the executed history plus the
+        surviving pending messages plus its replanned tail, and the whole
+        population is submitted as one shared-prefix batch — the common
+        executed+pending prefix simulates once, only the divergent
+        replanned tails replay.  Returns the best candidate's apply
+        closure (``None`` when re-selection does not apply: no threshold
+        search on the base, allocator/ready-policy runs, or nothing
+        reclaimable as whole columns).
+        """
+        candidates_of = getattr(self.base, "reselection_candidates", None)
+        if candidates_of is None or run._order is None or run.allocator is not None:
+            return None
+        platform = self._platform
+        grid = self._grid
+        p = platform.p
+        sides = self._sides
+        frontier = run.frontier
+        victims = (
+            [w for w in sorted(suspects) if run.chunk_started(w)] if kill else []
+        )
+        if kill and not victims:
+            return None  # identical to the no-kill variant
+        healthy = [
+            i for i in range(p) if run.avail[i] <= frontier and sides[i] >= 1
+        ]
+        if not healthy:
+            return None
+
+        # -- reclaim: suspects shed everything unstarted (victims also
+        #    their in-flight chunk); healthy workers keep any partially
+        #    walked panel (its leading chunks with i0 > 0 — migrating a
+        #    partial panel splits it into bands and re-pays its A traffic)
+        #    and contribute only the untouched whole panels behind it
+        reclaimed: list[Chunk] = []
+        donors: list[tuple[int, int]] = []  # (worker, keep_extra)
+        keep_extra = [0] * p
+        for w in range(p):
+            pending = run.pending_chunks(w)
+            if not pending:
+                continue
+            rest = pending[1:] if run.chunk_started(w) else pending
+            if w not in suspects:
+                while keep_extra[w] < len(rest) and rest[keep_extra[w]].i0 > 0:
+                    keep_extra[w] += 1
+                rest = rest[keep_extra[w] :]
+            if rest:
+                donors.append((w, keep_extra[w]))
+                reclaimed.extend(rest)
+            if w in victims:
+                reclaimed.append(pending[0])
+        if not reclaimed:
+            return None
+        cols, bands = _group_reclaimed(reclaimed, grid.r, columns_ok=True)
+        if not cols:
+            return None  # nothing a threshold replan can re-spread
+        cid_base = run.next_cid()
+
+        # -- re-run the threshold search on the current parameters, over
+        #    the reachable workers and over the suspects-fenced subset
+        pools = [healthy]
+        fenced = [i for i in healthy if i not in suspects]
+        if fenced and fenced != healthy:
+            pools.append(fenced)
+        reduced = BlockGrid(r=grid.r, t=grid.t, s=len(cols), q=grid.q)
+        subplans = []
+        seen: set[tuple[int, int, tuple[int, ...]]] = set()
+        for pool in pools:
+            cur = Platform(
+                [
+                    Worker(k, run.cur_cs[i], run.cur_ws[i], platform[i].m)
+                    for k, i in enumerate(pool)
+                ],
+                name="reselect",
+            )
+            for choice in candidates_of(cur):
+                include = [pool[j] for j in choice.workers]
+                key = (choice.n_workers, choice.mu, tuple(include))
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    sub = _remap_subplan(
+                        homogeneous_plan(
+                            reduced,
+                            n_workers=choice.n_workers,
+                            mu=choice.mu,
+                            enrolled=list(range(choice.n_workers)),
+                            total_workers=choice.n_workers,
+                        ),
+                        include,
+                        p,
+                        cid_base,
+                        col_map=cols,
+                    )
+                except SchedulingError:
+                    continue
+                subplans.append(sub)
+        if not subplans:
+            return None
+        placements = self._band_placements(run, bands, healthy) if bands else []
+
+        # -- score all candidates in one incremental shared-prefix batch
+        extra = c_message_count(run.c_mode)
+        survivors: list[list[Chunk]] = []
+        need = []
+        for w in range(p):
+            history = run.chunk_history(w)
+            pending = run.pending_chunks(w)
+            keep = len(history) - len(pending)
+            msgs = 0
+            if run.chunk_started(w):
+                if w in victims:
+                    pending = pending[1:]
+                else:
+                    keep += 1
+                    msgs += run.in_flight_messages(w)
+                    pending = pending[1:]
+            keep += keep_extra[w]
+            msgs += sum(len(ch.rounds) + extra for ch in pending[: keep_extra[w]])
+            survivors.append(history[:keep])
+            need.append(msgs)
+        prefix_order = run.executed_order()
+        if victims:
+            # the scoring history drops the victims' posted messages (same
+            # FIFO suffix rule kill_in_flight applies to the live history)
+            posted = {}
+            for w in victims:
+                ch = run.pending_chunks(w)[0]
+                posted[w] = len(ch.rounds) + extra - run.in_flight_messages(w)
+            for idx in range(len(prefix_order) - 1, -1, -1):
+                w = prefix_order[idx]
+                if posted.get(w, 0) > 0:
+                    del prefix_order[idx]
+                    posted[w] -= 1
+                    if not any(posted.values()):
+                        break
+        for widx in run.pending_order():
+            if need[widx] > 0:
+                prefix_order.append(widx)
+                need[widx] -= 1
+        prefix_steps = len(prefix_order)
+        score_platform = Platform(
+            [
+                Worker(i, run.cur_cs[i], run.cur_ws[i], platform[i].m)
+                for i in range(p)
+            ],
+            name="reselect-score",
+        )
+        depths = run.depths()
+        tails: list[tuple[list[tuple[int, Chunk]], list[int]]] = []
+        runs = []
+        for sub in subplans:
+            n_sub = sum(len(chs) for chs in sub.assignments)
+            band_chunks = self._materialize_bands(placements, cid_base + n_sub)
+            new_chunks = [
+                (rw, ch) for rw, chs in enumerate(sub.assignments) for ch in chs
+            ] + [(ch.worker, ch) for ch in band_chunks]
+            order_tail = list(sub.policy.order)
+            for ch in band_chunks:
+                order_tail.extend([ch.worker] * (len(ch.rounds) + extra))
+            tails.append((new_chunks, order_tail))
+            assignments: list[list[Chunk]] = [list(chs) for chs in survivors]
+            for rw, ch in new_chunks:
+                assignments[rw].append(ch)
+            runs.append(
+                (
+                    score_platform,
+                    Plan(
+                        assignments=assignments,
+                        policy=StrictOrderPolicy(prefix_order + order_tail),
+                        depths=depths,
+                        c_mode=run.c_mode,
+                        collect_events=False,
+                    ),
+                )
+            )
+        scores = shared_prefix_makespans(
+            runs, prefix_steps, compile_cache=self._batch_cache
+        )
+        # the struct/stream tiers key on id(plan) and pin the plan objects,
+        # but this boundary's candidate plans (each embedding the full run
+        # history) can never be resubmitted at a later boundary — drop
+        # them so memory stays bounded in the number of boundaries; the
+        # tmpl tier is what genuinely re-hits across boundaries (counters
+        # are left running on purpose)
+        self._batch_cache.struct.clear()
+        self._batch_cache.stream.clear()
+        stats = self._reselect_stats
+        stats["searches"] += 1
+        stats["candidates"] += len(runs)
+        stats["prefix_steps"] += prefix_steps
+        stats["suffix_steps"] += sum(len(tail) for _chs, tail in tails)
+        stats["full_steps"] += len(runs) * prefix_steps + sum(
+            len(tail) for _chs, tail in tails
+        )
+        best = min(range(len(runs)), key=lambda i: (scores[i], i))
+        new_chunks, order_tail = tails[best]
+
+        def apply(target: DynamicRun) -> None:
+            for w, keep in donors:
+                target.reclaim_unstarted(w, keep_extra=keep)
+            for w in victims:
+                target.kill_in_flight(w)
+            target.rebuild_strict_order(order_tail)
             for w, ch in new_chunks:
                 target.append_chunk(w, ch)
 

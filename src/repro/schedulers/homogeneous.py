@@ -31,6 +31,13 @@ nothing else -- keeping the first occurrence (which is also the one
 ``min()`` would select among equals), and the surviving candidates are
 scored in one :func:`~repro.sim.batch.batch_simulate` call instead of a
 Python loop of individual simulations.
+
+On *dynamic* platforms the one-shot choice can be wrong one event later;
+:meth:`HomScheduler.reselection_candidates` re-enumerates the threshold
+candidates on the current (time-varying) parameters for the adaptive
+wrapper's boundary-time re-selection (``mode="reselect"``), which scores
+them in context through the shared-prefix incremental batch search -- see
+:mod:`repro.schedulers.adaptive`.
 """
 
 from __future__ import annotations
@@ -47,7 +54,13 @@ from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
 from .base import Scheduler, SchedulingError
 
-__all__ = ["homogeneous_worker_count", "homogeneous_plan", "HomScheduler", "HomIScheduler"]
+__all__ = [
+    "homogeneous_worker_count",
+    "homogeneous_plan",
+    "HomScheduler",
+    "HomIScheduler",
+    "ReselectionChoice",
+]
 
 
 def homogeneous_worker_count(p: int, mu: int, c: float, w: float) -> int:
@@ -181,10 +194,65 @@ def _evaluate_candidates(
     return out
 
 
+@dataclass(frozen=True)
+class ReselectionChoice:
+    """One candidate virtual platform of a *boundary-time* re-selection.
+
+    Unlike :class:`_VirtualChoice` it carries no makespan estimate: the
+    scenario-aware score of a re-selection candidate is the makespan of the
+    whole *continued* run (executed prefix + replanned suffix), which only
+    the caller — the incremental shared-prefix batch search in
+    :mod:`repro.schedulers.adaptive` — can compute.
+    """
+
+    #: Chosen workers (indices into the platform the search ran on), ranked
+    #: fastest-first by current ``(w, c)``.
+    workers: tuple[int, ...]
+    mu: int
+    n_workers: int
+    c: float
+    w: float
+    m: int
+
+
 class HomScheduler(Scheduler):
     """Hom: homogeneous algorithm with memory-threshold platform extraction."""
 
     name = "Hom"
+
+    def reselection_candidates(self, platform: Platform) -> list[ReselectionChoice]:
+        """Threshold candidates for re-selecting the virtual platform
+        *mid-run*, on the current (time-varying) parameters.
+
+        The static search dedupes by the virtual simulation signature
+        ``(n, mu, c, w)`` because a from-scratch virtual makespan depends on
+        nothing else.  In context that is wrong: two threshold triples with
+        equal signatures can enroll *different real workers*, whose current
+        speeds differ — so boundary candidates dedupe by what actually
+        distinguishes their continuations, ``(n, mu, chosen workers)``.
+        Scoring (and the choice) happens in the caller's shared-prefix
+        incremental batch search, not here.
+        """
+        out: list[ReselectionChoice] = []
+        seen: set[tuple[int, int, tuple[int, ...]]] = set()
+        for enrolled, c_app, w_app, m_thr in self._thresholds(platform):
+            try:
+                mu = overlapped_mu(m_thr)
+            except ValueError:
+                continue
+            n = homogeneous_worker_count(len(enrolled), mu, c_app, w_app)
+            ranked = sorted(enrolled, key=lambda i: (platform[i].w, platform[i].c, i))
+            chosen = tuple(ranked[:n])
+            key = (n, mu, chosen)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                ReselectionChoice(
+                    workers=chosen, mu=mu, n_workers=n, c=c_app, w=w_app, m=m_thr
+                )
+            )
+        return out
 
     def _thresholds(self, platform: Platform) -> list[tuple[list[int], float, float, int]]:
         out = []

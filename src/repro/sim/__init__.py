@@ -7,6 +7,7 @@ from .batch import (
     BatchOutcome,
     batch_outcomes,
     batch_simulate,
+    shared_prefix_makespans,
     supports_batch,
 )
 from .dynamic import (
@@ -55,6 +56,7 @@ __all__ = [
     "BatchOutcome",
     "batch_outcomes",
     "batch_simulate",
+    "shared_prefix_makespans",
     "supports_batch",
     "DynamicRun",
     "DynamicStall",

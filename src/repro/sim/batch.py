@@ -54,7 +54,14 @@ For searches whose candidates share a leading message sequence,
 single instance and broadcasts the resulting state across the batch; the
 :meth:`~BatchEngine.checkpoint` / :meth:`~BatchEngine.restore` pair
 snapshots a partially-run batch so alternative continuations can be
-replayed from the same frontier.
+replayed from the same frontier.  :func:`shared_prefix_makespans` is the
+search-facing wrapper: the incremental strict-order search of the adaptive
+boundary re-selection (:mod:`repro.schedulers.adaptive`) submits one run
+per candidate continuation — identical executed-so-far prefix, divergent
+replanned suffixes — and reuses one :class:`BatchCompileCache` across
+event boundaries, so re-scoring a population of threshold candidates
+costs one prefix replay plus the divergent tails instead of a from-scratch
+simulation per candidate.
 """
 
 from __future__ import annotations
@@ -79,6 +86,7 @@ __all__ = [
     "BatchOutcome",
     "batch_outcomes",
     "batch_simulate",
+    "shared_prefix_makespans",
     "supports_batch",
     "MIN_VECTOR_BATCH",
 ]
@@ -694,7 +702,12 @@ class BatchEngine:
         """
         full = cls(runs, compile_cache=compile_cache)
         if not full._strict:
-            raise TypeError("shared_prefix requires strict-order plans")
+            raise TypeError(
+                "shared_prefix requires strict-order plans, but this batch "
+                f"replays in ready mode ({full._key_fields}): a ready "
+                "policy's message order is timing-dependent, so no prefix "
+                "can be declared shared ahead of time"
+            )
         if prefix_steps <= 0:
             return full
         if prefix_steps > int(full._lengths.min()):
@@ -719,34 +732,72 @@ class BatchEngine:
         full._t = prefix_steps
         return full
 
+    @staticmethod
+    def _first_mismatch(a: np.ndarray, b: np.ndarray, block: int = 1024) -> int:
+        """Index of the first element where ``a != b`` (same length), or -1.
+
+        Compared block-wise so a divergence near the front costs O(first
+        divergence), not O(len) — the lazy half of the shared-prefix
+        verification contract."""
+        for lo in range(0, a.size, block):
+            hi = min(lo + block, a.size)
+            if not np.array_equal(a[lo:hi], b[lo:hi]):
+                off = np.nonzero(a[lo:hi] != b[lo:hi])[0]
+                return lo + int(off[0])
+        return -1
+
     def _verify_shared_prefix(self, prefix_steps: int) -> None:
+        """Check every instance really shares the first ``prefix_steps``
+        port messages with instance 0 (post-sort order).
+
+        Verification is lazy — each comparison walks forward in blocks and
+        stops at the *first* divergent step — and every error names the
+        step (or per-worker message) index and the worker involved, so a
+        caller debugging a bad candidate batch sees exactly where the
+        orders split instead of a blanket mismatch."""
         f_kind, _f_nb, f_comm, f_comp, _u, _c, _l, _r = self._flat
         ob = self._order_base
         ref = self._order_flat[ob[0] : ob[0] + prefix_steps]
         for b in range(1, self._B):
-            if not np.array_equal(self._order_flat[ob[b] : ob[b] + prefix_steps], ref):
-                raise ValueError(f"instance {b} does not share the order prefix")
+            cand = self._order_flat[ob[b] : ob[b] + prefix_steps]
+            s = self._first_mismatch(cand, ref)
+            if s >= 0:
+                raise ValueError(
+                    f"instance {b} diverges from the shared order prefix at "
+                    f"step {s}: it posts worker {int(cand[s])} where "
+                    f"instance 0 posts worker {int(ref[s])}"
+                )
         counts = np.bincount(ref, minlength=self._P)
         for w in np.nonzero(counts)[0]:
             n = int(counts[w])
             s0 = self._base[0, w]
-            ref_k = f_kind[s0 : s0 + n]
-            ref_cm = f_comm[s0 : s0 + n]
-            ref_cp = f_comp[s0 : s0 + n]
             for b in range(1, self._B):
                 sb = self._base[b, w]
-                if n > self._end[b, w] - sb:
-                    raise ValueError(f"instance {b} worker {w} has too few messages")
-                if self._depth[b, w] != self._depth[0, w]:
-                    raise ValueError(f"instance {b} worker {w} differs in prefetch depth")
-                if not (
-                    np.array_equal(f_kind[sb : sb + n], ref_k)
-                    and np.array_equal(f_comm[sb : sb + n], ref_cm)
-                    and np.array_equal(f_comp[sb : sb + n], ref_cp)
-                ):
+                have = int(self._end[b, w] - sb)
+                if n > have:
                     raise ValueError(
-                        f"instance {b} worker {w} does not share the message prefix"
+                        f"instance {b} worker {w} has only {have} messages "
+                        f"but the shared prefix posts {n} on it"
                     )
+                if self._depth[b, w] != self._depth[0, w]:
+                    raise ValueError(
+                        f"instance {b} worker {w} prefetch depth "
+                        f"{int(self._depth[b, w])} differs from instance 0's "
+                        f"{int(self._depth[0, w])}"
+                    )
+                for label, flat in (
+                    ("kind", f_kind),
+                    ("port cost", f_comm),
+                    ("compute cost", f_comp),
+                ):
+                    m = self._first_mismatch(flat[sb : sb + n], flat[s0 : s0 + n])
+                    if m >= 0:
+                        raise ValueError(
+                            f"instance {b} worker {w} diverges from the "
+                            f"shared message prefix at its message {m}: "
+                            f"{label} {flat[sb + m]!r} != instance 0's "
+                            f"{flat[s0 + m]!r}"
+                        )
 
     # ------------------------------------------------------------------
     # results
@@ -881,6 +932,35 @@ def batch_outcomes(
             for i, outcome in zip(bucket, engine.outcomes()):
                 out[i] = outcome
     return out  # type: ignore[return-value]
+
+
+def shared_prefix_makespans(
+    runs: Sequence[tuple[Platform, Plan]],
+    prefix_steps: int,
+    *,
+    compile_cache: BatchCompileCache | None = None,
+) -> np.ndarray:
+    """Makespans of strict-order runs that share their first
+    ``prefix_steps`` port messages, in input order.
+
+    The incremental-search primitive: the shared prefix is simulated
+    *once* (on one instance) and its state broadcast across the batch, so
+    a population of candidate continuations — identical history, divergent
+    planned suffixes — is scored at the cost of one prefix replay plus the
+    suffixes.  Per-instance results are bit-identical to running each full
+    plan through :func:`batch_simulate` (and therefore to the scalar
+    engines); the prefix really must be shared and is verified lazily
+    (first divergence reported with its step index and worker).
+
+    Pass a long-lived ``compile_cache`` to amortize chunk-template
+    compilation across repeated searches — the adaptive boundary
+    re-selection calls this at every event boundary of one run with a
+    single cache.
+    """
+    engine = BatchEngine.shared_prefix(
+        runs, prefix_steps, compile_cache=compile_cache
+    )
+    return engine.run().makespans()
 
 
 def batch_simulate(

@@ -434,6 +434,13 @@ class DynamicRun:
         policy = plan.policy
         self._order: list[int] | None = None
         self._pos = 0
+        # strict-order runs keep their full posting history: the worker
+        # posted at each global step so far.  Splices rewrite the future
+        # (self._order), never this; kill_in_flight prunes the killed
+        # chunk's posted messages so the history always maps positionally
+        # onto the surviving pipelines (the shared-prefix re-scoring
+        # contract of the boundary re-selection).
+        self._executed: list[int] = []
         self._fields: tuple[str, ...] | None = None
         self._opaque = None
         if isinstance(policy, StrictOrderPolicy):
@@ -587,6 +594,7 @@ class DynamicRun:
             self._post(widx)
             if self._order is not None:
                 self._pos += 1
+                self._executed.append(widx)
         leftover = ad.pending_workers
         if leftover:
             raise RuntimeError(
@@ -696,18 +704,63 @@ class DynamicRun:
             total += rec[5] + extra
         return total
 
+    def in_flight_messages(self, widx: int) -> int:
+        """Port messages worker ``widx``'s *started* chunk still has to
+        post (0 when nothing is in flight) — the messages that survive a
+        reclaim of every unstarted chunk."""
+        eng = self._engine()
+        if not self.chunk_started(widx):
+            return 0
+        rec = eng._chunks[widx][eng._pos[widx]]
+        extra = c_message_count(self.c_mode)
+        return rec[5] + extra - (eng._stage[widx] - eng._init_stage)
+
+    def executed_order(self) -> list[int]:
+        """Copy of a strict-order run's posting history: the worker posted
+        at each global step so far, pruned of killed chunks' messages (see
+        :meth:`kill_in_flight`) so it maps positionally onto the chunks of
+        :meth:`chunk_history`."""
+        if self._order is None:
+            raise TypeError("not a strict-order run")
+        return list(self._executed)
+
+    def pending_order(self) -> list[int]:
+        """Copy of a strict-order run's remaining order entries."""
+        if self._order is None:
+            raise TypeError("not a strict-order run")
+        return list(self._order[self._pos :])
+
+    def chunk_history(self, widx: int) -> list[Chunk]:
+        """Every chunk in worker ``widx``'s pipeline — completed, in
+        flight, and still pending — in stream order.  Together with
+        :meth:`executed_order` + :meth:`pending_order` this reconstructs
+        the run as one strict-order plan over current parameters (the
+        shared prefix of the boundary re-selection's candidate batch)."""
+        eng = self._engine()
+        return [rec[0] for rec in eng._chunks[widx]]
+
+    def depths(self) -> list[int]:
+        """Per-worker prefetch depths of the underlying engine."""
+        return list(self._engine()._depth)
+
     def _drop_from_all(self, eng: FastEngine, dropped: list) -> None:
         if not dropped:
             return
         gone = {id(rec[0]) for rec in dropped}
         eng.all_chunks = [ch for ch in eng.all_chunks if id(ch) not in gone]
 
-    def reclaim_unstarted(self, widx: int) -> list[Chunk]:
+    def reclaim_unstarted(self, widx: int, keep_extra: int = 0) -> list[Chunk]:
         """Remove and return worker ``widx``'s chunks that have not posted
-        any message yet (the in-flight chunk, if any, stays)."""
+        any message yet (the in-flight chunk, if any, stays).
+
+        ``keep_extra`` leaves that many additional leading unstarted chunks
+        in place — the re-selection path keeps a healthy worker's
+        partially-walked panel with its owner (migrating it would split it
+        into bands and re-pay its A traffic) and re-spreads only the
+        untouched whole panels behind it."""
         eng = self._engine()
         lst = eng._chunks[widx]
-        keep = eng._pos[widx] + (1 if self.chunk_started(widx) else 0)
+        keep = eng._pos[widx] + (1 if self.chunk_started(widx) else 0) + keep_extra
         dropped = lst[keep:]
         del lst[keep:]
         self._drop_from_all(eng, dropped)
@@ -725,6 +778,7 @@ class DynamicRun:
         eng = self._engine()
         if not self.chunk_started(widx):
             return None
+        posted = eng._stage[widx] - eng._init_stage
         pos = eng._pos[widx]
         dropped = eng._chunks[widx][pos:pos + 1]
         del eng._chunks[widx][pos:pos + 1]
@@ -732,6 +786,20 @@ class DynamicRun:
         self._drop_from_all(eng, dropped)
         eng._refresh_head(widx)
         self.killed.append((dropped[0][1], self.frontier))
+        if self._order is not None and posted:
+            # per-worker streams are FIFO, so the killed chunk's posted
+            # messages are exactly the last `posted` occurrences of widx in
+            # the executed history; dropping them keeps the history mapped
+            # positionally onto the surviving pipelines (probes carry no
+            # history, so the scan may legitimately find fewer)
+            exe = self._executed
+            remaining = posted
+            for idx in range(len(exe) - 1, -1, -1):
+                if exe[idx] == widx:
+                    del exe[idx]
+                    remaining -= 1
+                    if remaining == 0:
+                        break
         return dropped[0][0]
 
     def append_chunk(self, widx: int, chunk: Chunk) -> None:
@@ -802,6 +870,8 @@ class DynamicRun:
         other._port_log = None  # probes are what-ifs: never recorded
         other._comp_log = None
         other._order = None if self._order is None else list(self._order)
+        # probes never re-select (no controller), so they carry no history
+        other._executed = []
         other._pos = self._pos
         other._fields = self._fields
         other._opaque = None

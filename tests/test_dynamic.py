@@ -473,3 +473,30 @@ def test_cli_dynamic_subcommand(capsys):
     )
     out = capsys.readouterr().out
     assert "straggler-onset" in out and "obl/clv" in out
+
+
+def test_cli_dynamic_reselect_flag(capsys, tmp_path):
+    from repro.cli import main
+
+    args = [
+        "dynamic",
+        "--scenario",
+        "straggler-onset",
+        "--severities",
+        "8",
+        "--algorithms",
+        "Hom",
+        "--scale",
+        "0.3",
+        "--reselect",
+        "--recover",
+        "0.6",
+        "--cache",
+        str(tmp_path / "dyn-cache"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Hom:res" in out  # the reselect column made it into the table
+    # second invocation is served from the cache and prints the same table
+    assert main(args) == 0
+    assert capsys.readouterr().out == out

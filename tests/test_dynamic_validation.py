@@ -1,7 +1,8 @@
 """The dynamic invariant/fuzz wall.
 
 Every run the dynamics subsystem can produce — any registry scheduler,
-any :data:`~repro.schedulers.adaptive.DYNAMIC_MODES` evaluation mode, the
+any :data:`~repro.schedulers.adaptive.DYNAMIC_MODES` evaluation mode
+(including the boundary-time threshold re-selection ``reselect``), the
 fast or the reference engine, scripted or random timelines — must pass
 :func:`repro.sim.validate.validate_dynamic` with zero invariant
 violations: one-port exclusivity, message/compute durations priced at the
@@ -179,6 +180,17 @@ def test_fuzz_wall_randomized_long():
 # ----------------------------------------------------------------------
 # named scenarios: every scheduler x mode validates
 # ----------------------------------------------------------------------
+def test_fuzz_matrix_draws_every_mode():
+    """The tier-1 wall's seed range must exercise the full scheduler x
+    mode matrix — in particular mode="reselect" (added with the
+    boundary-time threshold re-selection) must actually be drawn."""
+    base = _seed_base()
+    modes = {_case(base + i)[4] for i in range(TIER1_RUNS)}
+    assert modes == set(DYNAMIC_MODES)
+    names = {_case(base + i)[3] for i in range(TIER1_RUNS)}
+    assert names == set(NAMES)
+
+
 @pytest.mark.parametrize("scenario", DYNAMIC_SCENARIOS)
 @pytest.mark.parametrize("name", ["Het", "ODDOML", "Hom", "BMM"])
 def test_named_scenarios_validate_all_modes(scenario, name):
@@ -191,6 +203,29 @@ def test_named_scenarios_validate_all_modes(scenario, name):
         )
         report = validate_dynamic(sim, timeline, grid=grid)
         assert report.n_port_events > 0
+
+
+def test_allocator_migration_rebases_cids_without_cursor_changes():
+    """Regression (found by the randomized wall, seed below): a migration
+    that appends band chunks but changes no allocator cursors must still
+    advance the live allocator's cid counter — otherwise a later grant
+    duplicates a chunk id and the surviving set stops tiling the grid."""
+    assert _run_and_validate(1785208860)  # ODDOML, dense mixed timeline
+
+
+@pytest.mark.parametrize("name", ["Hom", "HomI"])
+def test_reselect_transient_scenarios_validate(name):
+    """The heaviest re-selection path — reclaim-everywhere, threshold
+    re-search, shared-prefix scoring, splice at degradation AND recovery
+    boundaries — must leave an auditable, exactly-tiling run."""
+    for scenario in ("straggler-onset", "bandwidth-degradation"):
+        platform, grid, timeline = dynamic_scenario(
+            scenario, 8.0, scale=0.5, recover_frac=0.6
+        )
+        sim = AdaptiveScheduler(make_scheduler(name), "reselect").run_dynamic(
+            platform, grid, timeline, record_events=True
+        )
+        validate_dynamic(sim, timeline, grid=grid)
 
 
 def test_adaptive_migration_with_kill_validates():

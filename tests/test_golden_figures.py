@@ -152,7 +152,7 @@ def test_golden_dynamic_file_shape(golden_dynamic):
     assert golden_dynamic["scale"] == DYN_SCALE
     assert sorted(golden_dynamic["scenarios"]) == sorted(DYN_SCENARIOS)
     total = sum(len(t) for t in golden_dynamic["scenarios"].values())
-    assert total >= 27, "dynamic golden file lost coverage"
+    assert total >= 36, "dynamic golden file lost coverage"
 
 
 def test_dynamic_modes_reproduce_golden(golden_dynamic):
