@@ -1,0 +1,212 @@
+"""Extension benchmark: coded redundancy vs replanning on stochastic timelines.
+
+Races the coded-redundancy family (``Coded`` fixed-rate, ``CodedRL``
+rateless; see :mod:`repro.schedulers.coded`) against the adaptive family's
+replanning modes across the four stochastic timeline families (straggler,
+bandwidth, crash, mixed) at the canonical severities.  The coded runs
+report makespan *and* wasted work — the updates and port blocks spent on
+redundant shares beyond the ``k`` per stripe the decode actually used.
+
+Headline (stochastic crash-recovery at the canonical 0.2 outage, scale
+1.0, seed 0): rateless coding with ``k=2``, one spare share per stripe,
+beats the *adaptive* (replanning) mode of both base algorithms — spare
+shares absorb the outages that replanning must react to, at a single-digit
+percent wasted-work premium.  On the straggler family coding beats
+Het-adaptive but not the demand-driven base: when migration granularity is
+fine, replanning keeps the edge, matching the EXPERIMENTS.md guidance.
+"""
+
+import random
+
+import pytest
+
+pytestmark = pytest.mark.slow  # run with `pytest -m slow`
+
+from repro.experiments.sweeps import CANONICAL_SEVERITIES, dynamic_scenario
+from repro.schedulers.adaptive import AdaptiveScheduler
+from repro.schedulers.coded import CodedScheduler, RatelessCodedScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.dynamic import DynamicStall, random_timeline
+from repro.theory.steady_state import makespan_lower_bound
+
+SEED = 0
+BASES = ("Het", "ODDOML")
+MODES = ("oblivious", "adaptive", "clairvoyant")
+CODED = (("Coded", CodedScheduler), ("CodedRL", RatelessCodedScheduler))
+DECODE_K = 2  # k=2 keeps the code's extra C traffic at ~1.4x, not 4x
+REDUNDANCY = 1
+
+
+def _stochastic_instance(scenario: str, family: str, scale: float):
+    """Platform/grid of the named scenario + a seeded stochastic timeline
+    of ``family`` (mirrors dynamic_sweep's stochastic mode)."""
+    severity = CANONICAL_SEVERITIES[scenario]
+    platform, grid, _scripted = dynamic_scenario(scenario, severity, scale=scale)
+    rng = random.Random(f"{SEED}|{scenario}|{severity!r}")
+    horizon = makespan_lower_bound(platform, grid)
+    if family == "crash":
+        timeline = random_timeline(
+            rng, "crash", platform, horizon, rate=3.0, outage_frac=severity
+        )
+    else:
+        timeline = random_timeline(
+            rng, family, platform, horizon, rate=3.0, severity=max(severity, 1.5)
+        )
+    return platform, grid, timeline
+
+
+def _race(platform, grid, timeline) -> dict:
+    """One family's race: replanning modes vs the coded pair."""
+    out: dict[str, dict] = {}
+    for name in BASES:
+        for mode in MODES:
+            try:
+                sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
+                    platform, grid, timeline
+                )
+            except DynamicStall:
+                continue
+            out[f"{name}:{mode}"] = {"makespan": sim.makespan}
+    for label, cls in CODED:
+        sched = cls(redundancy=REDUNDANCY, k=DECODE_K)
+        try:
+            sim = sched.run_dynamic(platform, grid, timeline)
+        except DynamicStall:
+            continue
+        coded = sim.meta["dynamic"]["coded"]
+        out[label] = {
+            "makespan": sim.makespan,
+            "k": coded["k"],
+            "redundancy": coded["redundancy"],
+            "shares_returned": coded["shares_returned"],
+            "useful_updates": coded["useful_updates"],
+            "wasted_updates": coded["wasted_updates"],
+            "useful_blocks": coded["useful_blocks"],
+            "wasted_blocks": coded["wasted_blocks"],
+        }
+    return out
+
+
+def _table(results: dict[str, dict]) -> str:
+    lines = [f"{'entry':>18}{'makespan':>12}{'wasted upd':>12}{'wasted blk':>12}"]
+    for entry, row in results.items():
+        wu = row.get("wasted_updates")
+        wb = row.get("wasted_blocks")
+        lines.append(
+            f"{entry:>18}{row['makespan']:>12.1f}"
+            f"{wu if wu is not None else '-':>12}"
+            f"{wb if wb is not None else '-':>12}"
+        )
+    return "\n".join(lines)
+
+
+def test_coded_vs_replanning_crash(benchmark, bench_scale, emit):
+    """The headline race: stochastic crash-recovery at the canonical 0.2
+    outage.  Pinned at scale 1.0 — smaller grids hold so few stripes that
+    the code's fixed C-traffic overhead dominates the comparison."""
+    scale = 1.0
+    platform, grid, timeline = _stochastic_instance("crash-recovery", "crash", scale)
+    results = benchmark.pedantic(
+        lambda: _race(platform, grid, timeline), rounds=1, iterations=1
+    )
+    text = (
+        f"Coded redundancy vs replanning — stochastic crash-recovery "
+        f"(outage {CANONICAL_SEVERITIES['crash-recovery']:g}x bound, seed "
+        f"{SEED}, scale {scale}, k={DECODE_K}, r={REDUNDANCY})\n"
+        + _table(results)
+        + "\nfinding: rateless coding beats the adaptive (replanning) mode of "
+        "both bases\non outages -- spare shares absorb crashes that "
+        "replanning must react to"
+    )
+    emit(
+        "coded_vs_replanning_crash",
+        text,
+        data={
+            "scenario": "crash-recovery",
+            "family": "crash",
+            "severity": CANONICAL_SEVERITIES["crash-recovery"],
+            "seed": SEED,
+            "scale": scale,
+            "k": DECODE_K,
+            "redundancy": REDUNDANCY,
+            "results": results,
+        },
+    )
+    # the acceptance headline: coded beats mode="adaptive" at canonical
+    # severity on this stochastic crash scenario
+    best_coded = min(results[label]["makespan"] for label, _ in CODED)
+    for base in BASES:
+        assert best_coded < results[f"{base}:adaptive"]["makespan"], (
+            best_coded,
+            base,
+            results[f"{base}:adaptive"],
+        )
+    # wasted work is reported and the rateless variant wastes least
+    assert results["CodedRL"]["wasted_updates"] >= 0
+    assert results["CodedRL"]["wasted_updates"] <= results["Coded"]["wasted_updates"]
+
+
+def test_coded_vs_replanning_straggler(benchmark, bench_scale, emit):
+    scale = 1.0
+    platform, grid, timeline = _stochastic_instance(
+        "straggler-onset", "straggler", scale
+    )
+    results = benchmark.pedantic(
+        lambda: _race(platform, grid, timeline), rounds=1, iterations=1
+    )
+    text = (
+        f"Coded redundancy vs replanning — stochastic stragglers "
+        f"(severity {CANONICAL_SEVERITIES['straggler-onset']:g}x, seed {SEED}, "
+        f"scale {scale}, k={DECODE_K}, r={REDUNDANCY})\n" + _table(results)
+        + "\nfinding: coding beats Het's replanning but not the demand-driven "
+        "base --\nfine migration granularity keeps replanning ahead of the "
+        "code's traffic premium"
+    )
+    emit(
+        "coded_vs_replanning_straggler",
+        text,
+        data={
+            "scenario": "straggler-onset",
+            "family": "straggler",
+            "severity": CANONICAL_SEVERITIES["straggler-onset"],
+            "seed": SEED,
+            "scale": scale,
+            "k": DECODE_K,
+            "redundancy": REDUNDANCY,
+            "results": results,
+        },
+    )
+    best_coded = min(results[label]["makespan"] for label, _ in CODED)
+    assert best_coded < results["Het:adaptive"]["makespan"]
+
+
+@pytest.mark.parametrize("family", ["bandwidth", "mixed"])
+def test_coded_vs_replanning_other_families(benchmark, bench_scale, emit, family):
+    """Bandwidth collapse and the mixed process: artifact coverage of the
+    remaining stochastic families (no headline claim — the code has no
+    structural edge when the port itself is the degraded resource)."""
+    scenario = "bandwidth-degradation" if family == "bandwidth" else "straggler-onset"
+    scale = min(bench_scale, 0.5)
+    platform, grid, timeline = _stochastic_instance(scenario, family, scale)
+    results = benchmark.pedantic(
+        lambda: _race(platform, grid, timeline), rounds=1, iterations=1
+    )
+    emit(
+        f"coded_vs_replanning_{family}",
+        f"Coded redundancy vs replanning — stochastic {family} family "
+        f"(seed {SEED}, scale {scale}, k={DECODE_K}, r={REDUNDANCY})\n"
+        + _table(results),
+        data={
+            "scenario": scenario,
+            "family": family,
+            "seed": SEED,
+            "scale": scale,
+            "k": DECODE_K,
+            "redundancy": REDUNDANCY,
+            "results": results,
+        },
+    )
+    for label, _ in CODED:
+        assert results[label]["makespan"] > 0
+        assert results[label]["wasted_updates"] >= 0
+        assert results[label]["wasted_blocks"] >= 0

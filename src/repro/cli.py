@@ -151,6 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
         "re-selection for Hom/HomI at every event boundary (shared-prefix "
         "incremental batch re-search; other bases fall back to adaptive)",
     )
+    p_dyn.add_argument(
+        "--scheduler",
+        action="append",
+        default=None,
+        choices=("coded", "coded-rl"),
+        metavar="NAME",
+        help="also race a coded-redundancy scheduler (coded = fixed-rate "
+        "k+r shares per stripe, coded-rl = rateless streaming); repeatable",
+    )
+    p_dyn.add_argument(
+        "--redundancy",
+        type=int,
+        default=1,
+        help="extra coded shares per stripe beyond the decode threshold",
+    )
+    p_dyn.add_argument(
+        "--decode-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="decode threshold k (shares needed per stripe; default min(4, t))",
+    )
     p_dyn.add_argument("--scale", type=float, default=0.5, help="problem scale")
     p_dyn.add_argument("--workers", type=int, default=8, help="platform size p")
     p_dyn.add_argument(
@@ -323,6 +345,12 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         # keep clairvoyant last so the table's ratio columns stay meaningful
         at = modes.index("clairvoyant") if "clairvoyant" in modes else len(modes)
         modes.insert(at, "reselect")
+    if args.scheduler:
+        coded_names = {"coded": "Coded", "coded-rl": "CodedRL"}
+        for spec in args.scheduler:
+            name = coded_names[spec]
+            if name not in algorithms:
+                algorithms = algorithms + (name,)
     sweep = dynamic_sweep(
         args.scenario,
         severities,
@@ -336,6 +364,8 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         seed=args.seed,
         rate=args.rate,
         cache=args.cache,
+        redundancy=args.redundancy,
+        decode_k=args.decode_k,
     )
     if args.stochastic:
         print(

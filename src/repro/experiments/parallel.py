@@ -130,6 +130,11 @@ def dynamic_task_key(
         from ..sim.batch import BATCH_ENGINE_VERSION
 
         parts.insert(1, BATCH_ENGINE_VERSION)
+    if mode == "coded":
+        # decode-completion semantics version (see repro.schedulers.coded)
+        from ..schedulers.coded import CODED_FAMILY_VERSION
+
+        parts.insert(1, CODED_FAMILY_VERSION)
     canon = "|".join(parts)
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -260,8 +265,13 @@ class ResultCache:
     the defaults keep a long-lived service's cache from growing without
     limit while being far above what a full figure suite needs.  Recency is
     tracked through file mtimes -- a hit touches the file -- so eviction
-    order survives across processes and restarts; eviction is best-effort
-    under concurrency (a racing reader of an evicted key simply re-runs the
+    order survives across processes and restarts.  Touches are *strictly
+    monotonic* at nanosecond resolution (a hit stamps ``max(now_ns,
+    current + 1)``) and eviction sorts on ``st_mtime_ns`` with the path as
+    the final tie-break, so the order stays deterministic even on
+    filesystems with coarse (1s) mtime granularity, where plain
+    ``os.utime`` touches collide.  Eviction is best-effort under
+    concurrency (a racing reader of an evicted key simply re-runs the
     task, exactly like any miss).
     """
 
@@ -310,11 +320,24 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)  # mark recency for LRU eviction
+        return payload
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Advance ``path``'s recency stamp *strictly*: nanosecond wall
+        time, or one tick past the current stamp when the clock has not
+        visibly advanced (coarse-mtime filesystems) — a hit always moves
+        the entry past where it was."""
+        import time
+
         try:
-            os.utime(path)  # mark recency for LRU eviction
+            now = time.time_ns()
+            prev = path.stat().st_mtime_ns
+            stamp = now if now > prev else prev + 1
+            os.utime(path, ns=(stamp, stamp))
         except OSError:
             pass
-        return payload
 
     def put(self, key: str, payload: dict) -> None:
         path = self._path(key)
@@ -347,15 +370,17 @@ class ResultCache:
         ):
             self._evict(keep=path)
 
-    def _entries(self) -> list[tuple[float, int, Path]]:
-        """(mtime, size, path) of every stored payload, oldest first."""
+    def _entries(self) -> list[tuple[int, int, Path]]:
+        """(mtime_ns, size, path) of every stored payload, oldest first;
+        the path tie-break keeps the order deterministic when stamps
+        collide."""
         out = []
         for path in self.root.glob("*/*.json"):
             try:
                 st = path.stat()
             except OSError:
                 continue
-            out.append((st.st_mtime, st.st_size, path))
+            out.append((st.st_mtime_ns, st.st_size, path))
         out.sort()
         return out
 

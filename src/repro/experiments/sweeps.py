@@ -378,8 +378,9 @@ class DynamicSweep:
                     ms = pt.makespans.get(alg, {}).get(mode)
                     row += f"{ms:>15.1f}" if ms is not None else f"{'-':>15}"
                 if gaps:
-                    row += f"{pt.ratio(alg, 'oblivious'):>10.2f}"
-                    row += f"{pt.ratio(alg, 'adaptive'):>10.2f}"
+                    for num in ("oblivious", "adaptive"):
+                        ratio = pt.ratio(alg, num)
+                        row += f"{ratio:>10.2f}" if ratio == ratio else f"{'-':>10}"
             lines.append(row)
         return "\n".join(lines)
 
@@ -478,6 +479,8 @@ def dynamic_sweep(
     seed: int = 0,
     rate: float = 3.0,
     cache=None,
+    redundancy: int = 1,
+    decode_k: int | None = None,
 ) -> DynamicSweep:
     """Quantify oblivious vs adaptive vs reselect vs clairvoyant scheduling
     on one dynamic scenario across severities.
@@ -487,6 +490,14 @@ def dynamic_sweep(
     combinations that cannot be scheduled (or stall on a permanent crash)
     are left out of the point's ``makespans``.  ``recover_frac`` makes the
     scripted degradations transient (see :func:`dynamic_scenario`).
+
+    The coded-redundancy family races on the *redundancy* axis instead of
+    the replanning one: naming ``"Coded"`` or ``"CodedRL"`` in
+    ``algorithms`` runs that scheduler's decode-aware
+    :meth:`~repro.schedulers.coded._CodedBase.run_dynamic` once per
+    severity under the pseudo-mode ``"coded"`` (appended to the sweep's
+    mode columns; the replanning modes show ``-`` for it and vice versa).
+    ``redundancy`` / ``decode_k`` parameterize those schedulers.
 
     With ``stochastic`` each severity's scripted timeline is replaced by a
     seeded random Poisson event process of the scenario's family
@@ -511,6 +522,7 @@ def dynamic_sweep(
     import random as _random
 
     from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
+    from ..schedulers.coded import CodedScheduler, RatelessCodedScheduler
     from ..sim.dynamic import DynamicStall, random_timeline
     from .parallel import _as_cache, dynamic_task_key
 
@@ -519,10 +531,14 @@ def dynamic_sweep(
             "recover_frac applies to scripted timelines only; stochastic "
             "draws schedule their own recovery events (see random_timeline)"
         )
+    coded_family = {"Coded": CodedScheduler, "CodedRL": RatelessCodedScheduler}
     mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
+    display_modes = list(mode_list)
+    if any(name in coded_family for name in algorithms) and "coded" not in display_modes:
+        display_modes.append("coded")
     store = _as_cache(cache)
     sweep = DynamicSweep(
-        scenario=scenario, algorithms=list(algorithms), modes=mode_list
+        scenario=scenario, algorithms=list(algorithms), modes=display_modes
     )
     for severity in severities:
         platform, grid, timeline = dynamic_scenario(
@@ -559,7 +575,40 @@ def dynamic_sweep(
         makespans: dict[str, dict[str, float]] = {}
         for name in algorithms:
             per_mode: dict[str, float] = {}
+            if name in coded_family:
+                # Coded schedulers decode-complete instead of replanning:
+                # one run per severity under the pseudo-mode "coded".
+                sched = coded_family[name](redundancy=redundancy, k=decode_k)
+                key = None
+                if store is not None:
+                    key = dynamic_task_key(
+                        sched, "coded", platform, grid, timeline,
+                        generator=generator,
+                    )
+                    hit = store.get(key)
+                    if hit is not None:
+                        if "error" not in hit:
+                            per_mode["coded"] = hit["makespan"]
+                        if per_mode:
+                            makespans[name] = per_mode
+                        continue
+                try:
+                    sim = sched.run_dynamic(platform, grid, timeline)
+                except (SchedulingError, DynamicStall) as exc:
+                    if store is not None:
+                        store.put(key, {"error": str(exc)})
+                    continue
+                per_mode["coded"] = sim.makespan
+                if store is not None:
+                    store.put(
+                        key,
+                        {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
+                    )
+                makespans[name] = per_mode
+                continue
             for mode in mode_list:
+                if mode == "coded":
+                    continue  # pseudo-mode: only coded schedulers fill it
                 wrapper = AdaptiveScheduler(make_scheduler(name), mode)
                 key = None
                 if store is not None:

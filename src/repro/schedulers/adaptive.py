@@ -349,6 +349,14 @@ class AdaptiveScheduler:
             plan = self._clairvoyant_plan(platform, grid, timeline)
         else:
             plan = self.base.plan(platform, grid)
+        if plan.meta.get("coded") and self.mode in _CONTROLLED_MODES:
+            # replanning migrates grid-tiling chunks; coded stripe shares
+            # are the *alternative* to replanning (repro.schedulers.coded
+            # run_dynamic is their decode-aware entry point)
+            raise SchedulingError(
+                f"mode={self.mode!r} cannot wrap the coded-redundancy "
+                f"family ({self.base.name}); use its own run_dynamic"
+            )
         plan.collect_events = collect_events
         if isinstance(plan.allocator, PanelDemandAllocator):
             self._sides = plan.allocator.sides  # before any grants

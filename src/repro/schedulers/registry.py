@@ -11,6 +11,7 @@ from typing import Callable
 
 from .base import Scheduler
 from .bmm import BMMScheduler
+from .coded import CodedScheduler, RatelessCodedScheduler
 from .demand_driven import ODDOMLScheduler
 from .heterogeneous import HetScheduler
 from .homogeneous import HomIScheduler, HomScheduler
@@ -30,6 +31,10 @@ SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
     "ODDOML": ODDOMLScheduler,
     "BMM": BMMScheduler,
     "MaxReuse1": MaxReuseSingleWorker,
+    # coded-redundancy family (not part of the paper's suite; raced against
+    # the replanning modes by dynamic_sweep and the coded benchmarks)
+    "Coded": CodedScheduler,
+    "CodedRL": RatelessCodedScheduler,
 }
 
 

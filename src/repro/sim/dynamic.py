@@ -139,9 +139,26 @@ class PlatformTimeline:
             .recover(at=900.0, worker=0)
         )
 
-    Events at equal times apply in insertion order.  ``straggle`` composes
-    against the *base* platform (a second straggle replaces, not stacks);
-    ``recover`` restores the base ``(c, w)``.
+    **Same-time ordering.**  Events at equal times apply in *insertion
+    order* — builders insert after existing events with the same
+    timestamp, and every consumer (the segmented driver,
+    :meth:`params_at`, :meth:`crashed_at`, the validator's crash windows)
+    walks the list front to back, so the last-inserted event wins.  The
+    edge cases this pins down (regression-tested in
+    ``tests/test_timeline_edges.py``):
+
+    * ``crash(t, i)`` then ``join(t, i)`` is an *empty* outage: crash
+      windows are half-open ``[crash, join)``, the driver's availability
+      floor becomes ``t`` (not infinity), and :meth:`crashed_at` reports
+      the worker up at ``t``.  Inserting the ``join`` *before* the
+      ``crash`` instead leaves the worker down (forever, if no later
+      join) — the crash, applied last, wins.
+    * two parameter events on the same worker at the same time (for
+      example ``straggle`` then ``recover``): the last-inserted one is in
+      force at ``t``.
+
+    ``straggle`` composes against the *base* platform (a second straggle
+    replaces, not stacks); ``recover`` restores the base ``(c, w)``.
     """
 
     def __init__(self, events: Iterable[TimelineEvent] = ()) -> None:
@@ -308,6 +325,9 @@ class _FastAdapter:
     def head_cid(self, i: int) -> int:
         return self.engine._head_cid[i]
 
+    def head_is_c_return(self, i: int) -> bool:
+        return self.engine._head_stage_kind[i] == FastEngine._K_C_RETURN
+
     def post(self, i: int, min_start: float) -> None:
         self.engine.post_next(i, min_start)
 
@@ -366,6 +386,9 @@ class _ReferenceAdapter:
     def head_cid(self, i: int) -> int:
         return self.engine.head(i).chunk.cid
 
+    def head_is_c_return(self, i: int) -> bool:
+        return self.engine.head(i).kind is MsgKind.C_RETURN
+
     def post(self, i: int, min_start: float) -> None:
         self.engine.post_next(i, min_start)
 
@@ -408,11 +431,13 @@ class DynamicRun:
         base_ws: Sequence[float],
         controller: Callable[["DynamicRun", list[TimelineEvent]], None] | None = None,
         record: bool = False,
+        completion=None,
     ) -> None:
         self.adapter = adapter
         self.allocator = plan.allocator
         self.c_mode = plan.c_mode
         self.controller = controller
+        self.completion = completion
         self.events = list(events)
         self.eidx = 0
         self.events_applied = 0
@@ -456,6 +481,11 @@ class DynamicRun:
                         "(simulate_dynamic falls back automatically)"
                     )
                 self._opaque = policy.fresh()
+        if completion is not None and self._opaque is not None:
+            raise TypeError(
+                "completion criteria require an engine-interpretable policy "
+                "(StrictOrderPolicy or a PolicyKeySpec ReadyPolicy)"
+            )
 
     # ------------------------------------------------------------------
     # event application
@@ -591,10 +621,23 @@ class DynamicRun:
             if self.eidx < len(events) and events[self.eidx].time <= start:
                 self._apply_due(start)
                 continue  # re-choose under the new parameters/availability
+            track = self.completion
+            ret_cid = (
+                ad.head_cid(widx)
+                if track is not None and ad.head_is_c_return(widx)
+                else None
+            )
             self._post(widx)
             if self._order is not None:
                 self._pos += 1
                 self._executed.append(widx)
+            if ret_cid is not None:
+                # the message just posted ends at the (now advanced) port
+                # horizon — the time the master holds this share's C blocks
+                track.on_return(ret_cid, ad.port_free)
+                if track.satisfied:
+                    self._abandon_pending()
+                    break
         leftover = ad.pending_workers
         if leftover:
             raise RuntimeError(
@@ -607,6 +650,34 @@ class DynamicRun:
         crash-window availability and the applied-event frontier."""
         a = self.avail[widx]
         return a if a > self.frontier else self.frontier
+
+    def _abandon_pending(self) -> None:
+        """Drop everything still pending once the completion criterion is
+        met: in-flight chunks are killed at the completion time (their sunk
+        port and compute time stays on the books), unstarted chunks are
+        silently reclaimed.  Works on both adapters so the reference engine
+        witnesses the same decode semantics."""
+        at = self.adapter.port_free
+        if self.adapter.supports_control:
+            for i in range(self.adapter.p):
+                self.kill_in_flight(i, at=at)
+                self.reclaim_unstarted(i)
+            return
+        eng = self.adapter.engine
+        dropped: list[Chunk] = []
+        for ws in eng.workers:
+            if not ws.has_pending:
+                continue
+            pos = ws.chunk_pos
+            init_stage = 0 if ws.c_mode is not CMode.NONE else 1
+            if ws.stage != init_stage:
+                self.killed.append((ws.chunks[pos].cid, at))
+                ws.stage = init_stage
+            dropped.extend(ws.chunks[pos:])
+            del ws.chunks[pos:]
+        if dropped:
+            gone = {id(ch) for ch in dropped}
+            eng.all_chunks = [ch for ch in eng.all_chunks if id(ch) not in gone]
 
     def _post(self, widx: int) -> None:
         """Post worker ``widx``'s head message, synthesizing trace events
@@ -767,14 +838,15 @@ class DynamicRun:
         eng._refresh_head(widx)
         return [rec[0] for rec in dropped]
 
-    def kill_in_flight(self, widx: int) -> Chunk | None:
+    def kill_in_flight(self, widx: int, at: float | None = None) -> Chunk | None:
         """Abandon worker ``widx``'s in-flight chunk (sunk communication and
         compute *time* stay on the books; the chunk must be re-executed
         elsewhere).  The worker discards the chunk's resident blocks at the
-        kill time — the current event frontier — which, combined with the
-        frontier floor on later posts, keeps replacement traffic within the
-        worker's memory.  Returns the abandoned chunk, or ``None`` if
-        nothing was in flight."""
+        kill time — the current event frontier, or ``at`` when given (the
+        decode-completion path kills at the decode time) — which, combined
+        with the frontier floor on later posts, keeps replacement traffic
+        within the worker's memory.  Returns the abandoned chunk, or
+        ``None`` if nothing was in flight."""
         eng = self._engine()
         if not self.chunk_started(widx):
             return None
@@ -785,7 +857,7 @@ class DynamicRun:
         eng._stage[widx] = eng._init_stage
         self._drop_from_all(eng, dropped)
         eng._refresh_head(widx)
-        self.killed.append((dropped[0][1], self.frontier))
+        self.killed.append((dropped[0][1], self.frontier if at is None else at))
         if self._order is not None and posted:
             # per-worker streams are FIFO, so the killed chunk's posted
             # messages are exactly the last `posted` occurrences of widx in
@@ -857,6 +929,7 @@ class DynamicRun:
         other.allocator = None if self.allocator is None else self.allocator.clone()
         other.c_mode = self.c_mode
         other.controller = None
+        other.completion = None  # probes run to drain, never decode-stop
         other.events = []
         other.eidx = 0
         other.events_applied = self.events_applied
@@ -895,6 +968,7 @@ def simulate_dynamic(
     engine: str = "fast",
     controller: Callable[[DynamicRun, list[TimelineEvent]], None] | None = None,
     record_events: bool = False,
+    completion=None,
 ) -> SimResult:
     """Run ``plan`` on ``platform`` under a :class:`PlatformTimeline`.
 
@@ -914,6 +988,14 @@ def simulate_dynamic(
     fast engine the driver synthesizes the events (bit-identical times, no
     engine overhead when off); on the reference engine the engine's own
     collection is forced on.
+
+    ``completion`` installs an early-stop criterion (the coded-redundancy
+    family's decode threshold — see :mod:`repro.schedulers.coded`): an
+    object with ``on_return(cid, end)`` called after every posted
+    ``C_RETURN`` and a ``satisfied`` property.  The instant it is
+    satisfied the run stops, killing in-flight chunks at the completion
+    time (recorded in ``killed_cids``/``kills`` like controller kills)
+    and discarding unstarted ones.  Works on both engines.
     """
     if not isinstance(plan, Plan):
         raise TypeError(f"expected a Plan, got {type(plan)!r}")
@@ -945,6 +1027,7 @@ def simulate_dynamic(
         base_ws=platform.ws,
         controller=controller,
         record=record_events,
+        completion=completion,
     )
     run.run()
     meta = dict(plan.meta)

@@ -722,7 +722,15 @@ def supports_fast_path(plan: Plan) -> bool:
         policy_ok = key_spec_of(policy.priority) is not None
     else:
         policy_ok = False
-    allocator_ok = plan.allocator is None or type(plan.allocator) is PanelDemandAllocator
+    # engine-agnostic allocators declare themselves via ``fast_path_ok``
+    # (their ``refill_via`` drives both engines identically); the exact
+    # type check keeps legacy PanelDemandAllocator subclasses opted out
+    # unless they set the flag
+    allocator_ok = (
+        plan.allocator is None
+        or type(plan.allocator) is PanelDemandAllocator
+        or bool(getattr(type(plan.allocator), "fast_path_ok", False))
+    )
     return policy_ok and allocator_ok
 
 

@@ -27,6 +27,7 @@ run them (the others fall back to it).
 
 from __future__ import annotations
 
+import sys
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -167,7 +168,22 @@ def _legacy_spec(priority) -> PolicyKeySpec | None:
     return _LEGACY_FAST_KEYS.get(getattr(priority, "fast_key", None))
 
 
+#: Call sites (filename, lineno) that already received the fast_key
+#: deprecation warning.  Plan replays re-resolve priorities on every run,
+#: so warning unconditionally would spam hot loops with one warning per
+#: simulation; instead each *source location* warns exactly once per
+#: process.  Tests may clear this set to re-arm the warning.
+_warned_sites: set[tuple[str, int]] = set()
+
+
 def _warn_legacy_marker() -> None:
+    # frame 0 = this helper, 1 = resolve_key_spec / ReadyPolicy.__init__,
+    # 2 = the caller being warned about.
+    caller = sys._getframe(2)
+    site = (caller.f_code.co_filename, caller.f_lineno)
+    if site in _warned_sites:
+        return
+    _warned_sites.add(site)
     warnings.warn(
         "the fast_key marker-pair convention is deprecated; declare the "
         "priority as a PolicyKeySpec (e.g. PolicyKeySpec(('head_cid', "

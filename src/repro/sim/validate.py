@@ -28,6 +28,10 @@ worker's crash window, killed (abandoned) chunks may be partial but must
 never return C blocks, every surviving chunk must complete exactly once,
 and — the coordinate-faithfulness guarantee — the surviving chunks must
 tile the block grid exactly, so reclaimed work is re-sent exactly once.
+Coded-redundancy runs (``meta["coded"]`` annex) swap the tiling check for
+a *decode audit*: the declared stripes tile the grid, every surviving
+share sits on a stripe, and each stripe returned at least ``k`` distinct
+shares — abandoned coded shares need not be re-executed anywhere.
 """
 
 from __future__ import annotations
@@ -256,6 +260,52 @@ def _crash_windows(timeline) -> dict[int, list[tuple[float, float]]]:
     return out
 
 
+def _audit_decode(coded_meta, chunk_by_id, c_return, grid) -> None:
+    """Decode audit of a coded-redundancy run (see
+    :mod:`repro.schedulers.coded`): the declared stripes tile the grid
+    exactly, every surviving share sits exactly on one stripe's rectangle,
+    and every stripe collected at least ``k`` distinct returned shares.
+    Exactly-once decoding follows from the trace checks above: each share
+    returns at most once and maps to exactly one stripe."""
+    k = int(coded_meta["k"])
+    stripes = [tuple(rect) for rect in coded_meta["stripes"]]
+    rect_sid: dict[tuple, int] = {}
+    for sid, rect in enumerate(stripes):
+        _check(rect not in rect_sid, f"duplicate stripe rectangle {rect}")
+        rect_sid[rect] = sid
+    if grid is not None:
+        seen = [[False] * grid.s for _ in range(grid.r)]
+        for i0, h, j0, w in stripes:
+            _check(
+                h >= 1 and w >= 1 and 0 <= i0 and i0 + h <= grid.r and 0 <= j0 and j0 + w <= grid.s,
+                f"stripe {(i0, h, j0, w)} out of grid bounds",
+            )
+            for i in range(i0, i0 + h):
+                row = seen[i]
+                for j in range(j0, j0 + w):
+                    _check(not row[j], f"stripes overlap at C[{i},{j}]")
+                    row[j] = True
+        _check(
+            all(all(row) for row in seen),
+            "stripes leave C cells uncovered",
+        )
+    returned = [0] * len(stripes)
+    for cid, ch in chunk_by_id.items():
+        sid = rect_sid.get((ch.i0, ch.h, ch.j0, ch.w))
+        _check(
+            sid is not None,
+            f"surviving chunk {cid} rectangle {(ch.i0, ch.h, ch.j0, ch.w)} "
+            "is not a stripe",
+        )
+        if cid in c_return:
+            returned[sid] += 1
+    for sid, n in enumerate(returned):
+        _check(
+            n >= k,
+            f"stripe {sid} decoded only {n} of the required {k} shares",
+        )
+
+
 def validate_dynamic(
     result: SimResult,
     timeline,
@@ -476,10 +526,17 @@ def validate_dynamic(
         if expect_c_return:
             _check(cid in c_return, f"chunk {cid} never returned its C blocks")
 
-    # coverage: the surviving chunks tile the grid exactly -----------------
+    # coverage ------------------------------------------------------------
+    # Replanned runs must tile the grid exactly with their surviving
+    # chunks; coded runs (meta["coded"] annex present) are audited by the
+    # decode criterion instead — abandoned coded shares leave no hole, any
+    # k distinct returns per stripe reconstruct it.
     if grid is None:
         grid = result.grid
-    if grid is not None:
+    coded_meta = result.meta.get("coded")
+    if coded_meta is not None:
+        _audit_decode(coded_meta, chunk_by_id, c_return, grid)
+    elif grid is not None:
         try:
             assert_partition(result.chunks, grid)
         except AssertionError as exc:
@@ -488,8 +545,11 @@ def validate_dynamic(
             ) from None
 
     # makespan is the last trace event ------------------------------------
+    # For coded runs the makespan is the decisive C return — the last
+    # *port* event; sunk computes of shares abandoned at the decode
+    # threshold may legitimately end later.
     last = max(e.end for e in port)
-    if comps:
+    if comps and coded_meta is None:
         last = max(last, max(e.end for e in comps))
     _check(
         abs(last - result.makespan) <= _EPS * max(1.0, last),

@@ -10,7 +10,9 @@ violations: one-port exclusivity, message/compute durations priced at the
 chunks never returning C blocks, every surviving chunk completing exactly
 once, and the surviving chunks tiling the block grid exactly (reclaimed
 work re-sent exactly once — the coordinate-faithfulness contract of
-adaptive replanning).
+adaptive replanning).  Coded-redundancy runs (pseudo-mode ``coded``,
+~20% of the draw) are audited against the decode criterion instead:
+>= ``k`` distinct returns per stripe, killed shares never returning C.
 
 The fuzz wall draws seeded random cases; a failure message always carries
 the reproducing seed.  To replay one case by hand::
@@ -62,6 +64,12 @@ from repro.theory.steady_state import makespan_lower_bound
 # platforms already.
 NAMES = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM")
 
+#: The coded-redundancy family rides the wall under its own pseudo-mode
+#: "coded": runs stop at the decode threshold, abandoned shares are killed
+#: (never replanned), and the validator applies the decode audit (>= k
+#: distinct returns per stripe) instead of the exact grid tiling.
+CODED_NAMES = ("Coded", "CodedRL")
+
 #: Fixed-seed budget of the tier-1 wall (>= 200 validated random timelines,
 #: the acceptance floor of the dynamics subsystem).
 TIER1_RUNS = 200
@@ -109,6 +117,12 @@ def _case(seed: int):
     )
     name = rng.choice(NAMES)
     mode = rng.choice(DYNAMIC_MODES)
+    # ~20% of cases race the coded-redundancy family instead.  Drawn
+    # *after* all the base draws, so pre-existing seeds reproduce their
+    # original platform/grid/timeline unchanged.
+    if rng.random() < 0.2:
+        name = rng.choice(CODED_NAMES)
+        mode = "coded"
     return platform, grid, timeline, name, mode
 
 
@@ -116,9 +130,14 @@ def _run_and_validate(seed: int) -> bool:
     """Run one seeded case and audit it; False when unschedulable."""
     platform, grid, timeline, name, mode = _case(seed)
     try:
-        sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
-            platform, grid, timeline, record_events=True
-        )
+        if mode == "coded":
+            sim = make_scheduler(name).run_dynamic(
+                platform, grid, timeline, record_events=True
+            )
+        else:
+            sim = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
+                platform, grid, timeline, record_events=True
+            )
     except SchedulingError:
         return False  # instance infeasible for this algorithm: vacuous
     validate_dynamic(sim, timeline, grid=grid)
@@ -186,9 +205,9 @@ def test_fuzz_matrix_draws_every_mode():
     boundary-time threshold re-selection) must actually be drawn."""
     base = _seed_base()
     modes = {_case(base + i)[4] for i in range(TIER1_RUNS)}
-    assert modes == set(DYNAMIC_MODES)
+    assert modes == set(DYNAMIC_MODES) | {"coded"}
     names = {_case(base + i)[3] for i in range(TIER1_RUNS)}
-    assert names == set(NAMES)
+    assert names == set(NAMES) | set(CODED_NAMES)
 
 
 @pytest.mark.parametrize("scenario", DYNAMIC_SCENARIOS)
@@ -295,15 +314,22 @@ def test_adaptive_never_stalls_on_recoverable_timelines(offset):
     DynamicStall — even under dense outage processes."""
     seed = _seed_base() + 70_000 + offset
     rng = random.Random(seed)
-    platform, grid, _tl, name, _mode = _case(seed)
+    platform, grid, _tl, name, mode = _case(seed)
     horizon = makespan_lower_bound(platform, grid)
     dense = random_timeline(
         rng, "crash", platform, horizon, rate=6.0, outage_frac=0.4
     )
     try:
-        sim = AdaptiveScheduler(make_scheduler(name), "adaptive").run_dynamic(
-            platform, grid, dense, record_events=True
-        )
+        if mode == "coded":
+            # coded never replans, but every crash rejoins, so the decode
+            # threshold is eventually met — stalling would be a bug too
+            sim = make_scheduler(name).run_dynamic(
+                platform, grid, dense, record_events=True
+            )
+        else:
+            sim = AdaptiveScheduler(make_scheduler(name), "adaptive").run_dynamic(
+                platform, grid, dense, record_events=True
+            )
     except SchedulingError:
         return
     except DynamicStall:

@@ -62,3 +62,30 @@ def test_suite_emits_no_internal_deprecation_warning():
         if issubclass(w.category, DeprecationWarning) and "repro" in (w.filename or "")
     ]
     assert internal == [], [str(w.message) for w in internal]
+
+
+def test_legacy_marker_hot_loop_warns_once():
+    """A third-party legacy priority replayed through a hot loop (one
+    ReadyPolicy construction per simulation, same call site) produces one
+    DeprecationWarning for the whole loop — not one per replay."""
+    import dataclasses
+
+    from repro.sim.engine import simulate
+    from repro.sim.policies import ReadyPolicy, _warned_sites
+
+    platform = Platform([Worker(0, c=1.0, w=1.0, m=21)])
+    grid = BlockGrid(r=4, t=4, s=6, q=2)
+    plan = make_scheduler("MaxReuse1").plan(platform, grid)
+
+    def legacy(engine, widx):
+        return (engine.head(widx).chunk.cid, widx)
+
+    legacy.fast_key = "cid"
+    _warned_sites.clear()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(10):
+            legacy_plan = dataclasses.replace(plan, policy=ReadyPolicy(legacy))
+            simulate(platform, legacy_plan, grid)
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, [str(w.message) for w in dep]

@@ -301,6 +301,55 @@ class TestCacheEviction:
         cache.put(self._key(0), {"pad": "x" * 100})
         assert cache.get(self._key(0)) is not None
 
+    @staticmethod
+    def _stamp_ns(cache, key, ns):
+        import os
+
+        os.utime(cache._path(key), ns=(ns, ns))
+
+    def test_touch_is_strictly_monotonic_under_mtime_collisions(self, tmp_path):
+        """Coarse-mtime filesystems can stamp many writes with the same
+        second; ``get`` must still leave the touched entry strictly newest
+        (it bumps past a colliding mtime), so recency survives collisions."""
+        cache = ResultCache(tmp_path, max_entries=None, max_bytes=None)
+        collide = 1_000_000 * 1_000_000_000  # one shared ns stamp
+        for i in range(4):
+            cache.put(self._key(i), {"v": i})
+            self._stamp_ns(cache, self._key(i), collide)
+        assert cache.get(self._key(1)) is not None
+        touched = cache._path(self._key(1)).stat().st_mtime_ns
+        others = [
+            cache._path(self._key(i)).stat().st_mtime_ns for i in (0, 2, 3)
+        ]
+        assert all(touched > o for o in others)
+
+    def test_get_recency_survives_collisions_through_eviction(self, tmp_path):
+        """Force every entry onto one mtime, get() one of them, then
+        trigger eviction: the touched entry must be the survivor even
+        though raw mtimes tied before the touch."""
+        cache = ResultCache(tmp_path, max_entries=4)
+        collide = 2_000_000 * 1_000_000_000
+        for i in range(4):
+            cache.put(self._key(i), {"v": i})
+            self._stamp_ns(cache, self._key(i), collide)
+        assert cache.get(self._key(0)) is not None  # now strictly newest
+        cache.put(self._key(4), {"v": 4})  # evicts down to the cap
+        assert cache.get(self._key(0)) is not None
+
+    def test_eviction_order_deterministic_on_full_ties(self, tmp_path):
+        """When every recency signal ties (same ns mtime, same size), the
+        path tie-break makes the eviction order stable across runs."""
+        a = ResultCache(tmp_path / "a", max_entries=None)
+        b = ResultCache(tmp_path / "b", max_entries=None)
+        collide = 3_000_000 * 1_000_000_000
+        for cache in (a, b):
+            for i in range(5):
+                cache.put(self._key(i), {"v": 9})
+                self._stamp_ns(cache, self._key(i), collide)
+        order_a = [p.name for _, _, p in a._entries()]
+        order_b = [p.name for _, _, p in b._entries()]
+        assert order_a == order_b == sorted(order_a)
+
 
 # ----------------------------------------------------------------------
 # engine selection in the harness and the sweeps

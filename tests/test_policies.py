@@ -109,6 +109,10 @@ class TestPolicyKeySpec:
         assert resolve_key_spec(lambda e, w: (w,)) is None
 
     def test_legacy_fast_key_marker_resolves_with_deprecation(self):
+        from repro.sim.policies import _warned_sites
+
+        _warned_sites.clear()  # re-arm the once-per-call-site dedupe
+
         def legacy(engine, widx):
             return (engine.head(widx).chunk.cid, widx)
 
@@ -148,6 +152,9 @@ class TestPolicyKeySpec:
     def test_ready_policy_converts_legacy_marker_with_warning(self):
         """Legacy fast_key priorities are converted at the policy boundary,
         so the engines only ever see specs (and keep the fast path)."""
+        from repro.sim.policies import _warned_sites
+
+        _warned_sites.clear()  # re-arm the once-per-call-site dedupe
 
         def legacy(engine, widx):
             return (engine.head(widx).chunk.cid, widx)
@@ -163,3 +170,29 @@ class TestPolicyKeySpec:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             ReadyPolicy(demand_priority)
+
+    def test_legacy_warning_fires_once_per_call_site(self):
+        """Replaying a plan re-resolves its priority on every run; the
+        deprecation must not spam hot loops — one warning per source
+        location, however many times that line executes."""
+        import warnings
+
+        from repro.sim.policies import _warned_sites
+
+        _warned_sites.clear()
+
+        def legacy(engine, widx):
+            return (engine.head(widx).chunk.cid, widx)
+
+        legacy.fast_key = "cid"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                assert resolve_key_spec(legacy) == selection_order_priority
+        assert len([w for w in caught if issubclass(w.category, DeprecationWarning)]) == 1
+
+        # a *different* call site still gets its own warning
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_key_spec(legacy)
+        assert len([w for w in caught if issubclass(w.category, DeprecationWarning)]) == 1

@@ -235,13 +235,15 @@ def test_no_improvement_boundaries_are_noops(mode):
     """Property (satellite of the boundary-replan contract): whenever every
     boundary decision is "continue", the run must be bit-identical to
     mode="oblivious" — scoring candidates may never mutate the live run."""
-    from tests.test_dynamic_validation import _case
+    from tests.test_dynamic_validation import CODED_NAMES, _case
 
     checked = 0
     seed = 5000
     while checked < 12 and seed < 5400:
         seed += 1
         platform, grid, timeline, name, _mode = _case(seed)
+        if name in CODED_NAMES:
+            continue  # the coded family races replanning, it is not wrapped by it
         try:
             steered = AdaptiveScheduler(make_scheduler(name), mode).run_dynamic(
                 platform, grid, timeline, record_events=True
