@@ -32,10 +32,15 @@ def bench_runner() -> dict:
     * ``REPRO_BENCH_CACHE``: content-addressed result-cache directory
       (reruns become lookups);
     * ``REPRO_BENCH_ENGINE``: ``fast`` (default) / ``reference`` /
-      ``batch`` simulation engine.
+      ``batch`` simulation engine;
+    * ``REPRO_BENCH_KERNEL``: kernel backend for the fast/batch engines
+      (``numpy`` default / ``numba`` / ``c`` / ``python`` — see
+      :mod:`repro.sim.kernels`; unavailable backends fall back to numpy
+      with a warning).
 
     E.g. ``REPRO_BENCH_PARALLEL=auto pytest -m slow`` records multi-core
-    numbers on a multi-core machine.
+    numbers on a multi-core machine, and ``REPRO_BENCH_KERNEL=numba``
+    records compiled-backend numbers.
     """
     raw = os.environ.get("REPRO_BENCH_PARALLEL", "").strip()
     if not raw:
@@ -61,19 +66,32 @@ def bench_runner() -> dict:
         raise pytest.UsageError(
             f"REPRO_BENCH_ENGINE must be one of {ENGINES}, got {engine!r}"
         )
-    return {"parallel": parallel, "cache": cache, "engine": engine}
+    kernel = os.environ.get("REPRO_BENCH_KERNEL", "").strip() or None
+    if kernel is not None:
+        from repro.sim.kernels import KERNEL_NAMES
+
+        if kernel not in KERNEL_NAMES:
+            raise pytest.UsageError(
+                f"REPRO_BENCH_KERNEL must be one of {KERNEL_NAMES}, got {kernel!r}"
+            )
+    return {"parallel": parallel, "cache": cache, "engine": engine, "kernel": kernel}
 
 
 @pytest.fixture(scope="session")
-def emit():
+def emit(bench_runner):
     """Print a result table and archive it under benchmarks/results/.
 
     With ``data``, a machine-readable ``BENCH_<name>.json`` document is
     written next to the text table; CI uploads ``benchmarks/results/`` as a
     workflow artifact, so these JSON snapshots accumulate a measurement
-    trajectory across runs.
+    trajectory across runs.  Every JSON payload records the *active* kernel
+    backend (post-fallback), so compiled-backend entries in the perf
+    trajectory are distinguishable from numpy ones.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    from repro.sim.kernels import resolve_kernel
+
+    active_kernel = resolve_kernel(bench_runner["kernel"]).name
 
     def _emit(name: str, text: str, data: dict | None = None) -> None:
         print()
@@ -82,7 +100,7 @@ def emit():
         if data is not None:
             import json
 
-            payload = {"benchmark": name, "data": data}
+            payload = {"benchmark": name, "kernel": active_kernel, "data": data}
             (RESULTS_DIR / f"BENCH_{name}.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"
             )

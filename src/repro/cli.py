@@ -23,6 +23,7 @@ from .experiments.report import format_fig9, format_relative_table, format_summa
 from .experiments.table2 import table2_demo
 from .platform import generators as gen
 from .schedulers.registry import SCHEDULERS, make_scheduler
+from .sim.kernels import KERNEL_NAMES
 from .sim.trace import gantt_ascii, worker_utilization
 from .theory import bounds as th_bounds
 from .theory import ccr as th_ccr
@@ -82,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
             "fast path (default), or one vectorized batch over all plans -- "
             "makespans are bit-identical across all three",
         )
+        add_kernel_opt(p)
+
+    def add_kernel_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--kernel",
+            default=None,
+            choices=KERNEL_NAMES,
+            help="simulation kernel backend (default: $REPRO_KERNEL or "
+            "'numpy'); compiled backends are bit-identical to numpy and "
+            "fall back to it, with a warning, when unavailable",
+        )
 
     p_fig = sub.add_parser("figure", help="run one paper figure")
     p_fig.add_argument("fig", choices=sorted(FIGURES))
@@ -114,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine; 'reference' (default) keeps the full event "
         "trace for --gantt and the breakdown report, the others skip traces",
     )
+    add_kernel_opt(p_run)
 
     p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
     p_sweep.add_argument("--scale", type=float, default=0.25)
@@ -233,6 +246,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         cache=args.cache,
         engine=args.engine,
+        kernel=args.kernel,
     )
     print(format_relative_table(res, "cost"))
     print()
@@ -250,6 +264,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         cache=args.cache,
         engine=args.engine,
+        kernel=args.kernel,
     )
     print(format_fig9(res))
     return 0
@@ -277,13 +292,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.engine == "fast":
             from .sim.fastpath import fast_simulate
 
-            res = fast_simulate(platform, plan, grid)
+            res = fast_simulate(platform, plan, grid, kernel=args.kernel)
         else:
             from .sim.batch import batch_outcomes
 
             # force=True: a single run is below MIN_VECTOR_BATCH, but the
             # flag promises the vectorized engine
-            outcome = batch_outcomes([(platform, plan)], force=True)[0]
+            outcome = batch_outcomes(
+                [(platform, plan)], force=True, kernel=args.kernel
+            )[0]
             res = outcome.to_sim_result(platform, plan, grid)
         res.meta.setdefault("algorithm", sched.name)
     print(platform.describe())
@@ -320,6 +337,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         cache=args.cache,
         engine=args.engine,
+        kernel=args.kernel,
     )
     print(
         f"relative cost vs heterogeneity ratio (fully-het platforms, scale {args.scale})"

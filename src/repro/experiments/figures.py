@@ -121,14 +121,16 @@ def run_figure(
     parallel=None,
     cache=None,
     engine: str = "fast",
+    kernel=None,
 ) -> ExperimentResult:
     """Run one paper figure end to end.
 
-    ``parallel``, ``cache`` and ``engine`` are forwarded to
+    ``parallel``, ``cache``, ``engine`` and ``kernel`` are forwarded to
     :func:`~repro.experiments.harness.run_experiment`, so a figure's
     (algorithm, instance) runs can fan out across cores, reuse
-    content-addressed results from earlier invocations, or simulate as one
-    vectorized batch (``engine="batch"``).
+    content-addressed results from earlier invocations, simulate as one
+    vectorized batch (``engine="batch"``), or replay through a compiled
+    kernel backend (``kernel="numba"``/``"c"``).
     """
     try:
         factory = FIGURES[fig]
@@ -142,6 +144,7 @@ def run_figure(
         parallel=parallel,
         cache=cache,
         engine=engine,
+        kernel=kernel,
     )
 
 
@@ -153,12 +156,16 @@ def run_summary(
     parallel=None,
     cache=None,
     engine: str = "fast",
+    kernel=None,
 ) -> ExperimentResult:
     """Figure 9: union of all experiments (relative metrics recomputed over
     the merged instance set)."""
     merged: ExperimentResult | None = None
     for fig in figures:
-        res = run_figure(fig, scale, schedulers, parallel=parallel, cache=cache, engine=engine)
+        res = run_figure(
+            fig, scale, schedulers,
+            parallel=parallel, cache=cache, engine=engine, kernel=kernel,
+        )
         merged = res if merged is None else merged.merged_with(res, name="fig9")
     assert merged is not None
     merged.name = "fig9"

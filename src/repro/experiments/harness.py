@@ -112,6 +112,7 @@ def run_experiment(
     parallel=None,
     cache=None,
     engine: str = "fast",
+    kernel=None,
 ) -> ExperimentResult:
     """Run ``schedulers`` (default: the paper's seven) on every instance.
 
@@ -140,6 +141,12 @@ def run_experiment(
     :data:`~repro.sim.batch.BATCH_ENGINE_VERSION`), and is ignored for the
     reference engine.  Both are ignored when ``validate`` or
     ``collect_events`` asks for full traces.
+
+    ``kernel`` selects a compiled simulation backend (see
+    :mod:`repro.sim.kernels`) for the ``"fast"`` and ``"batch"`` engines;
+    every backend is bit-identical, so cached results stay valid.  The
+    parallel ``RunTask`` fan-out honours the ``REPRO_KERNEL`` environment
+    knob (inherited by worker processes) rather than an explicit argument.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -178,7 +185,8 @@ def run_experiment(
         )
     if engine != "fast" and not full_traces:
         return _run_with_engine(
-            result, instances, scheds, bounds, engine, parallel, cache
+            result, instances, scheds, bounds, engine, parallel, cache,
+            kernel=kernel,
         )
     use_runner = (parallel is not None or cache is not None) and not full_traces
     if use_runner:
@@ -211,7 +219,10 @@ def run_experiment(
         for sched in scheds:
             try:
                 sim = sched.run(
-                    inst.platform, inst.grid, collect_events=collect_events or validate
+                    inst.platform,
+                    inst.grid,
+                    collect_events=collect_events or validate,
+                    kernel=kernel,
                 )
             except SchedulingError as exc:
                 result.failures[(sched.name, inst.label)] = str(exc)
@@ -237,6 +248,7 @@ def evaluate_suite(
     *,
     parallel=None,
     cache=None,
+    kernel=None,
 ) -> list[dict]:
     """Plan and simulate every ``(scheduler, platform, grid)`` job under an
     explicit engine, returning one JSON-safe payload per job in order
@@ -275,7 +287,8 @@ def evaluate_suite(
             (i, pp) for i, pp in zip(todo, plan_payloads) if "error" not in pp
         ]
         values = evaluate_runs(
-            [(jobs[i][1], pp["plan"]) for i, pp in runnable], engine
+            [(jobs[i][1], pp["plan"]) for i, pp in runnable], engine,
+            kernel=kernel,
         )
         cursor = 0
         for i, pp in zip(todo, plan_payloads):
@@ -297,7 +310,7 @@ def evaluate_suite(
     return payloads  # type: ignore[return-value]
 
 
-def evaluate_runs(runs, engine: str) -> list[tuple[float, int, dict]]:
+def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, dict]]:
     """Simulate pre-compiled ``(platform, plan)`` runs under an explicit
     engine, returning ``(makespan, n_enrolled, meta)`` per run (traces off;
     allocator plans are consumed).
@@ -305,16 +318,24 @@ def evaluate_runs(runs, engine: str) -> list[tuple[float, int, dict]]:
     The single place where the engine vocabulary maps to simulation calls:
     ``"batch"`` submits all runs to one vectorized
     :func:`~repro.sim.batch.batch_outcomes` call, the others simulate per
-    run.  All engines are bit-identical per run.
+    run.  All engines are bit-identical per run.  ``kernel`` selects a
+    compiled backend for ``"batch"`` and ``"fast"`` (the reference engine
+    always interprets, since it carries the event machinery).
     """
     if engine == "batch":
         from ..sim.batch import batch_outcomes
 
-        return [(o.makespan, o.n_enrolled, o.meta) for o in batch_outcomes(runs)]
+        return [
+            (o.makespan, o.n_enrolled, o.meta)
+            for o in batch_outcomes(runs, kernel=kernel)
+        ]
     if engine == "reference":
         from ..sim.engine import simulate as run_one
     elif engine == "fast":
-        from ..sim.fastpath import fast_simulate as run_one
+        from ..sim.fastpath import fast_simulate
+
+        def run_one(platform, plan):
+            return fast_simulate(platform, plan, kernel=kernel)
     else:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     sims = [run_one(platform, plan) for platform, plan in runs]
@@ -329,6 +350,7 @@ def _run_with_engine(
     engine: str,
     parallel=None,
     cache=None,
+    kernel=None,
 ) -> ExperimentResult:
     """Plan (optionally across processes), then simulate under an
     explicitly chosen engine (``engine="fast"`` in `run_experiment` goes
@@ -339,6 +361,7 @@ def _run_with_engine(
         engine,
         parallel=parallel,
         cache=cache,
+        kernel=kernel,
     )
     for (sched, inst), payload in zip(pairs, payloads):
         if "error" in payload:

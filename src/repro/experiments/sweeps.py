@@ -85,6 +85,7 @@ def _measure_points(
     parallel,
     cache,
     engine: str = "fast",
+    kernel=None,
 ) -> list[SweepPoint]:
     """Shared sweep core: run every algorithm on every (ratio, platform)
     point.  With ``parallel``/``cache`` the whole sweep becomes one flat
@@ -110,7 +111,8 @@ def _measure_points(
             )
             cache = None
         return _measure_points_engine(
-            labelled_platforms, grid, algorithms, engine, parallel, cache
+            labelled_platforms, grid, algorithms, engine, parallel, cache,
+            kernel=kernel,
         )
     if parallel is not None or cache is not None:
         from .parallel import RunTask, run_tasks
@@ -149,7 +151,7 @@ def _measure_points(
         for name in algorithms:
             sched: Scheduler = make_scheduler(name)
             try:
-                res = sched.run(plat, grid, collect_events=False)
+                res = sched.run(plat, grid, collect_events=False, kernel=kernel)
             except SchedulingError:
                 continue
             makespans[name] = res.makespan
@@ -183,7 +185,8 @@ def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
 
 
 def _measure_points_engine(
-    labelled_platforms, grid, algorithms, engine, parallel=None, cache=None
+    labelled_platforms, grid, algorithms, engine, parallel=None, cache=None,
+    kernel=None,
 ) -> list[SweepPoint]:
     """Plan (optionally across processes, skipping cached batch results),
     then score centrally under the explicit engine — one vectorized
@@ -202,6 +205,7 @@ def _measure_points_engine(
         engine,
         parallel=parallel,
         cache=cache,
+        kernel=kernel,
     )
     keys, values = [], []
     for (ratio, plat, name), payload in zip(jobs, payloads):
@@ -221,6 +225,7 @@ def heterogeneity_sweep(
     parallel=None,
     cache=None,
     engine: str = "fast",
+    kernel=None,
 ) -> HeterogeneitySweep:
     """Run every algorithm over fully heterogeneous platforms whose
     large/small parameter ratio sweeps over ``ratios``."""
@@ -232,7 +237,9 @@ def heterogeneity_sweep(
         if scale != 1.0:
             plat = scale_platform(plat, scale)
         labelled.append((ratio, plat))
-    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache, engine))
+    sweep.points.extend(
+        _measure_points(labelled, grid, algorithms, parallel, cache, engine, kernel=kernel)
+    )
     return sweep
 
 
@@ -287,6 +294,7 @@ def straggler_sweep(
     parallel=None,
     cache=None,
     engine: str = "fast",
+    kernel=None,
 ) -> HeterogeneitySweep:
     """Degrade one worker of an otherwise homogeneous platform by a growing
     compute slowdown and watch who copes.
@@ -309,7 +317,9 @@ def straggler_sweep(
         labelled.append(
             (slowdown, timeline.final_platform(base, name=f"straggler-x{slowdown:g}"))
         )
-    sweep.points.extend(_measure_points(labelled, grid, algorithms, parallel, cache, engine))
+    sweep.points.extend(
+        _measure_points(labelled, grid, algorithms, parallel, cache, engine, kernel=kernel)
+    )
     return sweep
 
 

@@ -48,7 +48,12 @@ class Scheduler(ABC):
         """
 
     def run(
-        self, platform: Platform, grid: BlockGrid, *, collect_events: bool = True
+        self,
+        platform: Platform,
+        grid: BlockGrid,
+        *,
+        collect_events: bool = True,
+        kernel=None,
     ) -> SimResult:
         """Plan and simulate; the result's ``meta`` records the algorithm
         name and the wall-clock planning time (the paper includes each
@@ -58,6 +63,9 @@ class Scheduler(ABC):
         (:func:`~repro.sim.fastpath.fast_simulate`), which is bit-identical
         to the reference engine but an order of magnitude faster; asking
         for events selects the reference engine with its full traces.
+        ``kernel`` picks a compiled simulation backend for the eventless
+        replay (see :mod:`repro.sim.kernels`); it is ignored when events
+        are collected, since only the reference engine produces traces.
         """
         t0 = time.perf_counter()
         plan = self.plan(platform, grid)
@@ -66,7 +74,7 @@ class Scheduler(ABC):
         if collect_events:
             result = simulate(platform, plan, grid)
         else:
-            result = fast_simulate(platform, plan, grid)
+            result = fast_simulate(platform, plan, grid, kernel=kernel)
         result.meta.setdefault("algorithm", self.name)
         result.meta["planning_seconds"] = planning
         return result

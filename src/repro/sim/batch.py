@@ -75,6 +75,7 @@ from ..core.chunks import Chunk
 from ..platform.model import Platform
 from .engine import WorkerStats
 from .fastpath import fast_simulate
+from .kernels import FIELD_CODES, resolve_kernel
 from .plan import Plan
 from .policies import ReadyPolicy, StrictOrderPolicy, key_spec_of
 from .worker_state import CMode, c_message_count
@@ -309,6 +310,11 @@ class BatchEngine:
     :func:`batch_simulate` groups arbitrary run lists into compatible
     engines automatically.  ``compile_cache`` shares compiled streams with
     other engines (see :class:`BatchCompileCache`).
+
+    ``kernel`` selects the stepping backend (see :mod:`repro.sim.kernels`):
+    the default numpy backend advances one step per Python iteration, a
+    compiled backend (``"numba"`` / ``"c"``) advances whole ``run()``
+    windows in one kernel call.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -316,8 +322,10 @@ class BatchEngine:
         runs: Sequence[tuple[Platform, Plan]],
         *,
         compile_cache: BatchCompileCache | None = None,
+        kernel=None,
     ) -> None:
         self._cache = compile_cache if compile_cache is not None else BatchCompileCache()
+        self._backend = resolve_kernel(kernel)
         if not runs:
             raise ValueError("need at least one (platform, plan) run")
         modes = {_batch_mode(plan) for _platform, plan in runs}
@@ -554,13 +562,19 @@ class BatchEngine:
         f_kind, _f_nb, _f_comm, _f_comp, _f_upd, f_cid, f_legal, _f_ring = self._flat
         self._ptr = self._base.copy()
         live = self._ptr < self._end
+        # one float64 view of the cid stream, shared by every step (the
+        # per-step ``astype`` it replaces allocated a fresh cast each time)
+        self._f_cid_f64 = f_cid.astype(np.float64)
         # cached head keys for the vectorized argmin; cids as float64 so
         # drained workers mask with +inf (cids are exact below 2**53)
         self._head_legal = np.where(live, 0.0, np.inf)
         self._head_cid = np.full((self._B, self._P), np.inf)
         if live.any():
-            self._head_cid[live] = f_cid[self._ptr[live]]
+            self._head_cid[live] = self._f_cid_f64[self._ptr[live]]
         self._wk_range = np.arange(self._P, dtype=np.float64)
+        self._field_codes = np.array(
+            [FIELD_CODES[f] for f in self._key_fields], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # stepping
@@ -579,17 +593,73 @@ class BatchEngine:
 
     def run(self, max_steps: int | None = None) -> "BatchEngine":
         """Advance every live instance by up to ``max_steps`` port messages
-        (default: to completion)."""
+        (default: to completion).
+
+        Under a compiled kernel backend the whole ``[t, limit)`` window is
+        advanced in a single kernel call; the numpy backend steps through
+        it one Python iteration at a time.  Bit-identical either way, so
+        ``checkpoint()/restore()`` and the shared-prefix search compose
+        with any backend.
+        """
         limit = (
             self.total_steps
             if max_steps is None
             else min(self.total_steps, self._t + max_steps)
         )
+        if self._backend.whole_run:
+            if self._t < limit:
+                self._run_kernel(limit)
+                self._t = limit
+            return self
         step = self._step_strict if self._strict else self._step_ready
         while self._t < limit:
             step(self._n_active())
             self._t += 1
         return self
+
+    def _run_kernel(self, limit: int) -> None:
+        """One whole-run kernel call advancing steps ``[self._t, limit)``."""
+        if self._strict:
+            self._backend.strict_run(
+                self._t,
+                limit,
+                self._B,
+                self._lengths,
+                self._d_legal,
+                self._d_ce,
+                self._d_ring,
+                self._d_comm,
+                self._d_comp,
+                self._d_round,
+                self._d_cret,
+                self._S,
+                self._port_free,
+                self._port_busy,
+            )
+        else:
+            f_kind, _f_nb, f_comm, f_comp, _f_upd, _f_cid, f_legal, f_ring = self._flat
+            self._backend.ready_run(
+                self._t,
+                limit,
+                self._B,
+                self._P,
+                self._lengths,
+                self._ptr,
+                self._end,
+                self._seg,
+                self._head_legal,
+                self._head_cid,
+                f_kind,
+                f_comm,
+                f_comp,
+                self._f_cid_f64,
+                f_legal,
+                f_ring,
+                self._field_codes,
+                self._S,
+                self._port_free,
+                self._port_busy,
+            )
 
     def _step_strict(self, n_act: int) -> None:
         t = self._t
@@ -628,7 +698,7 @@ class BatchEngine:
             sel = v == v.min(axis=1, keepdims=True)
         w = sel.argmax(axis=1)
 
-        f_kind, _f_nb, f_comm, f_comp, _f_upd, f_cid, f_legal, f_ring = self._flat
+        f_kind, _f_nb, f_comm, f_comp, _f_upd, _f_cid, f_legal, f_ring = self._flat
         idx = (rows, w)
         mp = self._ptr[idx]
         legal = head_legal[rows, w]
@@ -653,7 +723,7 @@ class BatchEngine:
         live = nxt < self._end[idx]
         safe = np.minimum(nxt, len(f_kind) - 1)
         self._head_legal[idx] = np.where(live, S[f_legal[safe]], np.inf)
-        self._head_cid[idx] = np.where(live, f_cid[safe].astype(np.float64), np.inf)
+        self._head_cid[idx] = np.where(live, self._f_cid_f64[safe], np.inf)
 
     # ------------------------------------------------------------------
     # checkpoint / restore
@@ -689,6 +759,7 @@ class BatchEngine:
         prefix_steps: int,
         *,
         compile_cache: BatchCompileCache | None = None,
+        kernel=None,
     ) -> "BatchEngine":
         """Build a batch whose instances all share their first
         ``prefix_steps`` port messages, simulating the prefix only once.
@@ -700,7 +771,7 @@ class BatchEngine:
         really must be shared: per-instance orders, the touched message
         streams and their prefetch depths are verified to match.
         """
-        full = cls(runs, compile_cache=compile_cache)
+        full = cls(runs, compile_cache=compile_cache, kernel=kernel)
         if not full._strict:
             raise TypeError(
                 "shared_prefix requires strict-order plans, but this batch "
@@ -714,7 +785,7 @@ class BatchEngine:
             raise ValueError("prefix_steps exceeds the shortest instance")
         full._verify_shared_prefix(prefix_steps)
 
-        sub = cls([full._runs[0]], compile_cache=full._cache)
+        sub = cls([full._runs[0]], compile_cache=full._cache, kernel=full._backend)
         sub.run(max_steps=prefix_steps)
         # broadcast the prefix state: per-instance scalars, then each
         # touched worker's S segment (c_return_end, compute_end,
@@ -857,8 +928,8 @@ class BatchEngine:
         return out  # type: ignore[return-value]
 
 
-def _fallback_outcome(platform: Platform, plan: Plan) -> BatchOutcome:
-    res = fast_simulate(platform, plan)
+def _fallback_outcome(platform: Platform, plan: Plan, kernel=None) -> BatchOutcome:
+    res = fast_simulate(platform, plan, kernel=kernel)
     return BatchOutcome(
         makespan=res.makespan,
         port_busy=res.port_busy,
@@ -894,6 +965,7 @@ def batch_outcomes(
     force: bool = False,
     min_batch: int = MIN_VECTOR_BATCH,
     compile_cache: BatchCompileCache | None = None,
+    kernel=None,
 ) -> list[BatchOutcome]:
     """Simulate every ``(platform, plan)`` run, vectorizing compatible
     groups, and return per-run outcomes in input order.
@@ -908,6 +980,7 @@ def batch_outcomes(
     fresh one), so candidates that share plan objects — e.g. HomI's scoring
     plans per ``(n, mu)`` — compile their message streams once per call.
     """
+    backend = resolve_kernel(kernel)
     cache = compile_cache if compile_cache is not None else BatchCompileCache()
     steps = [_plan_steps(plan) for _pf, plan in runs]
     groups: dict[Any, list[int]] = {}
@@ -917,7 +990,7 @@ def batch_outcomes(
     for mode, indices in groups.items():
         if mode is None:
             for i in indices:
-                out[i] = _fallback_outcome(*runs[i])
+                out[i] = _fallback_outcome(*runs[i], kernel=backend)
             continue
         indices.sort(key=lambda i: -steps[i])
         for bucket in _buckets(indices, steps):
@@ -926,9 +999,11 @@ def batch_outcomes(
             # a skewed group's tiny tail buckets stay on the scalar path
             if not force and len(bucket) < min_batch:
                 for i in bucket:
-                    out[i] = _fallback_outcome(*runs[i])
+                    out[i] = _fallback_outcome(*runs[i], kernel=backend)
                 continue
-            engine = BatchEngine([runs[i] for i in bucket], compile_cache=cache).run()
+            engine = BatchEngine(
+                [runs[i] for i in bucket], compile_cache=cache, kernel=backend
+            ).run()
             for i, outcome in zip(bucket, engine.outcomes()):
                 out[i] = outcome
     return out  # type: ignore[return-value]
@@ -939,6 +1014,7 @@ def shared_prefix_makespans(
     prefix_steps: int,
     *,
     compile_cache: BatchCompileCache | None = None,
+    kernel=None,
 ) -> np.ndarray:
     """Makespans of strict-order runs that share their first
     ``prefix_steps`` port messages, in input order.
@@ -958,7 +1034,7 @@ def shared_prefix_makespans(
     single cache.
     """
     engine = BatchEngine.shared_prefix(
-        runs, prefix_steps, compile_cache=compile_cache
+        runs, prefix_steps, compile_cache=compile_cache, kernel=kernel
     )
     return engine.run().makespans()
 
@@ -969,6 +1045,7 @@ def batch_simulate(
     force: bool = False,
     min_batch: int = MIN_VECTOR_BATCH,
     compile_cache: BatchCompileCache | None = None,
+    kernel=None,
 ) -> np.ndarray:
     """Makespan of every ``(platform, plan)`` run, in input order.
 
@@ -981,6 +1058,7 @@ def batch_simulate(
     if not len(runs):
         return np.zeros(0, dtype=np.float64)
     outcomes = batch_outcomes(
-        runs, force=force, min_batch=min_batch, compile_cache=compile_cache
+        runs, force=force, min_batch=min_batch, compile_cache=compile_cache,
+        kernel=kernel,
     )
     return np.array([o.makespan for o in outcomes], dtype=np.float64)

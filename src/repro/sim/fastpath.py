@@ -734,7 +734,13 @@ def supports_fast_path(plan: Plan) -> bool:
     return policy_ok and allocator_ok
 
 
-def fast_simulate(platform: Platform, plan: Plan, grid: BlockGrid | None = None) -> SimResult:
+def fast_simulate(
+    platform: Platform,
+    plan: Plan,
+    grid: BlockGrid | None = None,
+    *,
+    kernel=None,
+) -> SimResult:
     """Run ``plan`` on the fast path and return its :class:`SimResult`.
 
     Drop-in replacement for :func:`repro.sim.engine.simulate` when event
@@ -743,6 +749,12 @@ def fast_simulate(platform: Platform, plan: Plan, grid: BlockGrid | None = None)
     ``port_events`` / ``compute_events`` tuples are always empty.  Plans
     with custom policies or allocators fall back to the reference engine
     transparently (with event collection off).
+
+    ``kernel`` selects a compiled backend (see :mod:`repro.sim.kernels`).
+    Under a whole-run backend, batch-replayable plans route through a
+    single-instance :class:`~repro.sim.batch.BatchEngine` so the step loop
+    runs compiled; allocator-driven and opaque plans stay on the Python
+    engines.  Results are bit-identical either way.
     """
     if not isinstance(plan, Plan):
         raise TypeError(f"expected a Plan, got {type(plan)!r}")
@@ -753,6 +765,16 @@ def fast_simulate(platform: Platform, plan: Plan, grid: BlockGrid | None = None)
             return _reference_simulate(platform, plan, grid)
         finally:
             plan.collect_events = collect
+    # late imports: batch.py imports fast_simulate for its scalar fallback
+    from .kernels import resolve_kernel
+
+    backend = resolve_kernel(kernel)
+    if backend.whole_run:
+        from .batch import supports_batch, BatchEngine
+
+        if supports_batch(plan):
+            engine = BatchEngine([(platform, plan)], kernel=backend)
+            return engine.run().outcomes()[0].to_sim_result(platform, plan, grid)
     engine = FastEngine(platform, depths=plan.depths, c_mode=plan.c_mode)
     engine.run_plan(plan)
     return engine.result(grid=grid, meta=dict(plan.meta))

@@ -41,6 +41,7 @@ from repro.sim.batch import (
 )
 from repro.sim.engine import simulate
 from repro.sim.fastpath import fast_simulate
+from repro.sim.kernels import available_backends
 from repro.sim.plan import Plan
 from repro.sim.policies import (
     PolicyKeySpec,
@@ -196,6 +197,24 @@ def test_property_equivalence_all_schedulers(params, grid):
         assert outcome.makespan == ref.makespan
         assert outcome.port_busy == ref.port_busy
         assert outcome.worker_stats == ref.worker_stats
+    # allocator plans were consumed by the numpy pass above; the compiled
+    # backends replay the replayable (policy-driven) runs bit-identically
+    replayable = [
+        (ref, (platform, clone_plan(plan)))
+        for ref, (platform, plan) in zip(refs, runs)
+        if plan.allocator is None
+    ]
+    for kernel in available_backends():
+        if kernel == "numpy":
+            continue
+        compiled = batch_outcomes(
+            [(p, clone_plan(pl)) for _ref, (p, pl) in replayable],
+            force=True,
+            kernel=kernel,
+        )
+        for (ref, _run), outcome in zip(replayable, compiled):
+            assert outcome.makespan == ref.makespan, kernel
+            assert outcome.worker_stats == ref.worker_stats, kernel
 
 
 # ----------------------------------------------------------------------
@@ -237,6 +256,12 @@ def _strict_factory(assignments, c_mode, rng):
     return StrictOrderPolicy(order)
 
 
+#: Every kernel backend that can run here -- the numpy oracle plus any
+#: compiled ones (numba/c) and the interpreted kernel-algorithm oracle.
+KERNELS = available_backends()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize(
     "policy_factory",
     [
@@ -247,12 +272,14 @@ def _strict_factory(assignments, c_mode, rng):
     ],
     ids=["strict", "selection-order", "demand", "generic-spec"],
 )
-def test_mode_depth_policy_matrix(policy_factory, het_platform, small_grid, ragged_grid):
+def test_mode_depth_policy_matrix(policy_factory, kernel, het_platform, small_grid, ragged_grid):
+    """backend x mode x PolicyKeySpec wall: every kernel backend replays
+    the CMode/depth/policy matrix bit-identically to the reference."""
     runs = _hand_built_runs(het_platform, small_grid, ragged_grid, policy_factory)
     fasts = [
         simulate(platform, clone_plan(plan), None) for platform, plan in runs
     ]
-    outcomes = batch_outcomes(runs, force=True)
+    outcomes = batch_outcomes(runs, force=True, kernel=kernel)
     for fast, outcome in zip(fasts, outcomes):
         assert_outcome_equivalent(fast, outcome)
 
@@ -325,14 +352,15 @@ def test_empty_batch():
 # ----------------------------------------------------------------------
 # checkpoint / restore and shared prefixes
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("scheduler", ["Hom", "ORROML"], ids=["strict", "ready"])
-def test_checkpoint_restore_roundtrip(scheduler, het_platform, small_grid, ragged_grid):
+def test_checkpoint_restore_roundtrip(scheduler, kernel, het_platform, small_grid, ragged_grid):
     runs = []
     for grid in (small_grid, ragged_grid):
         plan = make_scheduler(scheduler).plan(het_platform, grid)
         plan.collect_events = False
         runs.append((het_platform, plan))
-    engine = BatchEngine(runs)
+    engine = BatchEngine(runs, kernel=kernel)
     engine.run(max_steps=9)
     token = engine.checkpoint()
     first = engine.run().makespans()
@@ -380,6 +408,16 @@ def test_shared_prefix_matches_full_replay(het_platform, small_grid):
     assert np.array_equal(shared, scratch)
     fasts = [fast_simulate(p, clone_plan(pl), None).makespan for p, pl in runs]
     assert list(shared) == fasts
+    # the simulate-once-and-broadcast construction survives every backend
+    for kernel in KERNELS:
+        again = (
+            BatchEngine.shared_prefix(
+                [(p, clone_plan(pl)) for p, pl in runs], prefix_len, kernel=kernel
+            )
+            .run()
+            .makespans()
+        )
+        assert np.array_equal(again, shared), kernel
 
 
 def test_shared_prefix_rejects_divergent_prefixes(het_platform, small_grid):

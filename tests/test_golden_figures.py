@@ -55,11 +55,13 @@ def _iter_runs(fig: str):
             yield inst, sched
 
 
-def _collect(engine: str) -> dict[str, dict[str, float]]:
+def _collect(engine: str, kernel=None) -> dict[str, dict[str, float]]:
     """``{fig: {"algorithm|instance": makespan}}`` under one engine.
 
     ``"batch"`` simulates each figure's plans in one forced-vectorized
     :func:`batch_simulate` call -- the bulk path the planning layer uses.
+    ``kernel`` selects a compiled simulation backend for the fast/batch
+    engines (see :mod:`repro.sim.kernels`).
     """
     out: dict[str, dict[str, float]] = {}
     for fig in sorted(FIGURES):
@@ -72,7 +74,7 @@ def _collect(engine: str) -> dict[str, dict[str, float]]:
                 continue
             plan.collect_events = False
             if engine == "fast":
-                res = fast_simulate(inst.platform, plan, inst.grid)
+                res = fast_simulate(inst.platform, plan, inst.grid, kernel=kernel)
             elif engine == "reference":
                 res = simulate(inst.platform, plan, inst.grid)
             else:
@@ -81,7 +83,9 @@ def _collect(engine: str) -> dict[str, dict[str, float]]:
                 continue
             table[f"{sched.name}|{inst.label}"] = res.makespan
         if engine == "batch":
-            for key, makespan in zip(keys, batch_simulate(runs, force=True)):
+            for key, makespan in zip(
+                keys, batch_simulate(runs, force=True, kernel=kernel)
+            ):
                 table[key] = float(makespan)
         out[fig] = table
     return out
@@ -111,6 +115,26 @@ def test_both_engines_reproduce_golden_figures(engine, golden):
                 f"{engine} engine drifted on {fig} {key}: {got[key]!r} != golden "
                 f"{expected!r}; intentional? regenerate tests/data/golden_figures.json "
                 "after re-checking the figure shapes"
+            )
+
+
+@pytest.mark.parametrize("engine", ["fast", "batch"])
+@pytest.mark.parametrize("kernel", ["numba", "c", "python"])
+def test_compiled_backends_reproduce_golden_figures(engine, kernel, golden):
+    """Every compiled kernel backend replays the full golden-figure set
+    bit-identically (environments without a backend skip its rows)."""
+    from repro.sim.kernels import available_backends
+
+    if kernel not in available_backends():
+        pytest.skip(f"kernel backend {kernel!r} unavailable here")
+    measured = _collect(engine, kernel=kernel)
+    for fig, table in golden["figures"].items():
+        got = measured[fig]
+        assert sorted(got) == sorted(table), f"{fig}: (algorithm, instance) set changed"
+        for key, expected in table.items():
+            assert got[key] == expected, (
+                f"{engine}/{kernel} drifted on {fig} {key}: {got[key]!r} != "
+                f"golden {expected!r}"
             )
 
 

@@ -1,0 +1,272 @@
+"""Kernel-backend registry semantics and compiled-path integration.
+
+The equivalence walls (``test_batch_equivalence``, ``test_golden_figures``)
+pin that every backend computes bit-identical results; this file pins the
+*registry* contract around them: resolution order (instance > name > env >
+numpy), unknown-name errors, the single-warning numpy fallback for
+unavailable backends, whole-run vs per-step dispatch, windowed stepping,
+and the ``fast_simulate``/harness integration points.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.schedulers.registry import make_scheduler
+from repro.sim import kernels
+from repro.sim.batch import BatchEngine
+from repro.sim.fastpath import fast_simulate
+from repro.sim.kernels import (
+    FIELD_CODES,
+    KERNEL_ENV,
+    KERNEL_NAMES,
+    KernelUnavailable,
+    available_backends,
+    get_backend,
+    resolve_kernel,
+)
+from repro.sim.plan import Plan
+from repro.sim.policies import POLICY_KEY_FIELDS, ReadyPolicy
+
+
+# ----------------------------------------------------------------------
+# registry + resolution
+# ----------------------------------------------------------------------
+def test_registry_names_cover_all_factories():
+    assert set(KERNEL_NAMES) == {"numpy", "numba", "c", "python"}
+    for name in available_backends():
+        assert get_backend(name).name == name
+
+
+def test_numpy_and_python_always_available():
+    avail = available_backends()
+    assert "numpy" in avail and "python" in avail
+
+
+def test_field_codes_cover_policy_vocabulary():
+    """The ready kernels interpret exactly the PolicyKeySpec vocabulary."""
+    assert set(FIELD_CODES) == set(POLICY_KEY_FIELDS)
+
+
+def test_whole_run_flags():
+    assert get_backend("numpy").whole_run is False
+    assert get_backend("python").whole_run is True
+
+
+def test_unknown_name_raises_value_error():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        get_backend("fortran")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_kernel("fortran")
+
+
+def test_resolve_instance_passes_through():
+    backend = get_backend("python")
+    assert resolve_kernel(backend) is backend
+
+
+def test_resolve_name_and_default(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    assert resolve_kernel(None).name == "numpy"
+    assert resolve_kernel("python").name == "python"
+
+
+def test_resolve_env_knob(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "python")
+    assert resolve_kernel(None).name == "python"
+    # explicit kernel= beats the environment
+    assert resolve_kernel("numpy").name == "numpy"
+
+
+@pytest.fixture
+def broken_backend(monkeypatch):
+    """Temporarily make the ``numba`` backend unavailable (it may or may
+    not be installed here) and re-arm the one-warning-per-process latch."""
+
+    def unavailable():
+        raise KernelUnavailable("numba disabled for this test")
+
+    monkeypatch.setattr(kernels, "_FACTORIES", {**kernels._FACTORIES, "numba": unavailable})
+    monkeypatch.setattr(kernels, "_instances", {})
+    monkeypatch.setattr(kernels, "_failures", {})
+    monkeypatch.setattr(kernels, "_warned", set())
+    return "numba"
+
+
+def test_unavailable_backend_raises_on_direct_get(broken_backend):
+    with pytest.raises(KernelUnavailable, match="disabled"):
+        get_backend(broken_backend)
+    assert broken_backend not in available_backends()
+
+
+def test_unavailable_backend_falls_back_with_single_warning(broken_backend):
+    with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+        backend = resolve_kernel(broken_backend)
+    assert backend.name == "numpy"
+    # second resolution is silent (one clear warning per process per name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_kernel(broken_backend).name == "numpy"
+
+
+def test_unavailable_env_knob_falls_back(monkeypatch, broken_backend):
+    monkeypatch.setenv(KERNEL_ENV, broken_backend)
+    monkeypatch.setattr(kernels, "_warned", set())
+    with pytest.warns(RuntimeWarning, match="unavailable"):
+        assert resolve_kernel(None).name == "numpy"
+
+
+# ----------------------------------------------------------------------
+# engine dispatch under compiled backends
+# ----------------------------------------------------------------------
+def _strict_runs(het_platform, small_grid, ragged_grid):
+    runs = []
+    for grid in (small_grid, ragged_grid):
+        plan = make_scheduler("Hom").plan(het_platform, grid)
+        plan.collect_events = False
+        runs.append((het_platform, plan))
+    return runs
+
+
+def compiled_names():
+    return [n for n in available_backends() if n != "numpy"]
+
+
+@pytest.mark.parametrize("scheduler", ["Hom", "ORROML"], ids=["strict", "ready"])
+def test_windowed_stepping_matches_full_run(scheduler, het_platform, small_grid, ragged_grid):
+    """run(max_steps=) must stop exactly at the window edge under every
+    backend -- the contract the incremental reselect search relies on."""
+    runs = []
+    for grid in (small_grid, ragged_grid):
+        plan = make_scheduler(scheduler).plan(het_platform, grid)
+        plan.collect_events = False
+        runs.append((het_platform, plan))
+
+    def replay(kernel, chunk):
+        fresh = [
+            (p, make_scheduler(scheduler).plan(p, g))
+            for (p, _pl), g in zip(runs, (small_grid, ragged_grid))
+        ]
+        for _p, pl in fresh:
+            pl.collect_events = False
+        engine = BatchEngine(fresh, kernel=kernel)
+        while not engine.done:
+            before = engine._t
+            engine.run(max_steps=chunk)
+            assert engine._t <= min(before + chunk, engine.total_steps)
+        return engine.makespans()
+
+    reference = replay("numpy", 10_000)  # effectively one full run
+    for name in available_backends():
+        for chunk in (1, 7, 10_000):
+            assert np.array_equal(replay(name, chunk), reference), (name, chunk)
+
+
+@pytest.mark.parametrize("kernel", ["numba", "c", "python"])
+def test_fast_simulate_routes_through_batch(kernel, het_platform, small_grid):
+    """Under a whole-run backend, batch-replayable plans take the compiled
+    B=1 batch route and stay bit-identical to the scalar fast path."""
+    if kernel not in available_backends():
+        pytest.skip(f"kernel backend {kernel!r} unavailable here")
+    for name in ("Hom", "ORROML"):
+        plan = make_scheduler(name).plan(het_platform, small_grid)
+        plan.collect_events = False
+        scalar = fast_simulate(het_platform, make_and_strip(name, het_platform, small_grid), small_grid)
+        compiled = fast_simulate(het_platform, plan, small_grid, kernel=kernel)
+        assert compiled.makespan == scalar.makespan
+        assert compiled.worker_stats == scalar.worker_stats
+        assert compiled.meta.get("algorithm", name) is not None
+
+
+def make_and_strip(name, platform, grid):
+    plan = make_scheduler(name).plan(platform, grid)
+    plan.collect_events = False
+    return plan
+
+
+def test_fast_simulate_kernel_ignored_for_unbatchable_plans(het_platform, small_grid):
+    """Allocator-driven plans cannot take the batch route; kernel= must
+    degrade to the scalar/reference paths, not crash."""
+    scalar = fast_simulate(
+        het_platform, make_and_strip("BMM", het_platform, small_grid), small_grid
+    )
+    routed = fast_simulate(
+        het_platform,
+        make_and_strip("BMM", het_platform, small_grid),
+        small_grid,
+        kernel="python",
+    )
+    assert routed.makespan == scalar.makespan
+
+
+def test_fast_simulate_opaque_priority_still_reference(het_platform):
+    plan = Plan(
+        assignments=[[] for _ in range(het_platform.p)],
+        policy=ReadyPolicy(lambda engine, widx: (-widx,)),
+        depths=[2] * het_platform.p,
+    )
+    res = fast_simulate(het_platform, plan, kernel="python")
+    assert res.makespan == 0.0
+
+
+def test_engine_records_backend(het_platform, small_grid):
+    runs = _strict_runs(het_platform, small_grid, small_grid)
+    assert BatchEngine(runs, kernel="python")._backend.name == "python"
+
+
+# ----------------------------------------------------------------------
+# harness integration
+# ----------------------------------------------------------------------
+def test_evaluate_runs_kernel_parity(het_platform, small_grid, ragged_grid):
+    from repro.experiments.harness import evaluate_runs
+
+    def jobs():
+        out = []
+        for grid in (small_grid, ragged_grid):
+            for name in ("Hom", "ORROML"):
+                plan = make_scheduler(name).plan(het_platform, grid)
+                plan.collect_events = False
+                out.append((het_platform, plan))
+        return out
+
+    base = evaluate_runs(jobs(), "fast")
+    for engine in ("fast", "batch"):
+        for kernel in available_backends():
+            got = evaluate_runs(jobs(), engine, kernel=kernel)
+            assert [m for m, _n, _meta in got] == [m for m, _n, _meta in base], (
+                engine,
+                kernel,
+            )
+
+
+def test_run_experiment_kernel_parity(het_platform, small_grid):
+    from repro.experiments.harness import Instance, run_experiment
+
+    instances = [Instance("inst", het_platform, small_grid)]
+    base = run_experiment("kernels", instances, engine="fast")
+    ref = {(m.algorithm, m.instance): m.makespan for m in base.measurements}
+    for engine in ("fast", "batch"):
+        for kernel in compiled_names():
+            res = run_experiment("kernels", instances, engine=engine, kernel=kernel)
+            got = {(m.algorithm, m.instance): m.makespan for m in res.measurements}
+            assert got == ref, (engine, kernel)
+
+
+# ----------------------------------------------------------------------
+# the C backend's build cache
+# ----------------------------------------------------------------------
+def test_c_backend_builds_into_configured_cache(monkeypatch, tmp_path):
+    if "c" not in available_backends():
+        pytest.skip("no C compiler here")
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+    backend = type(get_backend("c"))()  # fresh instance, ignore cached lib
+    backend.ensure_ready()
+    libs = list(tmp_path.glob("repro_kernels_*.so"))
+    assert len(libs) == 1
+    # rebuilding is a no-op (the artifact is content-addressed)
+    backend2 = type(get_backend("c"))()
+    backend2.ensure_ready()
+    assert list(tmp_path.glob("repro_kernels_*.so")) == libs
