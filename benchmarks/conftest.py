@@ -85,13 +85,16 @@ def emit(bench_runner):
     written next to the text table; CI uploads ``benchmarks/results/`` as a
     workflow artifact, so these JSON snapshots accumulate a measurement
     trajectory across runs.  Every JSON payload records the *active* kernel
-    backend (post-fallback), so compiled-backend entries in the perf
-    trajectory are distinguishable from numpy ones.
+    backend (post-fallback) plus uniform host/run metadata
+    (:func:`repro.obs.run_metadata`: python/numpy versions, cpu count,
+    machine, git describe) and a metrics-registry snapshot, so
+    compiled-backend entries in the perf trajectory are distinguishable
+    from numpy ones and numbers from different hosts never get conflated.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    from repro.sim.kernels import resolve_kernel
+    from repro.obs import run_metadata, snapshot
 
-    active_kernel = resolve_kernel(bench_runner["kernel"]).name
+    meta = run_metadata(kernel=bench_runner["kernel"])
 
     def _emit(name: str, text: str, data: dict | None = None) -> None:
         print()
@@ -100,7 +103,13 @@ def emit(bench_runner):
         if data is not None:
             import json
 
-            payload = {"benchmark": name, "kernel": active_kernel, "data": data}
+            payload = {
+                "benchmark": name,
+                "kernel": meta["kernel"],  # kept top-level for older readers
+                "meta": meta,
+                "metrics": snapshot(),
+                "data": data,
+            }
             (RESULTS_DIR / f"BENCH_{name}.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"
             )

@@ -1,0 +1,108 @@
+"""Observability overhead guard: disabled tracing must stay near-free.
+
+The instrumentation in the hot paths (``trace`` spans, ``stopwatch``
+timers, registry counters — see :mod:`repro.obs`) is compiled into the
+production code unconditionally; what keeps it safe is the disabled fast
+path: with no tracer installed, ``trace()`` is one global read returning a
+shared no-op singleton.  This benchmark measures the per-call cost of each
+disabled primitive, multiplies by the number of instrument sites a
+simulation actually crosses, and asserts the total stays under 2% of the
+kernel-ladder workload it rides on.  Runs in tier-1 (not marked slow) so
+a regression in the fast path cannot hide until the next perf run.
+"""
+
+import time
+
+from repro.core.blocks import BlockGrid
+from repro.obs import counter, stopwatch, trace, tracing_enabled
+from repro.platform.generators import memory_heterogeneous, scale_grid, scale_platform
+from repro.schedulers.registry import make_scheduler
+from repro.sim.batch import BatchEngine
+from repro.sim.fastpath import fast_simulate
+
+_CALIB_N = 20_000
+_ROUNDS = 5
+
+
+def _per_call(fn, n=_CALIB_N) -> float:
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / n
+
+
+def test_disabled_tracing_overhead(emit):
+    assert not tracing_enabled()
+
+    def _traced():
+        with trace("bench", a=1):
+            pass
+
+    def _timed():
+        with stopwatch("bench.obs_calibration"):
+            pass
+
+    c = counter("bench.obs_counter")
+
+    per_trace = _per_call(_traced)
+    per_stopwatch = _per_call(_timed)
+    per_inc = _per_call(c.inc)
+
+    # the reference workload: one vectorized batch replay (the ladder's
+    # numpy rung, scaled down so the guard stays tier-1 fast)
+    plat = scale_platform(memory_heterogeneous(), 0.5)
+    grid = scale_grid(BlockGrid.paper_instance(), 0.3)
+    plan = make_scheduler("Hom").plan(plat, grid)
+    plan.collect_events = False
+    engine = BatchEngine([(plat, plan)])
+    token = engine.checkpoint()
+    t_batch = float("inf")
+    for _ in range(_ROUNDS):
+        engine.restore(token)
+        t0 = time.perf_counter()
+        engine.run()
+        t_batch = min(t_batch, time.perf_counter() - t0)
+
+    t_fast = float("inf")
+    for _ in range(_ROUNDS):
+        t0 = time.perf_counter()
+        fast_simulate(plat, plan, grid)
+        t_fast = min(t_fast, time.perf_counter() - t0)
+
+    # instrument sites crossed per run of each workload: BatchEngine.run
+    # opens one span + one stopwatch + one counter lookup/inc;
+    # fast_simulate crosses one counter and one stopwatch.
+    per_site = per_trace + per_stopwatch + per_inc
+    batch_overhead = per_site / t_batch
+    fast_overhead = per_site / t_fast
+
+    lines = [
+        "obs_overhead: disabled-instrumentation cost vs simulation work",
+        f"  trace() enter/exit : {per_trace * 1e9:8.1f} ns/call",
+        f"  stopwatch()        : {per_stopwatch * 1e9:8.1f} ns/call",
+        f"  counter.inc()      : {per_inc * 1e9:8.1f} ns/call",
+        f"  batch run          : {t_batch * 1e3:8.2f} ms  "
+        f"(overhead {batch_overhead:.4%})",
+        f"  fast_simulate      : {t_fast * 1e3:8.2f} ms  "
+        f"(overhead {fast_overhead:.4%})",
+    ]
+    emit(
+        "obs_overhead",
+        "\n".join(lines),
+        data={
+            "trace_ns": per_trace * 1e9,
+            "stopwatch_ns": per_stopwatch * 1e9,
+            "counter_inc_ns": per_inc * 1e9,
+            "batch_seconds": t_batch,
+            "fast_seconds": t_fast,
+            "batch_overhead": batch_overhead,
+            "fast_overhead": fast_overhead,
+        },
+    )
+    # the contract from docs/architecture.md: instrumentation on a hot
+    # path must cost < 2% of the work it wraps, tracing disabled
+    assert batch_overhead < 0.02, (per_site, t_batch)
+    assert fast_overhead < 0.02, (per_site, t_fast)

@@ -7,14 +7,21 @@ Subcommands
 ``run``       run one algorithm on one platform/grid, print details/Gantt
 ``sweep``     relative cost vs degree of heterogeneity
 ``dynamic``   dynamic-platform scenarios: oblivious/adaptive/reselect/clairvoyant
+``profile``   run a figure or dynamic scenario under the tracer, print a
+              phase-attribution table (planning/simulation/cache)
 ``bounds``    print the Section 3 CCR bounds for a memory size
 ``table2``    demonstrate the bandwidth-centric memory infeasibility
 ``platforms`` list the built-in platform generators
+
+Passing ``--trace FILE`` (or setting ``REPRO_TRACE=FILE``) on the run
+subcommands writes a Chrome/Perfetto-loadable trace of the whole
+invocation -- open it at https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.blocks import BlockGrid
@@ -84,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
             "makespans are bit-identical across all three",
         )
         add_kernel_opt(p)
+        add_trace_opt(p)
+
+    def add_trace_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="write a Chrome/Perfetto trace of this invocation to FILE "
+            "(also enabled by REPRO_TRACE=FILE)",
+        )
 
     def add_kernel_opt(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -127,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace for --gantt and the breakdown report, the others skip traces",
     )
     add_kernel_opt(p_run)
+    add_trace_opt(p_run)
 
     p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
     p_sweep.add_argument("--scale", type=float, default=0.25)
@@ -221,6 +239,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=3.0,
         help="expected stochastic events over the steady-state-bound horizon",
     )
+    add_trace_opt(p_dyn)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a small workload under the tracer and print where the "
+        "time went (planning vs simulation vs cache)",
+    )
+    target = p_prof.add_mutually_exclusive_group()
+    target.add_argument(
+        "--figure",
+        default=None,
+        choices=sorted(FIGURES),
+        metavar="FIG",
+        help="profile one paper figure (default: fig7)",
+    )
+    target.add_argument(
+        "--dynamic",
+        default=None,
+        metavar="SCENARIO",
+        choices=DYNAMIC_SCENARIOS,
+        help="profile a dynamic-platform scenario instead of a figure",
+    )
+    p_prof.add_argument("--scale", type=float, default=0.3, help="problem scale")
+    p_prof.add_argument("--algorithms", default=None, help="comma-separated subset")
+    p_prof.add_argument(
+        "--severity", type=float, default=8.0, help="dynamic scenario severity"
+    )
+    p_prof.add_argument(
+        "--modes",
+        default="oblivious,adaptive",
+        help="dynamic evaluation modes (comma-separated)",
+    )
+    p_prof.add_argument(
+        "--engine",
+        default="fast",
+        choices=("reference", "fast", "batch"),
+        help="simulation engine for the figure workload",
+    )
+    add_kernel_opt(p_prof)
+    add_trace_opt(p_prof)
 
     p_bounds = sub.add_parser("bounds", help="Section 3 CCR bounds")
     p_bounds.add_argument("--memory", type=int, default=5242, help="worker memory in blocks")
@@ -405,6 +463,103 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+# phase vocabulary for ``repro-mm profile`` (see docs/architecture.md);
+# each span name is charged to exactly one phase, outermost-first
+_PROFILE_PHASES = {
+    "planning": {"plan"},
+    "simulation": {
+        "simulate",
+        "simulate_dynamic",
+        "batch.compile",
+        "batch.run",
+        "boundary",
+        "runtime.execute",
+        "kernel.build",
+    },
+    "cache": {"cache"},
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import dynamic_sweep
+    from .obs import (
+        disable_tracing,
+        enable_tracing,
+        phase_attribution,
+        snapshot,
+        snapshot_delta,
+        trace,
+        tracing_enabled,
+    )
+
+    created = not tracing_enabled()
+    tracer = enable_tracing()
+    before = snapshot()
+    try:
+        if args.dynamic is not None:
+            algorithms = tuple(
+                a.strip() for a in (args.algorithms or "Het").split(",") if a.strip()
+            )
+            modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+            with trace(
+                "profile", target=args.dynamic, severity=args.severity
+            ) as root:
+                dynamic_sweep(
+                    args.dynamic,
+                    (args.severity,),
+                    algorithms=algorithms,
+                    modes=modes,
+                    scale=args.scale,
+                )
+            label = f"dynamic scenario {args.dynamic} (severity {args.severity:g})"
+        else:
+            fig = args.figure or "fig7"
+            with trace("profile", target=fig, engine=args.engine) as root:
+                run_figure(
+                    fig,
+                    args.scale,
+                    _algorithms(args.algorithms),
+                    engine=args.engine,
+                    kernel=args.kernel,
+                )
+            label = f"figure {fig} (engine {args.engine})"
+        metrics = snapshot_delta(before)
+    finally:
+        if created:
+            disable_tracing()
+
+    total = root.wall_seconds
+    phases = phase_attribution([root], _PROFILE_PHASES)
+    other = max(0.0, total - sum(phases.values()))
+    print(f"profile: {label}, scale {args.scale:g}")
+    print(f"{'phase':<12}{'seconds':>10}{'share':>8}")
+    for name, secs in [*phases.items(), ("other", other), ("total", total)]:
+        share = secs / total if total > 0 else 0.0
+        print(f"{name:<12}{secs:>10.3f}{share:>7.1%}")
+    interesting = (
+        "plan.seconds",
+        "batch.compile_seconds",
+        "batch.step_seconds",
+        "sim.fast_runs",
+        "sim.fast_seconds",
+        "dynamic.segments",
+        "adaptive.boundary_seconds",
+        "cache.result.hits",
+        "cache.result.misses",
+    )
+    lines = []
+    for key in interesting:
+        if key in metrics:
+            val = metrics[key]
+            if isinstance(val, dict):
+                val = f"{val['seconds']:.3f}s /{val['count']}"
+            lines.append(f"  {key} = {val}")
+    if lines:
+        print("metrics:")
+        print("\n".join(lines))
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     m, t = args.memory, args.t
     print(f"memory m = {m} blocks, t = {t}")
@@ -443,11 +598,32 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "dynamic": _cmd_dynamic,
+        "profile": _cmd_profile,
         "bounds": _cmd_bounds,
         "table2": _cmd_table2,
         "platforms": _cmd_platforms,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    if not trace_path:
+        return handlers[args.command](args)
+    from .obs import enable_tracing, trace, tracing_enabled
+
+    created = not tracing_enabled()
+    tracer = enable_tracing()
+    try:
+        with trace("repro-mm", command=args.command):
+            return handlers[args.command](args)
+    finally:
+        n = tracer.write_chrome(trace_path)
+        print(
+            f"trace: {n} events written to {trace_path} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+        if created:
+            from .obs import disable_tracing
+
+            disable_tracing()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ from ..platform.generators import (
     scale_grid,
     scale_platform,
 )
+from ..obs import trace
 from ..platform.model import Platform
 from ..schedulers.base import Scheduler
 from .harness import ExperimentResult, Instance, run_experiment
@@ -136,16 +137,17 @@ def run_figure(
         factory = FIGURES[fig]
     except KeyError:
         raise KeyError(f"unknown figure {fig!r}; known: {sorted(FIGURES)}") from None
-    return run_experiment(
-        fig,
-        factory(scale),
-        schedulers,
-        validate=validate,
-        parallel=parallel,
-        cache=cache,
-        engine=engine,
-        kernel=kernel,
-    )
+    with trace("figure", fig=fig, scale=scale, engine=engine):
+        return run_experiment(
+            fig,
+            factory(scale),
+            schedulers,
+            validate=validate,
+            parallel=parallel,
+            cache=cache,
+            engine=engine,
+            kernel=kernel,
+        )
 
 
 def run_summary(

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.blocks import BlockGrid
+from ..obs import merge_snapshots, snapshot, snapshot_delta, trace
 from ..platform.model import Platform
 from ..schedulers.base import Scheduler, SchedulingError
 from ..schedulers.registry import default_suite
@@ -59,6 +60,9 @@ class ExperimentResult:
     algorithms: list[str]
     measurements: list[Measurement] = field(default_factory=list)
     failures: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: registry delta of this experiment's run (see ``repro.obs.metrics``):
+    #: planning/cache/kernel counters and timers accumulated while it ran
+    metrics: dict = field(default_factory=dict)
 
     def get(self, algorithm: str, instance: str) -> Measurement:
         for m in self.measurements:
@@ -96,6 +100,7 @@ class ExperimentResult:
                 )
                 if label not in merged.instances:
                     merged.instances.append(label)
+        merged.metrics = merge_snapshots(self.metrics, other.metrics)
         return merged
 
 
@@ -147,7 +152,41 @@ def run_experiment(
     every backend is bit-identical, so cached results stay valid.  The
     parallel ``RunTask`` fan-out honours the ``REPRO_KERNEL`` environment
     knob (inherited by worker processes) rather than an explicit argument.
+
+    The returned result's ``metrics`` dict is the metrics-registry delta
+    of the run (planning/cache/kernel instruments — see
+    :mod:`repro.obs.metrics`), and the whole experiment runs under an
+    ``experiment`` span when tracing is enabled.
     """
+    before = snapshot()
+    with trace("experiment", name=name, engine=engine):
+        result = _run_experiment(
+            name,
+            instances,
+            schedulers,
+            validate=validate,
+            collect_events=collect_events,
+            parallel=parallel,
+            cache=cache,
+            engine=engine,
+            kernel=kernel,
+        )
+    result.metrics = snapshot_delta(before)
+    return result
+
+
+def _run_experiment(
+    name: str,
+    instances: Sequence[Instance],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    validate: bool = False,
+    collect_events: bool = False,
+    parallel=None,
+    cache=None,
+    engine: str = "fast",
+    kernel=None,
+) -> ExperimentResult:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     scheds = list(schedulers) if schedulers is not None else default_suite()
@@ -325,10 +364,11 @@ def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, d
     if engine == "batch":
         from ..sim.batch import batch_outcomes
 
-        return [
-            (o.makespan, o.n_enrolled, o.meta)
-            for o in batch_outcomes(runs, kernel=kernel)
-        ]
+        with trace("simulate", engine=engine, runs=len(runs)):
+            return [
+                (o.makespan, o.n_enrolled, o.meta)
+                for o in batch_outcomes(runs, kernel=kernel)
+            ]
     if engine == "reference":
         from ..sim.engine import simulate as run_one
     elif engine == "fast":
@@ -338,7 +378,8 @@ def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, d
             return fast_simulate(platform, plan, kernel=kernel)
     else:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
-    sims = [run_one(platform, plan) for platform, plan in runs]
+    with trace("simulate", engine=engine, runs=len(runs)):
+        sims = [run_one(platform, plan) for platform, plan in runs]
     return [(sim.makespan, sim.n_enrolled, sim.meta) for sim in sims]
 
 
@@ -421,27 +462,30 @@ def run_dynamic_experiment(
         instances=[inst.label for inst in instances],
         algorithms=[w.name for w in wrappers],
     )
-    for inst in instances:
-        final = inst.timeline.final_platform(inst.platform)
-        bound = makespan_lower_bound(final, inst.grid)
-        for wrapper in wrappers:
-            try:
-                sim = wrapper.run_dynamic(
-                    inst.platform, inst.grid, inst.timeline, record_events=validate
+    before = snapshot()
+    with trace("experiment", name=name, dynamic=True):
+        for inst in instances:
+            final = inst.timeline.final_platform(inst.platform)
+            bound = makespan_lower_bound(final, inst.grid)
+            for wrapper in wrappers:
+                try:
+                    sim = wrapper.run_dynamic(
+                        inst.platform, inst.grid, inst.timeline, record_events=validate
+                    )
+                except (SchedulingError, DynamicStall) as exc:
+                    result.failures[(wrapper.name, inst.label)] = str(exc)
+                    continue
+                if validate:
+                    validate_dynamic(sim, inst.timeline, grid=inst.grid)
+                result.measurements.append(
+                    Measurement(
+                        algorithm=wrapper.name,
+                        instance=inst.label,
+                        makespan=sim.makespan,
+                        n_enrolled=sim.n_enrolled,
+                        bound=bound,
+                        meta=dict(sim.meta),
+                    )
                 )
-            except (SchedulingError, DynamicStall) as exc:
-                result.failures[(wrapper.name, inst.label)] = str(exc)
-                continue
-            if validate:
-                validate_dynamic(sim, inst.timeline, grid=inst.grid)
-            result.measurements.append(
-                Measurement(
-                    algorithm=wrapper.name,
-                    instance=inst.label,
-                    makespan=sim.makespan,
-                    n_enrolled=sim.n_enrolled,
-                    bound=bound,
-                    meta=dict(sim.meta),
-                )
-            )
+    result.metrics = snapshot_delta(before)
     return result

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..core.blocks import BlockGrid
+from ..obs import counter, stopwatch, trace
 from ..platform.model import Platform
 from ..schedulers.base import Scheduler, SchedulingError
 
@@ -206,15 +207,16 @@ def _execute_plan_task(task: PlanTask) -> dict:
     traces) and its wall-clock planning time, or a deterministic ``error``
     for instances the algorithm cannot schedule.
     """
-    import time
-
-    t0 = time.perf_counter()
-    try:
-        plan = task.scheduler.plan(task.platform, task.grid)
-    except SchedulingError as exc:
-        return {"error": str(exc), "planning_seconds": time.perf_counter() - t0}
+    error: str | None = None
+    with trace("plan", algorithm=task.scheduler.name), stopwatch("plan.seconds") as sw:
+        try:
+            plan = task.scheduler.plan(task.platform, task.grid)
+        except SchedulingError as exc:
+            error = str(exc)
+    if error is not None:
+        return {"error": error, "planning_seconds": sw.elapsed}
     plan.collect_events = False
-    return {"plan": plan, "planning_seconds": time.perf_counter() - t0}
+    return {"plan": plan, "planning_seconds": sw.elapsed}
 
 
 def plan_tasks(tasks: Sequence[PlanTask], *, parallel=None) -> list[dict]:
@@ -298,9 +300,14 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # hit/miss/eviction counts feed the process-wide registry
+        # (`cache.result.*`); the per-instance view subtracts the values
+        # at construction time, so `cache.hits` reads exactly as before
+        self._metrics = {
+            name: counter(f"cache.result.{name}")
+            for name in ("hits", "misses", "evictions")
+        }
+        self._base = {name: m.value for name, m in self._metrics.items()}
         # in-process estimates: the first capped put scans once to baseline
         # against pre-existing entries, later puts update incrementally and
         # only trigger the authoritative scan inside _evict when the caps
@@ -311,17 +318,37 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _bump(self, name: str) -> None:
+        self._metrics[name].inc()
+
+    @property
+    def hits(self) -> int:
+        """Lookup hits since this instance was created (registry-backed:
+        the process-wide counter is ``cache.result.hits``)."""
+        return self._metrics["hits"].value - self._base["hits"]
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses since this instance was created."""
+        return self._metrics["misses"].value - self._base["misses"]
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted by this instance's size caps."""
+        return self._metrics["evictions"].value - self._base["evictions"]
+
     def get(self, key: str) -> dict | None:
-        path = self._path(key)
-        try:
-            with path.open() as fh:
-                payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._touch(path)  # mark recency for LRU eviction
-        return payload
+        with trace("cache", op="get"):
+            path = self._path(key)
+            try:
+                with path.open() as fh:
+                    payload = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                self._bump("misses")
+                return None
+            self._bump("hits")
+            self._touch(path)  # mark recency for LRU eviction
+            return payload
 
     @staticmethod
     def _touch(path: Path) -> None:
@@ -340,6 +367,10 @@ class ResultCache:
             pass
 
     def put(self, key: str, payload: dict) -> None:
+        with trace("cache", op="put"):
+            self._put(key, payload)
+
+    def _put(self, key: str, payload: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # unique tmp per writer, atomically renamed: concurrent writers of
@@ -416,7 +447,7 @@ class ResultCache:
                 continue
             count -= 1
             total -= size
-            self.evictions += 1
+            self._bump("evictions")
         self._count = count
         self._bytes = total
 

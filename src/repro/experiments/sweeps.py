@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.blocks import BlockGrid
+from ..obs import trace
 from ..platform.generators import fully_heterogeneous, scale_grid, scale_platform
 from ..schedulers.base import Scheduler, SchedulingError
 from ..schedulers.registry import make_scheduler
@@ -551,105 +552,106 @@ def dynamic_sweep(
         scenario=scenario, algorithms=list(algorithms), modes=display_modes
     )
     for severity in severities:
-        platform, grid, timeline = dynamic_scenario(
-            scenario,
-            severity,
-            p=p,
-            mu=mu,
-            scale=scale,
-            onset_frac=onset_frac,
-            recover_frac=recover_frac,
-        )
-        generator = ""
-        if stochastic:
-            rng = _random.Random(f"{seed}|{scenario}|{severity!r}")
-            horizon = makespan_lower_bound(platform, grid)
-            if scenario == "crash-recovery":
-                timeline = random_timeline(
-                    rng, "crash", platform, horizon, rate=rate, outage_frac=severity
-                )
-            else:
-                timeline = random_timeline(
-                    rng,
-                    _SCENARIO_FAMILIES[scenario],
-                    platform,
-                    horizon,
-                    rate=rate,
-                    severity=max(severity, 1.5),
-                )
-            generator = (
-                f"stochastic:{seed}|{_SCENARIO_FAMILIES[scenario]}|"
-                f"{severity!r}|{rate!r}"
+        with trace("sweep.point", scenario=scenario, severity=severity):
+            platform, grid, timeline = dynamic_scenario(
+                scenario,
+                severity,
+                p=p,
+                mu=mu,
+                scale=scale,
+                onset_frac=onset_frac,
+                recover_frac=recover_frac,
             )
-        final = timeline.final_platform(platform)
-        makespans: dict[str, dict[str, float]] = {}
-        for name in algorithms:
-            per_mode: dict[str, float] = {}
-            if name in coded_family:
-                # Coded schedulers decode-complete instead of replanning:
-                # one run per severity under the pseudo-mode "coded".
-                sched = coded_family[name](redundancy=redundancy, k=decode_k)
-                key = None
-                if store is not None:
-                    key = dynamic_task_key(
-                        sched, "coded", platform, grid, timeline,
-                        generator=generator,
+            generator = ""
+            if stochastic:
+                rng = _random.Random(f"{seed}|{scenario}|{severity!r}")
+                horizon = makespan_lower_bound(platform, grid)
+                if scenario == "crash-recovery":
+                    timeline = random_timeline(
+                        rng, "crash", platform, horizon, rate=rate, outage_frac=severity
                     )
-                    hit = store.get(key)
-                    if hit is not None:
-                        if "error" not in hit:
-                            per_mode["coded"] = hit["makespan"]
-                        if per_mode:
-                            makespans[name] = per_mode
-                        continue
-                try:
-                    sim = sched.run_dynamic(platform, grid, timeline)
-                except (SchedulingError, DynamicStall) as exc:
+                else:
+                    timeline = random_timeline(
+                        rng,
+                        _SCENARIO_FAMILIES[scenario],
+                        platform,
+                        horizon,
+                        rate=rate,
+                        severity=max(severity, 1.5),
+                    )
+                generator = (
+                    f"stochastic:{seed}|{_SCENARIO_FAMILIES[scenario]}|"
+                    f"{severity!r}|{rate!r}"
+                )
+            final = timeline.final_platform(platform)
+            makespans: dict[str, dict[str, float]] = {}
+            for name in algorithms:
+                per_mode: dict[str, float] = {}
+                if name in coded_family:
+                    # Coded schedulers decode-complete instead of replanning:
+                    # one run per severity under the pseudo-mode "coded".
+                    sched = coded_family[name](redundancy=redundancy, k=decode_k)
+                    key = None
                     if store is not None:
-                        store.put(key, {"error": str(exc)})
-                    continue
-                per_mode["coded"] = sim.makespan
-                if store is not None:
-                    store.put(
-                        key,
-                        {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
-                    )
-                makespans[name] = per_mode
-                continue
-            for mode in mode_list:
-                if mode == "coded":
-                    continue  # pseudo-mode: only coded schedulers fill it
-                wrapper = AdaptiveScheduler(make_scheduler(name), mode)
-                key = None
-                if store is not None:
-                    key = dynamic_task_key(
-                        wrapper.base, mode, platform, grid, timeline,
-                        generator=generator,
-                    )
-                    hit = store.get(key)
-                    if hit is not None:
-                        if "error" not in hit:
-                            per_mode[mode] = hit["makespan"]
+                        key = dynamic_task_key(
+                            sched, "coded", platform, grid, timeline,
+                            generator=generator,
+                        )
+                        hit = store.get(key)
+                        if hit is not None:
+                            if "error" not in hit:
+                                per_mode["coded"] = hit["makespan"]
+                            if per_mode:
+                                makespans[name] = per_mode
+                            continue
+                    try:
+                        sim = sched.run_dynamic(platform, grid, timeline)
+                    except (SchedulingError, DynamicStall) as exc:
+                        if store is not None:
+                            store.put(key, {"error": str(exc)})
                         continue
-                try:
-                    sim = wrapper.run_dynamic(platform, grid, timeline)
-                except (SchedulingError, DynamicStall) as exc:
+                    per_mode["coded"] = sim.makespan
                     if store is not None:
-                        store.put(key, {"error": str(exc)})
+                        store.put(
+                            key,
+                            {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
+                        )
+                    makespans[name] = per_mode
                     continue
-                per_mode[mode] = sim.makespan
-                if store is not None:
-                    store.put(
-                        key,
-                        {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
-                    )
-            if per_mode:
-                makespans[name] = per_mode
-        sweep.points.append(
-            DynamicPoint(
-                severity=severity,
-                makespans=makespans,
-                bound=makespan_lower_bound(final, grid),
+                for mode in mode_list:
+                    if mode == "coded":
+                        continue  # pseudo-mode: only coded schedulers fill it
+                    wrapper = AdaptiveScheduler(make_scheduler(name), mode)
+                    key = None
+                    if store is not None:
+                        key = dynamic_task_key(
+                            wrapper.base, mode, platform, grid, timeline,
+                            generator=generator,
+                        )
+                        hit = store.get(key)
+                        if hit is not None:
+                            if "error" not in hit:
+                                per_mode[mode] = hit["makespan"]
+                            continue
+                    try:
+                        sim = wrapper.run_dynamic(platform, grid, timeline)
+                    except (SchedulingError, DynamicStall) as exc:
+                        if store is not None:
+                            store.put(key, {"error": str(exc)})
+                        continue
+                    per_mode[mode] = sim.makespan
+                    if store is not None:
+                        store.put(
+                            key,
+                            {"makespan": sim.makespan, "n_enrolled": sim.n_enrolled},
+                        )
+                if per_mode:
+                    makespans[name] = per_mode
+            sweep.points.append(
+                DynamicPoint(
+                    severity=severity,
+                    makespans=makespans,
+                    bound=makespan_lower_bound(final, grid),
+                )
             )
-        )
     return sweep

@@ -1,0 +1,71 @@
+"""Observability: structured tracing, a metrics registry, run metadata.
+
+Three small, dependency-free pieces that every other subsystem emits
+into:
+
+* :mod:`repro.obs.tracer` — ``with trace("plan", algorithm=...):`` span
+  trees with wall/CPU time, exportable as structured JSON or
+  Chrome/Perfetto ``trace_event`` files; free when disabled.
+* :mod:`repro.obs.metrics` — named counters/gauges/timers behind a
+  process-global registry; ``snapshot()``/``snapshot_delta()`` turn them
+  into the ``metrics`` dict on harness results and ``BENCH_*.json``.
+* :mod:`repro.obs.meta` — :func:`run_metadata`, the uniform host/run
+  document stamped into benchmark and trace artifacts.
+
+See the observability section of ``docs/architecture.md`` for the span
+vocabulary and the metric naming scheme.
+"""
+
+from .meta import run_metadata
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Stopwatch,
+    Timer,
+    counter,
+    gauge,
+    merge_snapshots,
+    registry,
+    snapshot,
+    snapshot_delta,
+    stopwatch,
+    timer,
+)
+from .tracer import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    phase_attribution,
+    trace,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Span",
+    "Stopwatch",
+    "Timer",
+    "Tracer",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_tracer",
+    "merge_snapshots",
+    "phase_attribution",
+    "registry",
+    "run_metadata",
+    "snapshot",
+    "snapshot_delta",
+    "stopwatch",
+    "timer",
+    "trace",
+    "tracing",
+    "tracing_enabled",
+]

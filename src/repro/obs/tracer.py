@@ -1,0 +1,299 @@
+"""Span-based tracer: nested wall/CPU-timed sections with attributes.
+
+Library code marks its phases with ``with trace("plan", algorithm=...):``;
+when no tracer is installed — the default — :func:`trace` returns one
+shared no-op object, so the disabled cost is a dict build plus a ``None``
+check and **no span objects are ever allocated** (the overhead benchmark
+in ``benchmarks/test_bench_obs.py`` guards this).  When a tracer is
+installed (``repro-mm --trace``, ``REPRO_TRACE=path``, ``repro-mm
+profile``, or :func:`enable_tracing`), every ``trace`` call produces a
+:class:`Span` nested under the innermost open span of its thread.
+
+Finished trees export two ways:
+
+* :meth:`Tracer.to_dict` — nested structured JSON (span name, wall/CPU
+  seconds, attributes, children);
+* :meth:`Tracer.chrome_events` / :meth:`Tracer.write_chrome` — flat
+  Chrome ``trace_event`` objects (``ph="X"`` complete events, microsecond
+  timestamps) loadable by Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "phase_attribution",
+    "trace",
+    "tracing",
+    "tracing_enabled",
+]
+
+
+class Span:
+    """One timed section; also the context manager returned by
+    :func:`trace` while a tracer is installed."""
+
+    __slots__ = ("name", "attrs", "children", "t0", "t1", "cpu0", "cpu1", "tid", "_tracer")
+
+    def __init__(self, name: str, attrs: dict, tracer: "Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.t0 = self.t1 = 0.0
+        self.cpu0 = self.cpu1 = 0.0
+        self.tid = 0
+        self._tracer = tracer
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cpu1 - self.cpu0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tid = threading.get_ident()
+        self._tracer._enter(self)
+        self.cpu0 = time.process_time()
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.t1 = time.perf_counter()
+        self.cpu1 = time.process_time()
+        self._tracer._exit(self)
+        return False
+
+    def walk(self):
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "t0": self.t0,
+            "attrs": _json_safe(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Span {self.name} {self.wall_seconds:.6f}s>"
+
+
+class _NoopSpan:
+    """The shared disabled-mode stand-in: enter/exit/set are no-ops."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects span trees, one open-span stack per thread."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+        self.epoch = time.perf_counter()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, attrs: dict) -> Span:
+        return Span(name, attrs, self)
+
+    def _enter(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _exit(self, span: Span) -> None:
+        stack = self._stack()
+        while stack and stack[-1] is not span:  # pragma: no cover - defensive
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    def open_spans(self) -> int:
+        """Depth of the calling thread's open-span stack (0 when every
+        enter has been matched by an exit)."""
+        return len(self._stack())
+
+    def walk(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from .meta import run_metadata
+
+        return {
+            "meta": run_metadata(),
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def chrome_events(self) -> list[dict]:
+        """Flat Chrome ``trace_event`` list (``ph="X"`` complete events,
+        microseconds since the tracer's epoch)."""
+        pid = os.getpid()
+        events = []
+        for span in self.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (span.t0 - self.epoch) * 1e6,
+                    "dur": span.wall_seconds * 1e6,
+                    "pid": pid,
+                    "tid": span.tid,
+                    "args": _json_safe(span.attrs),
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        return events
+
+    def write_chrome(self, path: str | os.PathLike) -> int:
+        """Write the Perfetto-loadable trace file; returns the event
+        count."""
+        from .meta import run_metadata
+
+        events = self.chrome_events()
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": run_metadata(),
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        return len(events)
+
+
+def _json_safe(value):
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# module-level activation (the disabled fast path lives here)
+# ----------------------------------------------------------------------
+_active: Tracer | None = None
+
+
+def trace(name: str, /, **attrs):
+    """Open a span named ``name`` (context manager).  With no tracer
+    installed this returns a shared no-op object — the hot-path cost of a
+    disabled trace point is one global read and a kwargs dict.  The span
+    name is positional-only so attributes may themselves be ``name=...``."""
+    tracer = _active
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, attrs)
+
+
+def get_tracer() -> Tracer | None:
+    return _active
+
+
+def tracing_enabled() -> bool:
+    return _active is not None
+
+
+def enable_tracing() -> Tracer:
+    """Install (or return the already-installed) process tracer."""
+    global _active
+    if _active is None:
+        _active = Tracer()
+    return _active
+
+
+def disable_tracing() -> Tracer | None:
+    """Uninstall and return the active tracer (``None`` when idle)."""
+    global _active
+    tracer = _active
+    _active = None
+    return tracer
+
+
+@contextmanager
+def tracing():
+    """``with tracing() as tracer:`` — enable for a block, disable after.
+    Not reentrant: the block owns the process-wide tracer."""
+    tracer = enable_tracing()
+    try:
+        yield tracer
+    finally:
+        disable_tracing()
+
+
+def phase_attribution(roots, phases: dict[str, frozenset | set]) -> dict[str, float]:
+    """Attribute wall time to named phases over span trees.
+
+    ``phases`` maps a phase label to the set of span names it claims.  The
+    walk descends from each root and charges the *first* claimed span it
+    meets without descending further, so nested work (e.g. batch scoring
+    inside a reselect boundary, itself inside ``simulate_dynamic``) is
+    counted exactly once, under its outermost phase.
+    """
+    claimed = {name: label for label, names in phases.items() for name in names}
+    totals = {label: 0.0 for label in phases}
+
+    def visit(span: Span) -> None:
+        label = claimed.get(span.name)
+        if label is not None:
+            totals[label] += span.wall_seconds
+            return
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return totals

@@ -16,6 +16,13 @@ With ``delay_scale > 0`` the master also sleeps ``nblocks * c_i * scale``
 per message, turning the runtime into a wall-clock scale model of the
 platform; with the default 0 it runs at full speed and serves as an
 end-to-end correctness harness (its output must equal ``C + A @ B``).
+
+Each execution also measures where the time went: workers record how long
+they sat blocked on their inbox (queue wait) and the interval of every
+round update (compute); the master records the interval of every port
+event it services (send/receive occupancy).  The overlap fraction --
+how much of the workers' compute happened *while* the master port was
+busy -- is the paper's communication/computation overlap, measured.
 """
 
 from __future__ import annotations
@@ -29,10 +36,43 @@ import numpy as np
 
 from ..core.blocks import BlockGrid
 from ..core.ops import MsgKind
+from ..obs import gauge, timer, trace
 from ..sim.engine import SimResult
 from .messages import CChunkMsg, ReturnRequest, RoundMsg, Shutdown
 
 __all__ = ["RuntimeStats", "ThreadedRuntime"]
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping intervals into a disjoint sorted union."""
+    if not intervals:
+        return []
+    merged: list[tuple[float, float]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _intersection_seconds(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Total length of the intersection of two disjoint sorted interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
 
 
 @dataclass
@@ -42,10 +82,29 @@ class RuntimeStats:
     wall_seconds: float
     messages: int
     updates_per_worker: dict[int, int] = field(default_factory=dict)
+    queue_wait_per_worker: dict[int, float] = field(default_factory=dict)
+    compute_seconds_per_worker: dict[int, float] = field(default_factory=dict)
+    send_seconds: float = 0.0
+    overlap_seconds: float = 0.0
 
     @property
     def total_updates(self) -> int:
         return sum(self.updates_per_worker.values())
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(self.compute_seconds_per_worker.values())
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        return sum(self.queue_wait_per_worker.values())
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of worker compute that ran while the master port was busy."""
+        if self.compute_seconds <= 0.0:
+            return 0.0
+        return self.overlap_seconds / self.compute_seconds
 
 
 class _WorkerThread(threading.Thread):
@@ -57,19 +116,25 @@ class _WorkerThread(threading.Thread):
         self.inbox: queue.Queue = queue.Queue()
         self.buffers: dict[int, np.ndarray] = {}
         self.updates = 0
+        self.queue_wait = 0.0
+        self.compute_intervals: list[tuple[float, float]] = []
         self.error: BaseException | None = None
 
     def run(self) -> None:  # pragma: no cover - exercised via ThreadedRuntime
         try:
             while True:
+                w0 = time.perf_counter()
                 msg = self.inbox.get()
+                self.queue_wait += time.perf_counter() - w0
                 if isinstance(msg, Shutdown):
                     return
                 if isinstance(msg, CChunkMsg):
                     self.buffers[msg.cid] = msg.data
                 elif isinstance(msg, RoundMsg):
                     buf = self.buffers[msg.cid]
+                    t0 = time.perf_counter()
                     buf += msg.a_data @ msg.b_data
+                    self.compute_intervals.append((t0, time.perf_counter()))
                     self.updates += msg.updates
                 elif isinstance(msg, ReturnRequest):
                     msg.reply.put((msg.cid, self.buffers.pop(msg.cid)))
@@ -98,6 +163,21 @@ class ThreadedRuntime:
         """Replay ``result``'s port order; returns (final C, stats)."""
         if not result.port_events:
             raise ValueError("result has no events (collect_events was disabled?)")
+        with trace(
+            "runtime.execute",
+            workers=result.platform.p,
+            events=len(result.port_events),
+        ):
+            return self._execute(result, grid, a, b, c)
+
+    def _execute(
+        self,
+        result: SimResult,
+        grid: BlockGrid,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+    ) -> tuple[np.ndarray, RuntimeStats]:
         q = grid.q
         chunk_by_id = {ch.cid: ch for ch in result.chunks}
         master_c = c.copy()
@@ -107,6 +187,7 @@ class ThreadedRuntime:
         reply: queue.Queue = queue.Queue()
         t0 = time.perf_counter()
         n_msgs = 0
+        send_intervals: list[tuple[float, float]] = []
         try:
             for evt in result.port_events:
                 wt = workers[evt.worker]
@@ -115,6 +196,7 @@ class ThreadedRuntime:
                 ch = chunk_by_id[evt.cid]
                 rows = slice(ch.i0 * q, (ch.i0 + ch.h) * q)
                 cols = slice(ch.j0 * q, (ch.j0 + ch.w) * q)
+                s0 = time.perf_counter()
                 if self.delay_scale > 0:
                     time.sleep(evt.nblocks * result.platform[evt.worker].c * self.delay_scale)
                 if evt.kind is MsgKind.C_SEND:
@@ -137,6 +219,7 @@ class ThreadedRuntime:
                     if cid != evt.cid:  # pragma: no cover - defensive
                         raise RuntimeError(f"expected chunk {evt.cid}, got {cid}")
                     master_c[rows, cols] = data
+                send_intervals.append((s0, time.perf_counter()))
                 n_msgs += 1
         finally:
             for wt in workers:
@@ -146,9 +229,21 @@ class ThreadedRuntime:
         for wt in workers:
             if wt.error is not None:
                 raise RuntimeError(f"worker {wt.widx} failed") from wt.error
+        compute = _union([iv for wt in workers for iv in wt.compute_intervals])
+        port_busy = _union(send_intervals)
         stats = RuntimeStats(
             wall_seconds=time.perf_counter() - t0,
             messages=n_msgs,
             updates_per_worker={wt.widx: wt.updates for wt in workers},
+            queue_wait_per_worker={wt.widx: wt.queue_wait for wt in workers},
+            compute_seconds_per_worker={
+                wt.widx: sum(hi - lo for lo, hi in wt.compute_intervals)
+                for wt in workers
+            },
+            send_seconds=sum(hi - lo for lo, hi in port_busy),
+            overlap_seconds=_intersection_seconds(compute, port_busy),
         )
+        timer("runtime.compute_seconds").add(stats.compute_seconds)
+        timer("runtime.send_seconds").add(stats.send_seconds)
+        gauge("runtime.overlap_fraction").set(stats.overlap_fraction)
         return master_c, stats

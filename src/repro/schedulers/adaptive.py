@@ -67,6 +67,7 @@ from typing import Callable, Iterator, Sequence
 
 from ..core.blocks import BlockGrid
 from ..core.chunks import Chunk, PanelCursor, RoundSpec, make_chunk
+from ..obs import counter, stopwatch, trace
 from ..platform.model import Platform, Worker
 from ..sim.allocator import PanelDemandAllocator
 from ..sim.batch import BatchCompileCache, shared_prefix_makespans
@@ -335,6 +336,7 @@ class AdaptiveScheduler:
         self._platform = platform
         self._grid = grid
         self._decisions: list[str] = []
+        self._boundary_seconds: list[float] = []
         self._reselect_stats = {
             "boundaries": 0,
             "searches": 0,
@@ -345,10 +347,13 @@ class AdaptiveScheduler:
             # simulated: sum of full candidate plan lengths
             "full_steps": 0,
         }
-        if self.mode == "clairvoyant":
-            plan = self._clairvoyant_plan(platform, grid, timeline)
-        else:
-            plan = self.base.plan(platform, grid)
+        with trace(
+            "plan", algorithm=self.name, mode=self.mode
+        ), stopwatch("plan.seconds") as planning:
+            if self.mode == "clairvoyant":
+                plan = self._clairvoyant_plan(platform, grid, timeline)
+            else:
+                plan = self.base.plan(platform, grid)
         if plan.meta.get("coded") and self.mode in _CONTROLLED_MODES:
             # replanning migrates grid-tiling chunks; coded stripe shares
             # are the *alternative* to replanning (repro.schedulers.coded
@@ -375,11 +380,16 @@ class AdaptiveScheduler:
             record_events=record_events,
         )
         result.meta.setdefault("algorithm", self.name)
+        result.meta.setdefault("planning_seconds", planning.elapsed)
         result.meta["dynamic"]["mode"] = self.mode
         if self.mode in _CONTROLLED_MODES:
             result.meta["dynamic"]["decisions"] = list(self._decisions)
+            result.meta["dynamic"]["boundary_seconds"] = sum(self._boundary_seconds)
         if self.mode == "reselect":
             result.meta["dynamic"]["reselect"] = dict(self._reselect_stats)
+            for key, val in self._reselect_stats.items():
+                if val:
+                    counter(f"reselect.{key}").inc(val)
         return result
 
     # ------------------------------------------------------------------
@@ -442,6 +452,17 @@ class AdaptiveScheduler:
     # online rescheduling
     # ------------------------------------------------------------------
     def _on_boundary(self, run: DynamicRun, applied) -> None:
+        """Controller entry point: every event boundary is individually
+        timed (``adaptive.boundary_seconds``; per-boundary wall times are
+        summed into ``meta["dynamic"]["boundary_seconds"]``)."""
+        counter("adaptive.boundaries").inc()
+        with trace(
+            "boundary", mode=self.mode, t=applied[-1].time if applied else 0.0
+        ), stopwatch("adaptive.boundary_seconds") as sw:
+            self._boundary_decision(run, applied)
+        self._boundary_seconds.append(sw.elapsed)
+
+    def _boundary_decision(self, run: DynamicRun, applied) -> None:
         now = applied[-1].time if applied else 0.0
         p = run.adapter.p
         suspects = {

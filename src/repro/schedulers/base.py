@@ -9,10 +9,10 @@ interface, so experiments treat them uniformly.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 
 from ..core.blocks import BlockGrid
+from ..obs import stopwatch, trace
 from ..platform.model import Platform
 from ..sim.engine import SimResult, simulate
 from ..sim.fastpath import fast_simulate
@@ -67,16 +67,17 @@ class Scheduler(ABC):
         replay (see :mod:`repro.sim.kernels`); it is ignored when events
         are collected, since only the reference engine produces traces.
         """
-        t0 = time.perf_counter()
-        plan = self.plan(platform, grid)
-        planning = time.perf_counter() - t0
+        with trace("plan", algorithm=self.name), stopwatch("plan.seconds") as sw:
+            plan = self.plan(platform, grid)
         plan.collect_events = collect_events
-        if collect_events:
-            result = simulate(platform, plan, grid)
-        else:
-            result = fast_simulate(platform, plan, grid, kernel=kernel)
+        engine = "reference" if collect_events else "fast"
+        with trace("simulate", algorithm=self.name, engine=engine):
+            if collect_events:
+                result = simulate(platform, plan, grid)
+            else:
+                result = fast_simulate(platform, plan, grid, kernel=kernel)
         result.meta.setdefault("algorithm", self.name)
-        result.meta["planning_seconds"] = planning
+        result.meta["planning_seconds"] = sw.elapsed
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -72,6 +72,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..core.chunks import Chunk
+from ..obs import counter, stopwatch, trace
 from ..platform.model import Platform
 from .engine import WorkerStats
 from .fastpath import fast_simulate
@@ -179,6 +180,18 @@ class BatchOutcome:
         )
 
 
+def _tier_counter(name: str) -> property:
+    """Per-instance view of one registry-backed tier counter: the
+    process-wide ``batch.compile.<name>`` total minus this instance's
+    baseline (taken at construction / :meth:`BatchCompileCache.clear`)."""
+
+    def _get(self) -> int:
+        return self._metrics[name].value - self._base[name]
+
+    _get.__name__ = name
+    return property(_get, doc=_tier_counter.__doc__)
+
+
 class BatchCompileCache:
     """Compiled-stream cache shared across :class:`BatchEngine` instances.
 
@@ -206,14 +219,15 @@ class BatchCompileCache:
     miss is a compilation), so tests — and profiling — can assert exactly
     which tier recompiled: e.g. re-scoring a shared plan under new worker
     costs must hit ``tmpl`` and ``struct`` and miss only ``stream`` (the
-    two cost multiplies).  :meth:`clear` resets the counters with the
-    entries.
+    two cost multiplies).  The counts feed the process-wide metrics
+    registry (``batch.compile.<tier>_{hits,misses}``); the per-instance
+    properties subtract a baseline taken at construction, so they read
+    exactly as the old plain-int attributes did.  :meth:`clear` resets
+    the per-instance counters with the entries (the registry totals keep
+    accumulating).
     """
 
-    __slots__ = (
-        "tmpl",
-        "struct",
-        "stream",
+    _COUNTERS = (
         "tmpl_hits",
         "tmpl_misses",
         "struct_hits",
@@ -222,16 +236,31 @@ class BatchCompileCache:
         "stream_misses",
     )
 
+    __slots__ = ("tmpl", "struct", "stream", "_metrics", "_base")
+
     def __init__(self) -> None:
         self.tmpl: dict[tuple, tuple] = {}
         self.struct: dict[tuple, tuple] = {}
         self.stream: dict[tuple, tuple] = {}
+        self._metrics = {
+            name: counter(f"batch.compile.{name}") for name in self._COUNTERS
+        }
         self._reset_counters()
 
     def _reset_counters(self) -> None:
-        self.tmpl_hits = self.tmpl_misses = 0
-        self.struct_hits = self.struct_misses = 0
-        self.stream_hits = self.stream_misses = 0
+        self._base = {name: m.value for name, m in self._metrics.items()}
+
+    def bump(self, name: str) -> None:
+        """Count one lookup outcome (``name`` is one of the per-tier
+        counters, e.g. ``"tmpl_hits"``)."""
+        self._metrics[name].inc()
+
+    tmpl_hits = _tier_counter("tmpl_hits")
+    tmpl_misses = _tier_counter("tmpl_misses")
+    struct_hits = _tier_counter("struct_hits")
+    struct_misses = _tier_counter("struct_misses")
+    stream_hits = _tier_counter("stream_hits")
+    stream_misses = _tier_counter("stream_misses")
 
     def clear(self) -> None:
         self.tmpl.clear()
@@ -245,9 +274,9 @@ class BatchCompileCache:
         key = (id(plan), w)
         hit = self.struct.get(key)
         if hit is not None:
-            self.struct_hits += 1
+            self.bump("struct_hits")
             return hit[1]
-        self.struct_misses += 1
+        self.bump("struct_misses")
         chunks = plan.assignments[w]
         depth = plan.depths[w]
         tmpls = [chunk_template(ch, plan.c_mode) for ch in chunks]
@@ -293,9 +322,9 @@ class BatchCompileCache:
         key = (id(plan), w, c, wcost)
         hit = self.stream.get(key)
         if hit is not None:
-            self.stream_hits += 1
+            self.bump("stream_hits")
             return hit[1], hit[2]
-        self.stream_misses += 1
+        self.bump("stream_misses")
         comm = nb * c
         comp = upd * wcost
         self.stream[key] = (plan, comm, comp)
@@ -343,7 +372,12 @@ class BatchEngine:
         (mode,) = modes
         self._strict = mode == "strict"
         self._key_fields: tuple[str, ...] = () if self._strict else mode[1]
-        self._compile(runs)
+        with trace(
+            "batch.compile",
+            instances=len(runs),
+            mode="strict" if self._strict else "ready",
+        ), stopwatch("batch.compile_seconds"):
+            self._compile(runs)
         self._t = 0
 
     # ------------------------------------------------------------------
@@ -363,9 +397,9 @@ class BatchEngine:
         key = (id(chunk.rounds), chunk.h, chunk.w, c_mode)
         cached = self._cache.tmpl.get(key)
         if cached is not None:
-            self._cache.tmpl_hits += 1
+            self._cache.bump("tmpl_hits")
             return cached
-        self._cache.tmpl_misses += 1
+        self._cache.bump("tmpl_misses")
         kinds, nbs, upds = [], [], []
         cb = chunk.c_blocks
         if c_mode is not CMode.NONE:
@@ -606,15 +640,25 @@ class BatchEngine:
             if max_steps is None
             else min(self.total_steps, self._t + max_steps)
         )
-        if self._backend.whole_run:
-            if self._t < limit:
+        if self._t >= limit:
+            return self
+        # the strict recurrence is pure; the ready window fuses the
+        # recurrence with the per-step lexicographic policy selection, so
+        # the mode attribute is the compile/recurrence/policy-selection
+        # phase split for profiling
+        mode = "strict" if self._strict else "ready"
+        counter(f"batch.steps.{mode}").inc(limit - self._t)
+        with trace(
+            "batch.run", backend=self._backend.name, mode=mode, steps=limit - self._t
+        ), stopwatch("batch.step_seconds"):
+            if self._backend.whole_run:
                 self._run_kernel(limit)
                 self._t = limit
-            return self
-        step = self._step_strict if self._strict else self._step_ready
-        while self._t < limit:
-            step(self._n_active())
-            self._t += 1
+            else:
+                step = self._step_strict if self._strict else self._step_ready
+                while self._t < limit:
+                    step(self._n_active())
+                    self._t += 1
         return self
 
     def _run_kernel(self, limit: int) -> None:
@@ -929,6 +973,7 @@ class BatchEngine:
 
 
 def _fallback_outcome(platform: Platform, plan: Plan, kernel=None) -> BatchOutcome:
+    counter("batch.scalar_runs").inc()
     res = fast_simulate(platform, plan, kernel=kernel)
     return BatchOutcome(
         makespan=res.makespan,
@@ -1001,6 +1046,7 @@ def batch_outcomes(
                 for i in bucket:
                     out[i] = _fallback_outcome(*runs[i], kernel=backend)
                 continue
+            counter("batch.vectorized_runs").inc(len(bucket))
             engine = BatchEngine(
                 [runs[i] for i in bucket], compile_cache=cache, kernel=backend
             ).run()

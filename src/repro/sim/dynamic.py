@@ -68,6 +68,7 @@ from typing import Callable, Iterable, Sequence
 from ..core.blocks import BlockGrid
 from ..core.chunks import Chunk
 from ..core.ops import ComputeEvent, MsgKind, PortEvent
+from ..obs import counter, trace
 from ..platform.model import Platform, Worker
 from .allocator import PanelDemandAllocator
 from .engine import Engine, SimResult
@@ -1029,7 +1030,16 @@ def simulate_dynamic(
         record=record_events,
         completion=completion,
     )
-    run.run()
+    with trace("simulate_dynamic", engine=engine, events=len(timeline)):
+        run.run()
+    # segment/event accounting: each applied event boundary starts a new
+    # replay segment, so segments = events_applied + 1
+    counter("dynamic.runs").inc()
+    counter("dynamic.events").inc(len(timeline))
+    counter("dynamic.events_applied").inc(run.events_applied)
+    counter("dynamic.segments").inc(run.events_applied + 1)
+    if run.killed:
+        counter("dynamic.kills").inc(len(run.killed))
     meta = dict(plan.meta)
     meta["dynamic"] = {
         "events": len(timeline),

@@ -42,6 +42,7 @@ from typing import Sequence
 
 from ..core.blocks import BlockGrid
 from ..core.chunks import Chunk
+from ..obs import counter, stopwatch
 from ..platform.model import Platform
 from .allocator import PanelDemandAllocator
 from .engine import SimResult, WorkerStats
@@ -758,6 +759,7 @@ def fast_simulate(
     """
     if not isinstance(plan, Plan):
         raise TypeError(f"expected a Plan, got {type(plan)!r}")
+    counter("sim.fast_runs").inc()
     if not supports_fast_path(plan):
         collect = plan.collect_events
         plan.collect_events = False
@@ -775,6 +777,7 @@ def fast_simulate(
         if supports_batch(plan):
             engine = BatchEngine([(platform, plan)], kernel=backend)
             return engine.run().outcomes()[0].to_sim_result(platform, plan, grid)
-    engine = FastEngine(platform, depths=plan.depths, c_mode=plan.c_mode)
-    engine.run_plan(plan)
+    with stopwatch("sim.fast_seconds"):
+        engine = FastEngine(platform, depths=plan.depths, c_mode=plan.c_mode)
+        engine.run_plan(plan)
     return engine.result(grid=grid, meta=dict(plan.meta))

@@ -50,6 +50,8 @@ import warnings
 
 import numpy as np
 
+from ..obs import counter, stopwatch, trace
+
 __all__ = [
     "KERNEL_NAMES",
     "KERNEL_ENV",
@@ -418,6 +420,12 @@ class NumbaBackend(KernelBackend):
     def ensure_ready(self) -> None:
         """Force JIT compilation of both kernels on representative dtypes
         (so the first real run pays no compile time)."""
+        if self._strict is not None:
+            return
+        with trace("kernel.build", backend=self.name), stopwatch("kernel.build_seconds"):
+            self._warm()
+
+    def _warm(self) -> None:
         strict, ready = self._jit()
         i64 = np.zeros(1, np.int64)
         f64 = np.zeros(1, np.float64)
@@ -546,7 +554,10 @@ class CBackend(KernelBackend):
 
     def ensure_ready(self) -> None:
         if self._lib is None:
-            self._lib = self._build()
+            with trace("kernel.build", backend=self.name), stopwatch(
+                "kernel.build_seconds"
+            ):
+                self._lib = self._build()
 
     # -- dispatch -------------------------------------------------------
     @staticmethod
@@ -655,6 +666,7 @@ def resolve_kernel(kernel=None) -> KernelBackend:
     try:
         return get_backend(kernel)
     except KernelUnavailable as exc:
+        counter("kernel.fallback").inc()
         if kernel not in _warned:
             _warned.add(kernel)
             warnings.warn(

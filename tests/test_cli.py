@@ -125,3 +125,78 @@ class TestEngineFlag:
     def test_sweep_batch_engine_runs(self, capsys):
         assert main(["sweep", "--scale", "0.1", "--ratios", "2", "--engine", "batch"]) == 0
         assert "ratio" in capsys.readouterr().out
+
+
+class TestProfileAndTrace:
+    @staticmethod
+    def _phase_rows(out: str) -> dict[str, tuple[float, float]]:
+        rows = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 3 and parts[1].replace(".", "", 1).isdigit():
+                rows[parts[0]] = (float(parts[1]), float(parts[2].rstrip("%")))
+        return rows
+
+    def test_profile_figure_table(self, capsys):
+        assert main(["profile", "--figure", "fig4", "--scale", "0.06"]) == 0
+        out = capsys.readouterr().out
+        rows = self._phase_rows(out)
+        for phase in ("planning", "simulation", "cache", "other", "total"):
+            assert phase in rows, out
+        total = rows["total"][0]
+        accounted = sum(secs for name, (secs, _s) in rows.items() if name != "total")
+        # the phase rows (including "other") must account for the run
+        assert accounted == pytest.approx(total, rel=0.05)
+        assert "plan.seconds" in out
+
+    def test_profile_dynamic_table(self, capsys):
+        rc = main(
+            ["profile", "--dynamic", "straggler-onset", "--severity", "4",
+             "--scale", "0.1", "--modes", "oblivious,adaptive"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "straggler-onset" in out
+        assert "planning" in out and "simulation" in out
+
+    def test_profile_defaults_to_fig7(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.figure is None and args.dynamic is None
+        assert args.scale == 0.3 and args.engine == "fast"
+
+    def test_profile_figure_dynamic_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--figure", "fig4", "--dynamic", "straggler-onset"]
+            )
+
+    def test_trace_flag_writes_perfetto_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(["figure", "fig4", "--scale", "0.05", "--trace", str(path)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "perfetto" in err.lower()
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must contain span events"
+        names = {e["name"] for e in events}
+        assert {"repro-mm", "figure", "experiment", "plan"} <= names
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_repro_trace_env_enables_tracing(self, tmp_path, monkeypatch):
+        import json
+
+        path = tmp_path / "env_trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        assert main(["bounds", "--memory", "21", "--t", "10"]) == 0
+        doc = json.loads(path.read_text())
+        assert [e["name"] for e in doc["traceEvents"]] == ["repro-mm"]
+
+    def test_no_tracer_leaks(self, tmp_path):
+        from repro.obs import tracing_enabled
+
+        path = tmp_path / "t.json"
+        main(["figure", "fig4", "--scale", "0.05", "--trace", str(path)])
+        assert not tracing_enabled()

@@ -69,3 +69,44 @@ class TestThreadedRuntime:
     def test_invalid_delay(self):
         with pytest.raises(ValueError):
             ThreadedRuntime(delay_scale=-1)
+
+
+class TestRuntimeObservability:
+    def test_overlap_stats_well_formed(self):
+        res, grid = _setup("ODDOML")
+        a, b, c = random_instance(grid, rng=11)
+        _, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        assert set(stats.queue_wait_per_worker) == set(stats.updates_per_worker)
+        assert set(stats.compute_seconds_per_worker) == set(stats.updates_per_worker)
+        assert all(v >= 0.0 for v in stats.queue_wait_per_worker.values())
+        assert stats.compute_seconds > 0.0
+        assert stats.queue_wait_seconds >= 0.0
+        assert stats.send_seconds > 0.0
+        assert 0.0 <= stats.overlap_fraction <= 1.0
+        # overlap can't exceed either side of the intersection
+        assert stats.overlap_seconds <= stats.send_seconds + 1e-9
+        assert stats.overlap_seconds <= stats.compute_seconds + 1e-9
+
+    def test_idle_workers_record_zero_compute(self):
+        res, grid = _setup("Hom", grid=BlockGrid(r=2, t=2, s=2, q=2))
+        a, b, c = random_instance(grid, rng=12)
+        _, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        for widx, updates in stats.updates_per_worker.items():
+            if updates == 0:
+                assert stats.compute_seconds_per_worker[widx] == 0.0
+
+    def test_execute_emits_span_and_metrics(self):
+        from repro.obs import gauge, snapshot, snapshot_delta, tracing
+
+        res, grid = _setup("Het")
+        a, b, c = random_instance(grid, rng=13)
+        before = snapshot()
+        with tracing() as tr:
+            _, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        names = [s.name for s in tr.walk()]
+        assert "runtime.execute" in names
+        delta = snapshot_delta(before)
+        assert delta["runtime.compute_seconds"]["count"] == 1
+        assert gauge("runtime.overlap_fraction").value == pytest.approx(
+            stats.overlap_fraction
+        )
