@@ -5,6 +5,10 @@ Subcommands
 ``figure``    run one paper figure (fig4..fig8) and print relative tables
 ``summary``   run the Figure 9 cross-experiment summary
 ``run``       run one algorithm on one platform/grid, print details/Gantt
+              (``--execute`` performs the schedule for real on the
+              threaded runtime and checks the result against C + A @ B)
+``serve``     multi-process scheduling service: admit N concurrent
+              matrix-product jobs onto a sharded worker-process pool
 ``sweep``     relative cost vs degree of heterogeneity
 ``dynamic``   dynamic-platform scenarios: oblivious/adaptive/reselect/clairvoyant
 ``profile``   run a figure or dynamic scenario under the tracer, print a
@@ -131,7 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--r", type=int, default=None, help="block rows (overrides scale)")
     p_run.add_argument("--t", type=int, default=None)
     p_run.add_argument("--s", type=int, default=None)
+    p_run.add_argument(
+        "--q", type=int, default=None, help="block side in elements (default: paper's 80)"
+    )
     p_run.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_run.add_argument(
+        "--execute",
+        action="store_true",
+        help="perform the schedule for real on the threaded runtime "
+        "(worker threads, numpy block arithmetic) and report wall-clock "
+        "stats plus the max error against C + A @ B; needs --engine "
+        "reference for the event trace",
+    )
     p_run.add_argument("--save", default=None, metavar="FILE", help="write the result as JSON")
     p_run.add_argument(
         "--platform-file", default=None, metavar="FILE", help="load the platform from JSON"
@@ -145,6 +160,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_kernel_opt(p_run)
     add_trace_opt(p_run)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="multi-process scheduling service: admit concurrent jobs "
+        "onto a sharded worker-process pool",
+    )
+    p_srv.add_argument("--jobs", type=int, default=4, help="matrix-product jobs to submit")
+    p_srv.add_argument("--platform", default="memory-het", choices=sorted(_PLATFORMS))
+    p_srv.add_argument(
+        "--hom",
+        default=None,
+        metavar="P:C:W:M",
+        help="use a homogeneous platform instead (worker count : c : w : "
+        "memory-in-blocks, e.g. 8:1:1:45)",
+    )
+    p_srv.add_argument("--scale", type=float, default=0.15, help="platform/grid scale")
+    p_srv.add_argument(
+        "--algorithm",
+        default="HomI",
+        choices=sorted(SCHEDULERS),
+        help="admission-time planner (Hom/HomI = the paper's threshold "
+        "search as admission controller)",
+    )
+    p_srv.add_argument("--r", type=int, default=None, help="block rows (overrides scale)")
+    p_srv.add_argument("--t", type=int, default=None)
+    p_srv.add_argument("--s", type=int, default=None)
+    p_srv.add_argument(
+        "--q", type=int, default=8, help="block side in elements (small default: "
+        "service jobs move real matrices through process queues)"
+    )
+    p_srv.add_argument(
+        "--max-workers-per-job",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard shard cap: admission only sees the first N free workers",
+    )
+    p_srv.add_argument(
+        "--serial",
+        action="store_true",
+        help="admit one job at a time (the serial throughput baseline)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0, help="job-instance RNG seed")
+    add_trace_opt(p_srv)
 
     p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
     p_sweep.add_argument("--scale", type=float, default=0.25)
@@ -339,9 +398,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             platform = gen.scale_platform(platform, args.scale)
     base = gen.scale_grid(BlockGrid.paper_instance(), args.scale)
     grid = BlockGrid(
-        r=args.r or base.r, t=args.t or base.t, s=args.s or base.s, q=base.q
+        r=args.r or base.r,
+        t=args.t or base.t,
+        s=args.s or base.s,
+        q=args.q or base.q,
     )
     sched = make_scheduler(args.algorithm)
+    if args.execute and args.engine != "reference":
+        print(
+            "error: --execute replays the event trace; rerun with "
+            "--engine reference",
+            file=sys.stderr,
+        )
+        return 2
     if args.engine == "reference":
         res = sched.run(platform, grid)
     else:
@@ -377,11 +446,92 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(gantt_ascii(res, width=100))
     elif args.gantt:
         print("\n(--gantt needs the event trace; rerun with --engine reference)")
+    if args.execute:
+        import numpy as np
+
+        from .execution.executor import random_instance, reference_product
+        from .runtime.local import ThreadedRuntime
+
+        a, b, c = random_instance(grid, rng=0)
+        got, stats = ThreadedRuntime().execute(res, grid, a, b, c)
+        err = float(np.max(np.abs(got - reference_product(a, b, c))))
+        print(
+            f"\nthreaded execution: {stats.wall_seconds:.3f}s wall, "
+            f"{stats.messages} messages, {stats.total_updates} block updates "
+            f"across {len([u for u in stats.updates_per_worker.values() if u])} "
+            f"workers\noverlap fraction    : {stats.overlap_fraction:.1%}\n"
+            f"max |err| vs C + A@B: {err:.2e}"
+        )
     if args.save:
         from .utils.persist import save_result
 
         save_result(res, args.save, include_events=True)
         print(f"\nresult written to {args.save}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .execution.executor import random_instance, reference_product
+    from .platform.model import Platform
+    from .service import SchedulingService
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.hom is not None:
+        try:
+            p_raw, c_raw, w_raw, m_raw = args.hom.split(":")
+            platform = Platform.homogeneous(
+                int(p_raw), float(c_raw), float(w_raw), int(m_raw), name="serve-hom"
+            )
+        except ValueError:
+            print(
+                f"error: --hom expects P:C:W:M (e.g. 8:1:1:45), got {args.hom!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        platform = _PLATFORMS[args.platform]()
+        if args.scale != 1.0:
+            platform = gen.scale_platform(platform, args.scale)
+    base = gen.scale_grid(BlockGrid.paper_instance(), args.scale)
+    grid = BlockGrid(
+        r=args.r or base.r, t=args.t or base.t, s=args.s or base.s, q=args.q
+    )
+    print(platform.describe())
+    print(
+        f"\ngrid: {grid}\nadmission planner: {args.algorithm}"
+        f"{' (serial baseline)' if args.serial else ''}\n"
+    )
+    rng = np.random.default_rng(args.seed)
+    with SchedulingService(
+        platform,
+        algorithm=args.algorithm,
+        max_workers_per_job=args.max_workers_per_job,
+        max_concurrent_jobs=1 if args.serial else None,
+    ) as svc:
+        specs = [
+            svc.make_job(grid, *random_instance(grid, rng)) for _ in range(args.jobs)
+        ]
+        stats = svc.run_jobs(specs)
+    by_id = {spec.job_id: spec for spec in specs}
+    max_err = max(
+        float(
+            np.max(
+                np.abs(
+                    r.output
+                    - reference_product(
+                        by_id[r.job_id].a, by_id[r.job_id].b, by_id[r.job_id].c
+                    )
+                )
+            )
+        )
+        for r in stats.per_job
+    )
+    print(stats.table())
+    print(f"\nall outputs checked against C + A @ B: max |err| = {max_err:.2e}")
     return 0
 
 
@@ -596,6 +746,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "summary": _cmd_summary,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "sweep": _cmd_sweep,
         "dynamic": _cmd_dynamic,
         "profile": _cmd_profile,

@@ -145,12 +145,40 @@ class _WorkerThread(threading.Thread):
 
 
 class ThreadedRuntime:
-    """Execute a simulated schedule with real data on worker threads."""
+    """Execute a simulated schedule with real data on worker threads.
 
-    def __init__(self, delay_scale: float = 0.0) -> None:
+    Failure semantics: a worker that raises stores the exception in its
+    ``error`` slot and exits; the master checks *every* worker's slot each
+    port event (a dead worker is detected even while the schedule is
+    addressing its peers), polls ``C_RETURN`` replies with a timeout
+    instead of blocking forever, and verifies at shutdown that every
+    thread actually joined.  All failures surface as a ``RuntimeError``
+    chaining the worker's original exception.
+
+    ``reply_timeout`` bounds how long the master waits for one
+    ``C_RETURN`` reply; ``join_timeout`` bounds the shutdown join per
+    worker.  Both exist so a wedged worker turns into a clean error
+    within a known wall-clock instead of a hang.
+    """
+
+    #: How often the master re-checks worker liveness while waiting on a
+    #: C_RETURN reply (seconds).
+    _POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        delay_scale: float = 0.0,
+        *,
+        reply_timeout: float = 60.0,
+        join_timeout: float = 30.0,
+    ) -> None:
         if delay_scale < 0:
             raise ValueError("delay_scale must be >= 0")
+        if reply_timeout <= 0 or join_timeout <= 0:
+            raise ValueError("timeouts must be positive")
         self.delay_scale = delay_scale
+        self.reply_timeout = reply_timeout
+        self.join_timeout = join_timeout
 
     def execute(
         self,
@@ -169,6 +197,36 @@ class ThreadedRuntime:
             events=len(result.port_events),
         ):
             return self._execute(result, grid, a, b, c)
+
+    def _await_reply(
+        self, wt: _WorkerThread, reply: queue.Queue
+    ) -> tuple[int, np.ndarray]:
+        """Wait for a ``C_RETURN`` reply, re-checking worker health.
+
+        A bare ``reply.get()`` deadlocks the master forever when the
+        worker dies after the ``ReturnRequest`` was enqueued; polling
+        with a short timeout lets the master notice the error slot (or a
+        silently-exited thread) and raise instead.
+        """
+        deadline = time.perf_counter() + self.reply_timeout
+        while True:
+            try:
+                return reply.get(timeout=self._POLL_INTERVAL)
+            except queue.Empty:
+                if wt.error is not None:
+                    raise RuntimeError(
+                        f"worker {wt.widx} failed while returning a chunk"
+                    ) from wt.error
+                if not wt.is_alive():
+                    raise RuntimeError(
+                        f"worker {wt.widx} exited without replying to a "
+                        "return request"
+                    ) from None
+                if time.perf_counter() > deadline:
+                    raise RuntimeError(
+                        f"worker {wt.widx} did not return its chunk within "
+                        f"{self.reply_timeout:g}s"
+                    ) from None
 
     def _execute(
         self,
@@ -190,9 +248,15 @@ class ThreadedRuntime:
         send_intervals: list[tuple[float, float]] = []
         try:
             for evt in result.port_events:
+                # a worker that died must fail the run *now*, not when the
+                # schedule next addresses it -- otherwise the master keeps
+                # filling a dead worker's inbox (and, on C_RETURN, hangs)
+                for other in workers:
+                    if other.error is not None:
+                        raise RuntimeError(
+                            f"worker {other.widx} failed"
+                        ) from other.error
                 wt = workers[evt.worker]
-                if wt.error is not None:
-                    raise RuntimeError(f"worker {evt.worker} failed") from wt.error
                 ch = chunk_by_id[evt.cid]
                 rows = slice(ch.i0 * q, (ch.i0 + ch.h) * q)
                 cols = slice(ch.j0 * q, (ch.j0 + ch.w) * q)
@@ -215,7 +279,7 @@ class ThreadedRuntime:
                     )
                 else:  # C_RETURN: one-port receive, master blocks
                     wt.inbox.put(ReturnRequest(evt.cid, reply))
-                    cid, data = reply.get()
+                    cid, data = self._await_reply(wt, reply)
                     if cid != evt.cid:  # pragma: no cover - defensive
                         raise RuntimeError(f"expected chunk {evt.cid}, got {cid}")
                     master_c[rows, cols] = data
@@ -225,10 +289,19 @@ class ThreadedRuntime:
             for wt in workers:
                 wt.inbox.put(Shutdown())
             for wt in workers:
-                wt.join(timeout=30)
+                wt.join(timeout=self.join_timeout)
         for wt in workers:
             if wt.error is not None:
                 raise RuntimeError(f"worker {wt.widx} failed") from wt.error
+        stuck = [wt.widx for wt in workers if wt.is_alive()]
+        if stuck:
+            # a thread that outlived its join has the pool in an unknown
+            # state; stats computed over it would be lies
+            raise RuntimeError(
+                f"worker thread(s) {stuck} still alive "
+                f"{self.join_timeout:g}s after shutdown; refusing to "
+                "report stats for a half-dead pool"
+            )
         compute = _union([iv for wt in workers for iv in wt.compute_intervals])
         port_busy = _union(send_intervals)
         stats = RuntimeStats(

@@ -1,0 +1,30 @@
+"""Multi-process scheduling service: job queue over sharded worker pools.
+
+The distributed promotion of :mod:`repro.runtime.local`: workers become
+OS processes behind ``multiprocessing`` queues
+(:mod:`repro.service.pool`), one job's simulated port order is replayed
+onto a shard of those processes by :mod:`repro.service.runner`, and
+:mod:`repro.service.service` runs a FIFO job-queue front end whose
+admission controller is the paper's own resource selection — each
+admitted job gets the virtual sub-platform the Hom/HomI threshold search
+carves out of the currently-free workers.
+
+See the service section of ``docs/architecture.md`` for the admission
+protocol, shard lifecycle, and failure semantics.
+"""
+
+from .pool import WorkerHandle, WorkerPool, WorkerProcessError
+from .runner import ShardRunner, ShardStats
+from .service import JobResult, JobSpec, SchedulingService, ServiceStats
+
+__all__ = [
+    "JobResult",
+    "JobSpec",
+    "SchedulingService",
+    "ServiceStats",
+    "ShardRunner",
+    "ShardStats",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerProcessError",
+]

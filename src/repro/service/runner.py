@@ -1,0 +1,187 @@
+"""Replay one job's simulated port order against worker processes.
+
+The multi-process twin of :class:`repro.runtime.local.ThreadedRuntime`:
+the master (one service thread per running job) is the only owner of the
+job's matrices, sends are master-sequential in the simulated port order,
+and ``C_RETURN`` blocks on the addressed worker's outbox — the one-port
+model, per shard.
+
+A job's schedule is planned on a *subplatform* (workers reindexed
+``0..k-1``), so the runner takes a ``worker_map`` translating simulated
+worker indices to real pool indices.  The failure discipline mirrors the
+hardened threaded runtime: every worker of the shard is health-checked
+each port event, return replies are polled with a timeout, and any
+failure raises :class:`~repro.service.pool.WorkerProcessError` naming
+the real pool worker.
+"""
+
+from __future__ import annotations
+
+import queue as _q
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.blocks import BlockGrid
+from ..core.ops import MsgKind
+from ..obs import trace
+from ..sim.engine import SimResult
+from .pool import WorkerHandle, WorkerPool, WorkerProcessError
+from ..runtime.messages import CChunkMsg, ReturnRequest, RoundMsg
+
+__all__ = ["ShardStats", "ShardRunner"]
+
+
+@dataclass
+class ShardStats:
+    """Wall-clock outcome of one job's execution on its shard."""
+
+    wall_seconds: float
+    messages: int
+    updates: int
+    shard: tuple[int, ...]  # real pool worker indices, sim order
+
+
+class ShardRunner:
+    """Drive one schedule through a shard of a :class:`WorkerPool`."""
+
+    _POLL_INTERVAL = 0.05
+
+    def __init__(self, pool: WorkerPool, *, reply_timeout: float = 60.0) -> None:
+        if reply_timeout <= 0:
+            raise ValueError("reply_timeout must be positive")
+        self.pool = pool
+        self.reply_timeout = reply_timeout
+
+    def execute(
+        self,
+        result: SimResult,
+        grid: BlockGrid,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        worker_map: Sequence[int],
+    ) -> tuple[np.ndarray, ShardStats]:
+        """Replay ``result``'s port order; returns (final C, stats).
+
+        ``worker_map[i]`` is the real pool index serving simulated worker
+        ``i`` of ``result.platform``.
+        """
+        if not result.port_events:
+            raise ValueError("result has no events (collect_events was disabled?)")
+        if len(worker_map) != result.platform.p:
+            raise ValueError(
+                f"worker_map covers {len(worker_map)} workers, "
+                f"schedule uses {result.platform.p}"
+            )
+        shard = [self.pool[real] for real in worker_map]
+        # only workers the schedule actually addresses are health-swept:
+        # the rest of worker_map may be serving other jobs' shards
+        active = sorted({evt.worker for evt in result.port_events})
+        active_handles = [shard[i] for i in active]
+        q = grid.q
+        chunk_by_id = {ch.cid: ch for ch in result.chunks}
+        master_c = c.copy()
+        t0 = time.perf_counter()
+        n_msgs = 0
+        updates = 0
+        real_shard = tuple(worker_map[i] for i in active)
+        with trace("service.execute", shard=list(real_shard), events=len(result.port_events)):
+            for evt in result.port_events:
+                self._check_health(active_handles)
+                handle = shard[evt.worker]
+                ch = chunk_by_id[evt.cid]
+                rows = slice(ch.i0 * q, (ch.i0 + ch.h) * q)
+                cols = slice(ch.j0 * q, (ch.j0 + ch.w) * q)
+                if evt.kind is MsgKind.C_SEND:
+                    handle.inbox.put(
+                        CChunkMsg(evt.cid, rows, cols, master_c[rows, cols].copy())
+                    )
+                elif evt.kind is MsgKind.ROUND:
+                    rd = ch.rounds[evt.round_idx]
+                    ks = slice(rd.k_lo * q, rd.k_hi * q)
+                    handle.inbox.put(
+                        RoundMsg(
+                            evt.cid,
+                            evt.round_idx,
+                            a[rows, ks].copy(),
+                            b[ks, cols].copy(),
+                            updates=rd.updates,
+                        )
+                    )
+                    updates += rd.updates
+                else:  # C_RETURN: one-port receive, the job thread blocks
+                    handle.inbox.put(ReturnRequest(evt.cid, reply=None))
+                    cid, data = self._await_chunk(handle)
+                    if cid != evt.cid:  # pragma: no cover - defensive
+                        raise WorkerProcessError(
+                            handle.widx, f"expected chunk {evt.cid}, got {cid}"
+                        )
+                    master_c[rows, cols] = data
+                n_msgs += 1
+        stats = ShardStats(
+            wall_seconds=time.perf_counter() - t0,
+            messages=n_msgs,
+            updates=updates,
+            shard=real_shard,
+        )
+        return master_c, stats
+
+    def _check_health(self, shard: Sequence[WorkerHandle]) -> None:
+        """Fail fast on any dead shard member before posting the next
+        message (the multi-process version of the threaded runtime's
+        every-iteration error-slot sweep)."""
+        for handle in shard:
+            err = self._poll_error(handle)
+            if err is not None:
+                raise err
+            if not handle.is_alive():
+                raise WorkerProcessError(handle.widx, "process died without a word")
+
+    @staticmethod
+    def _poll_error(handle: WorkerHandle) -> WorkerProcessError | None:
+        """Non-blocking check of ``handle``'s outbox for an error tuple.
+
+        Outside the ``C_RETURN`` window the outbox can only hold errors
+        (chunk replies are consumed synchronously, stats only follow
+        ``Shutdown``), so an opportunistic drain never eats a payload.
+        """
+        try:
+            item = handle.outbox.get_nowait()
+        except _q.Empty:
+            return None
+        if item[0] == "error":
+            _tag, widx, summary, tb = item
+            return WorkerProcessError(widx, summary, tb)
+        # pragma: no cover - defensive: put unexpected payloads into the
+        # error channel rather than silently dropping them
+        return WorkerProcessError(handle.widx, f"unexpected outbox payload {item[0]!r}")
+
+    def _await_chunk(self, handle: WorkerHandle) -> tuple[int, np.ndarray]:
+        """Wait for a chunk reply, polling so a mid-return death cannot
+        hang the job thread."""
+        deadline = time.perf_counter() + self.reply_timeout
+        while True:
+            try:
+                item = handle.outbox.get(timeout=self._POLL_INTERVAL)
+            except _q.Empty:
+                if not handle.is_alive():
+                    raise WorkerProcessError(
+                        handle.widx, "process exited without replying to a return request"
+                    ) from None
+                if time.perf_counter() > deadline:
+                    raise WorkerProcessError(
+                        handle.widx,
+                        f"no chunk reply within {self.reply_timeout:g}s",
+                    ) from None
+                continue
+            if item[0] == "chunk":
+                return item[1], item[2]
+            if item[0] == "error":
+                _tag, widx, summary, tb = item
+                raise WorkerProcessError(widx, summary, tb)
+            raise WorkerProcessError(  # pragma: no cover - defensive
+                handle.widx, f"unexpected outbox payload {item[0]!r}"
+            )

@@ -1,0 +1,498 @@
+"""Job-queue scheduling service over a sharded multi-process worker pool.
+
+The paper's resource selection becomes an *admission controller*: the
+service owns one :class:`~repro.service.pool.WorkerPool` (a process per
+platform worker) and a FIFO job queue of matrix-product jobs.  For each
+job at the head of the queue, the Hom/HomI virtual-platform threshold
+search (or any registry scheduler) is re-run on the subplatform of
+*currently free* workers; the workers the winning virtual platform
+enrolls become the job's **shard**, are marked busy, and the job's
+schedule is replayed onto their processes by a dedicated runner thread.
+Workers the search leaves out stay free — that is exactly what lets a
+second job be admitted concurrently, and why saturating-the-port
+resource selection (P = min(p, ceil(mu w / 2c))) doubles as a
+multi-tenancy policy.
+
+Failure semantics: a worker process that dies fails *its* job (a
+``WorkerProcessError`` chained into the job's future), is quarantined
+(never re-admitted into a shard), and the service keeps serving the
+queue on the surviving workers.  A job that is infeasible even on every
+healthy worker fails at admission with the scheduler's
+``SchedulingError``.
+
+Instrumented with :mod:`repro.obs`: ``service.admit`` / ``service.job``
+spans, queue-depth and running-jobs gauges, admission-latency and
+per-job-makespan timers, and a pool-utilization gauge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.blocks import BlockGrid
+from ..obs import counter, gauge, timer, trace
+from ..platform.model import Platform
+from ..schedulers.base import SchedulingError
+from ..schedulers.registry import make_scheduler
+from .pool import WorkerPool, WorkerProcessError
+from .runner import ShardRunner, ShardStats
+
+__all__ = ["JobSpec", "JobResult", "ServiceStats", "SchedulingService"]
+
+
+@dataclass
+class JobSpec:
+    """One matrix-product job: compute ``C + A @ B`` on ``grid``."""
+
+    job_id: str
+    grid: BlockGrid
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    #: Registry scheduler for this job's planning/admission; ``None``
+    #: inherits the service default.
+    algorithm: str | None = None
+
+    @property
+    def flops(self) -> float:
+        """Useful floating-point operations (2 q^3 per block update)."""
+        return 2.0 * self.grid.q**3 * self.grid.total_updates
+
+
+@dataclass
+class JobResult:
+    """Outcome of one served job."""
+
+    job_id: str
+    output: np.ndarray
+    stats: ShardStats
+    shard: tuple[int, ...]
+    #: Seconds the job sat in the queue before its shard was carved out.
+    admission_wait: float
+    #: Execution wall seconds (the shard runner's clock).
+    wall_seconds: float
+    flops: float
+    #: Service-clock timestamps for concurrency accounting.
+    submitted_at: float
+    started_at: float
+    finished_at: float
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate outcome of one batch of jobs (see :meth:`SchedulingService.run_jobs`)."""
+
+    jobs: int
+    failures: int
+    #: First submit to last finish.
+    wall_seconds: float
+    jobs_per_second: float
+    #: Aggregate useful GFLOP rate over the window.
+    gflops: float
+    #: Peak number of jobs executing simultaneously.
+    max_concurrent: int
+    #: Busy worker-seconds over ``p *`` window seconds.
+    pool_utilization: float
+    mean_admission_wait: float
+    per_job: list[JobResult] = field(default_factory=list)
+
+    def table(self) -> str:
+        lines = [
+            f"{'job':<12}{'shard':<18}{'wait s':>8}{'run s':>8}{'GFLOP/s':>9}"
+        ]
+        for r in self.per_job:
+            rate = r.flops / r.wall_seconds / 1e9 if r.wall_seconds > 0 else 0.0
+            shard = ",".join(str(w) for w in r.shard)
+            lines.append(
+                f"{r.job_id:<12}{shard:<18}{r.admission_wait:>8.3f}"
+                f"{r.wall_seconds:>8.3f}{rate:>9.2f}"
+            )
+        lines.append(
+            f"{self.jobs} jobs ({self.failures} failed) in "
+            f"{self.wall_seconds:.3f}s = {self.jobs_per_second:.2f} jobs/s, "
+            f"{self.gflops:.2f} GFLOP/s aggregate, peak {self.max_concurrent} "
+            f"concurrent, pool utilization {self.pool_utilization:.0%}"
+        )
+        return "\n".join(lines)
+
+
+class _Pending:
+    """Queue entry: the spec, its future, and its submit timestamp."""
+
+    __slots__ = ("spec", "future", "submitted_at")
+
+    def __init__(self, spec: JobSpec, future: Future, submitted_at: float) -> None:
+        self.spec = spec
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+class SchedulingService:
+    """Multi-process scheduling service: admit, shard, execute, release.
+
+    A context manager: ``with SchedulingService(platform) as svc:`` starts
+    the worker pool and the admission thread; exit drains running jobs,
+    cancels still-queued ones, and shuts the pool down.
+
+    Parameters
+    ----------
+    platform:
+        The real heterogeneous platform; one worker process is started
+        per platform worker, with the platform's per-worker parameters
+        driving every admission-time threshold search.
+    algorithm:
+        Default registry scheduler for planning/admission (``"HomI"``:
+        the paper's finest-grained threshold search).
+    max_workers_per_job:
+        Optional hard cap on a shard: the admission search only sees the
+        first that many free workers.
+    max_concurrent_jobs:
+        Optional cap on simultaneously-executing jobs (``1`` turns the
+        service into a serial baseline, used by the throughput bench).
+    reply_timeout:
+        Per-``C_RETURN`` reply bound handed to every shard runner.
+    context:
+        ``multiprocessing`` start method (``None`` = platform default).
+    """
+
+    _WAIT = 0.05
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        algorithm: str = "HomI",
+        max_workers_per_job: int | None = None,
+        max_concurrent_jobs: int | None = None,
+        reply_timeout: float = 60.0,
+        context: str | None = None,
+    ) -> None:
+        if max_workers_per_job is not None and max_workers_per_job < 1:
+            raise ValueError("max_workers_per_job must be >= 1")
+        if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        self.platform = platform
+        self.algorithm = algorithm
+        self.max_workers_per_job = max_workers_per_job
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.reply_timeout = reply_timeout
+        self.pool = WorkerPool(platform.p, context=context)
+        self._schedulers = {algorithm: make_scheduler(algorithm)}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: deque[_Pending] = deque()
+        self._busy: set[int] = set()
+        self._dead: set[int] = set()
+        self._running: dict[str, tuple[int, ...]] = {}
+        self._runner_threads: list[threading.Thread] = []
+        self._job_ids = itertools.count()
+        self._started = False
+        self._stopping = False
+        self._admission_thread: threading.Thread | None = None
+        # accounting (guarded by _lock)
+        self._peak_concurrent = 0
+        self._busy_worker_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SchedulingService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.pool.start()
+        self._admission_thread = threading.Thread(
+            target=self._admission_loop, name="repro-admission", daemon=True
+        )
+        self._admission_thread.start()
+        return self
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop admitting; optionally wait for running jobs; kill the pool.
+
+        Jobs still queued are failed with ``RuntimeError("service
+        closed")``; with ``drain=False`` running jobs are abandoned (their
+        worker processes are shut down underneath them).
+        """
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            pending = list(self._queue)
+            self._queue.clear()
+            gauge("service.queue_depth").set(0)
+            self._cond.notify_all()
+        for entry in pending:
+            entry.future.set_exception(RuntimeError("service closed"))
+        if self._admission_thread is not None:
+            self._admission_thread.join(timeout=10.0)
+        if drain:
+            for th in list(self._runner_threads):
+                th.join(timeout=self.reply_timeout + 30.0)
+        self.pool.close()
+
+    def __enter__(self) -> "SchedulingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def make_job(
+        self,
+        grid: BlockGrid,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        *,
+        algorithm: str | None = None,
+        job_id: str | None = None,
+    ) -> JobSpec:
+        """Build a :class:`JobSpec` with a service-unique default id."""
+        if job_id is None:
+            job_id = f"job-{next(self._job_ids)}"
+        return JobSpec(job_id, grid, a, b, c, algorithm=algorithm)
+
+    def submit(self, spec: JobSpec) -> Future:
+        """Enqueue one job; returns a future resolving to :class:`JobResult`."""
+        future: Future = Future()
+        with self._cond:
+            if not self._started or self._stopping:
+                raise RuntimeError("service is not accepting jobs")
+            self._queue.append(_Pending(spec, future, time.perf_counter()))
+            gauge("service.queue_depth").set(len(self._queue))
+            counter("service.jobs_submitted").inc()
+            self._cond.notify_all()
+        return future
+
+    def run_jobs(
+        self, specs: Sequence[JobSpec], *, timeout: float | None = None
+    ) -> ServiceStats:
+        """Submit ``specs``, wait for them all, aggregate throughput.
+
+        Failed jobs re-raise their stored exception unless *every* job
+        result is wanted regardless — catch per-future yourself via
+        :meth:`submit` for that.
+        """
+        t_first = time.perf_counter()
+        futures = [self.submit(spec) for spec in specs]
+        results: list[JobResult] = []
+        failures = 0
+        for fut in futures:
+            results.append(fut.result(timeout=timeout))
+        t_last = max(r.finished_at for r in results) if results else t_first
+        return self._aggregate(results, failures, t_first, t_last)
+
+    def _aggregate(
+        self,
+        results: list[JobResult],
+        failures: int,
+        t_first: float,
+        t_last: float,
+    ) -> ServiceStats:
+        window = max(t_last - t_first, 1e-9)
+        total_flops = sum(r.flops for r in results)
+        with self._lock:
+            busy_seconds = self._busy_worker_seconds
+            peak = self._peak_concurrent
+        utilization = busy_seconds / (self.platform.p * window)
+        gauge("service.pool_utilization").set(utilization)
+        return ServiceStats(
+            jobs=len(results),
+            failures=failures,
+            wall_seconds=window,
+            jobs_per_second=len(results) / window,
+            gflops=total_flops / window / 1e9,
+            max_concurrent=peak,
+            pool_utilization=utilization,
+            mean_admission_wait=(
+                sum(r.admission_wait for r in results) / len(results) if results else 0.0
+            ),
+            per_job=results,
+        )
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _scheduler(self, name: str):
+        sched = self._schedulers.get(name)
+        if sched is None:
+            sched = self._schedulers[name] = make_scheduler(name)
+        return sched
+
+    def _free_workers(self) -> list[int]:
+        return [
+            i
+            for i in range(self.platform.p)
+            if i not in self._busy and i not in self._dead
+        ]
+
+    def _admission_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and not self._queue:
+                    self._cond.wait(self._WAIT)
+                if self._stopping:
+                    return
+                if (
+                    self.max_concurrent_jobs is not None
+                    and len(self._running) >= self.max_concurrent_jobs
+                ):
+                    self._cond.wait(self._WAIT)
+                    continue
+                self._runner_threads = [
+                    t for t in self._runner_threads if t.is_alive()
+                ]
+                free = self._free_workers()
+                if not free:
+                    if len(self._dead) == self.platform.p:
+                        # every worker died: nothing will ever free up
+                        self._fail_head(
+                            SchedulingError("no healthy workers left in the pool")
+                        )
+                    else:
+                        self._cond.wait(self._WAIT)
+                    continue
+                entry = self._queue[0]
+                candidates = (
+                    free[: self.max_workers_per_job]
+                    if self.max_workers_per_job is not None
+                    else free
+                )
+                try:
+                    res, shard = self._admit(entry.spec, candidates)
+                except SchedulingError as exc:
+                    if len(free) == self.platform.p - len(self._dead):
+                        # infeasible even with every healthy worker free
+                        self._fail_head(exc)
+                    else:
+                        self._cond.wait(self._WAIT)
+                    continue
+                self._queue.popleft()
+                gauge("service.queue_depth").set(len(self._queue))
+                started_at = time.perf_counter()
+                wait = started_at - entry.submitted_at
+                timer("service.admission_seconds").add(wait)
+                counter("service.jobs_admitted").inc()
+                self._busy.update(shard)
+                self._running[entry.spec.job_id] = shard
+                self._peak_concurrent = max(self._peak_concurrent, len(self._running))
+                gauge("service.running_jobs").set(len(self._running))
+                th = threading.Thread(
+                    target=self._run_job,
+                    args=(entry, res, candidates, shard, wait, started_at),
+                    name=f"repro-job-{entry.spec.job_id}",
+                    daemon=True,
+                )
+                self._runner_threads.append(th)
+                th.start()
+
+    def _admit(self, spec: JobSpec, candidates: list[int]):
+        """Threshold-search ``spec`` onto the free subplatform.
+
+        Returns the simulated schedule (planned on the reindexed
+        subplatform) and the real pool indices its selection enrolled.
+        Raises ``SchedulingError`` when no feasible virtual platform
+        exists on ``candidates``.
+        """
+        sched = self._scheduler(spec.algorithm or self.algorithm)
+        with trace(
+            "service.admit", job=spec.job_id, algorithm=sched.name, free=len(candidates)
+        ):
+            sub = self.platform.subplatform(candidates, name="admission")
+            res = sched.run(sub, spec.grid)
+        if not res.port_events:  # pragma: no cover - defensive
+            raise SchedulingError(f"{sched.name} produced an event-free schedule")
+        shard = tuple(candidates[i] for i in res.enrolled)
+        return res, shard
+
+    def _fail_head(self, exc: Exception) -> None:
+        """Fail the queue-head job (lock held)."""
+        entry = self._queue.popleft()
+        gauge("service.queue_depth").set(len(self._queue))
+        counter("service.jobs_rejected").inc()
+        entry.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_job(
+        self,
+        entry: _Pending,
+        res,
+        candidates: list[int],
+        shard: tuple[int, ...],
+        wait: float,
+        started_at: float,
+    ) -> None:
+        spec = entry.spec
+        runner = ShardRunner(self.pool, reply_timeout=self.reply_timeout)
+        try:
+            with trace("service.job", job=spec.job_id, shard=list(shard)):
+                output, stats = runner.execute(
+                    res, spec.grid, spec.a, spec.b, spec.c, worker_map=candidates
+                )
+            finished_at = time.perf_counter()
+            timer("service.job_seconds").add(stats.wall_seconds)
+            counter("service.jobs_completed").inc()
+            result = JobResult(
+                job_id=spec.job_id,
+                output=output,
+                stats=stats,
+                shard=stats.shard,
+                admission_wait=wait,
+                wall_seconds=stats.wall_seconds,
+                flops=spec.flops,
+                submitted_at=entry.submitted_at,
+                started_at=started_at,
+                finished_at=finished_at,
+            )
+            failure: BaseException | None = None
+        except WorkerProcessError as exc:
+            counter("service.worker_failures").inc()
+            counter("service.jobs_failed").inc()
+            failure = RuntimeError(
+                f"job {spec.job_id} lost worker process {exc.widx}"
+            )
+            failure.__cause__ = exc
+            with self._lock:
+                self._dead.add(exc.widx)
+        except BaseException as exc:  # noqa: BLE001 - job isolation
+            counter("service.jobs_failed").inc()
+            failure = exc
+        finally:
+            finished = time.perf_counter()
+            with self._cond:
+                self._running.pop(spec.job_id, None)
+                gauge("service.running_jobs").set(len(self._running))
+                self._busy.difference_update(shard)
+                self._busy_worker_seconds += len(shard) * (finished - started_at)
+                self._cond.notify_all()
+        if failure is not None:
+            entry.future.set_exception(failure)
+        else:
+            entry.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def dead_workers(self) -> frozenset[int]:
+        """Pool indices quarantined after a process failure."""
+        with self._lock:
+            return frozenset(self._dead)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)

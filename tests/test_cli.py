@@ -200,3 +200,62 @@ class TestProfileAndTrace:
         path = tmp_path / "t.json"
         main(["figure", "fig4", "--scale", "0.05", "--trace", str(path)])
         assert not tracing_enabled()
+
+
+class TestServeAndExecute:
+    def test_run_execute_reports_error_bound(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "Hom", "--platform", "memory-het",
+             "--scale", "0.05", "--q", "4", "--execute"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "threaded execution" in out
+        assert "max |err|" in out
+
+    def test_run_execute_needs_reference_engine(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "Hom", "--platform", "memory-het",
+             "--scale", "0.05", "--engine", "batch", "--execute"]
+        )
+        assert rc == 2
+        assert "reference" in capsys.readouterr().err
+
+    def test_serve_hom_pool(self, capsys):
+        rc = main(
+            ["serve", "--hom", "4:1:1:45", "--jobs", "2", "--q", "4",
+             "--r", "4", "--t", "4", "--s", "8", "--algorithm", "Hom"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs/s" in out
+        assert "max |err|" in out
+
+    def test_serve_serial_baseline(self, capsys):
+        rc = main(
+            ["serve", "--hom", "3:1:1:45", "--jobs", "2", "--q", "4",
+             "--r", "4", "--t", "4", "--s", "8", "--serial",
+             "--algorithm", "Hom"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serial baseline" in out
+        assert "concurrent         : 1" in out or "jobs/s" in out
+
+    def test_serve_named_platform(self, capsys):
+        rc = main(
+            ["serve", "--platform", "memory-het", "--scale", "0.1",
+             "--jobs", "2", "--q", "4", "--r", "4", "--t", "4", "--s", "8"]
+        )
+        assert rc == 0
+        assert "max |err|" in capsys.readouterr().out
+
+    def test_serve_rejects_malformed_hom(self, capsys):
+        rc = main(["serve", "--hom", "nonsense"])
+        assert rc == 2
+        assert "P:C:W:M" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_jobs(self, capsys):
+        rc = main(["serve", "--hom", "3:1:1:45", "--jobs", "0"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -1,4 +1,9 @@
-"""Threaded local runtime: real parallel execution must match C + A@B."""
+"""Threaded local runtime: real parallel execution must match C + A@B,
+and every worker-failure path must surface as a bounded, chained error
+instead of a hang."""
+
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -6,7 +11,9 @@ import pytest
 from repro.core.blocks import BlockGrid
 from repro.execution.executor import random_instance, reference_product
 from repro.platform.model import Platform, Worker
+from repro.runtime import local
 from repro.runtime.local import ThreadedRuntime
+from repro.runtime.messages import CChunkMsg, ReturnRequest, RoundMsg, Shutdown
 from repro.schedulers.registry import make_scheduler
 
 
@@ -69,6 +76,134 @@ class TestThreadedRuntime:
     def test_invalid_delay(self):
         with pytest.raises(ValueError):
             ThreadedRuntime(delay_scale=-1)
+
+    def test_invalid_timeouts(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(reply_timeout=0)
+        with pytest.raises(ValueError):
+            ThreadedRuntime(join_timeout=-1)
+
+
+class _FaultyWorker(local._WorkerThread):
+    """Fault-injection stand-in for ``_WorkerThread``.
+
+    Handles the message vocabulary like the real worker but can be
+    scripted (via class attributes, reset per test) to die at startup,
+    raise after N round updates, raise on a return request, or ignore
+    the shutdown message until ``release`` is set.
+    """
+
+    die_at_startup: frozenset = frozenset()
+    fail_after_rounds: dict = {}
+    fail_on_return: frozenset = frozenset()
+    hang_on_shutdown: frozenset = frozenset()
+    release = threading.Event()
+
+    def run(self) -> None:
+        rounds = 0
+        try:
+            if self.widx in self.die_at_startup:
+                raise RuntimeError(f"worker {self.widx} died at startup")
+            while True:
+                w0 = time.perf_counter()
+                msg = self.inbox.get()
+                self.queue_wait += time.perf_counter() - w0
+                if isinstance(msg, Shutdown):
+                    if self.widx in self.hang_on_shutdown:
+                        self.release.wait()
+                    return
+                if isinstance(msg, CChunkMsg):
+                    self.buffers[msg.cid] = msg.data
+                elif isinstance(msg, RoundMsg):
+                    rounds += 1
+                    if rounds > self.fail_after_rounds.get(self.widx, float("inf")):
+                        raise RuntimeError(f"worker {self.widx} poisoned mid-schedule")
+                    t0 = time.perf_counter()
+                    self.buffers[msg.cid] += msg.a_data @ msg.b_data
+                    self.compute_intervals.append((t0, time.perf_counter()))
+                    self.updates += msg.updates
+                elif isinstance(msg, ReturnRequest):
+                    if self.widx in self.fail_on_return:
+                        raise RuntimeError(f"worker {self.widx} lost the chunk")
+                    msg.reply.put((msg.cid, self.buffers.pop(msg.cid)))
+                else:
+                    raise TypeError(f"unknown message {msg!r}")
+        except BaseException as exc:  # noqa: BLE001 - mirrors the real worker
+            self.error = exc
+
+
+@pytest.fixture
+def faulty_workers(monkeypatch):
+    """Install ``_FaultyWorker`` (with a clean script) as the runtime's
+    worker class; returns the class for per-test scripting."""
+    _FaultyWorker.die_at_startup = frozenset()
+    _FaultyWorker.fail_after_rounds = {}
+    _FaultyWorker.fail_on_return = frozenset()
+    _FaultyWorker.hang_on_shutdown = frozenset()
+    _FaultyWorker.release = threading.Event()
+    monkeypatch.setattr(local, "_WorkerThread", _FaultyWorker)
+    yield _FaultyWorker
+    _FaultyWorker.release.set()
+
+
+#: Generous wall-clock ceiling: every failure test must finish way below
+#: this (the pre-fix deadlocks hung forever).
+BOUND_SECONDS = 20.0
+
+
+class TestRuntimeFailurePaths:
+    def _run(self, runtime, name="ODDOML"):
+        res, grid = _setup(name)
+        a, b, c = random_instance(grid, rng=40)
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError) as excinfo:
+            runtime.execute(res, grid, a, b, c)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < BOUND_SECONDS, f"failure took {elapsed:.1f}s to surface"
+        return excinfo.value
+
+    def test_error_after_return_request_does_not_deadlock(self, faulty_workers):
+        """The C_RETURN deadlock: the worker dies *after* the ReturnRequest
+        is enqueued; a blocking reply.get() would hang forever."""
+        faulty_workers.fail_on_return = frozenset({0, 1, 2})
+        err = self._run(ThreadedRuntime(reply_timeout=10.0))
+        assert "failed while returning a chunk" in str(err)
+        assert isinstance(err.__cause__, RuntimeError)
+        assert "lost the chunk" in str(err.__cause__)
+
+    def test_poisoned_message_mid_schedule_chains_worker_error(self, faulty_workers):
+        faulty_workers.fail_after_rounds = {0: 2, 1: 2, 2: 2}
+        err = self._run(ThreadedRuntime(reply_timeout=10.0))
+        assert isinstance(err.__cause__, RuntimeError)
+        assert "poisoned mid-schedule" in str(err.__cause__)
+
+    def test_dead_worker_detected_before_its_next_event(self, faulty_workers):
+        """The master must notice a dead worker while the schedule is
+        still addressing its peers, not when the victim's turn comes."""
+        faulty_workers.die_at_startup = frozenset({2})
+        err = self._run(ThreadedRuntime(reply_timeout=10.0))
+        assert "worker 2" in str(err)
+        assert "died at startup" in str(err.__cause__)
+
+    def test_shutdown_join_timeout_refuses_partial_stats(self, faulty_workers):
+        """A thread still alive after the shutdown join must be an error,
+        not a silently half-dead stats report."""
+        faulty_workers.hang_on_shutdown = frozenset({1})
+        res, grid = _setup("ODDOML")
+        a, b, c = random_instance(grid, rng=41)
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="still alive"):
+            ThreadedRuntime(join_timeout=0.3).execute(res, grid, a, b, c)
+        assert time.perf_counter() - t0 < BOUND_SECONDS
+
+    def test_healthy_run_unaffected_by_tight_timeouts(self):
+        res, grid = _setup("Het")
+        a, b, c = random_instance(grid, rng=42)
+        got, stats = ThreadedRuntime(reply_timeout=10.0, join_timeout=10.0).execute(
+            res, grid, a, b, c
+        )
+        np.testing.assert_allclose(got, reference_product(a, b, c), atol=1e-9)
+        assert stats.total_updates == grid.total_updates
 
 
 class TestRuntimeObservability:

@@ -1,0 +1,274 @@
+"""Multi-process scheduling service: sharded admission, correctness,
+and failure isolation.
+
+Every test runs real worker processes, so platforms are kept small and
+grids tiny; the invariants are the interesting part — outputs exactly
+``C + A @ B`` per job, time-overlapping jobs on disjoint shards,
+threshold-search admission enrolling a strict subset, and a dead worker
+process failing only its own job while the service keeps serving.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.execution.executor import random_instance, reference_product
+from repro.platform.model import Platform, Worker
+from repro.schedulers.base import SchedulingError
+from repro.service import (
+    SchedulingService,
+    ShardRunner,
+    WorkerPool,
+    WorkerProcessError,
+)
+
+#: hom-8 with m=45 -> mu=5, so Hom enrolls P = ceil(5w/2c) = 3 of the
+#: free workers per job: two jobs fit the pool side by side.
+def _platform(p=6, m=45):
+    return Platform.homogeneous(p, 1.0, 1.0, m, name="svc-test")
+
+
+GRID = BlockGrid(r=5, t=4, s=10, q=4)
+
+
+def _specs(svc, n, grid=GRID, seed=0):
+    rng = np.random.default_rng(seed)
+    return [svc.make_job(grid, *random_instance(grid, rng)) for _ in range(n)]
+
+
+def _check_outputs(specs, stats):
+    by_id = {s.job_id: s for s in specs}
+    for r in stats.per_job:
+        spec = by_id[r.job_id]
+        want = reference_product(spec.a, spec.b, spec.c)
+        np.testing.assert_allclose(r.output, want, atol=1e-9)
+
+
+class TestServiceBasics:
+    def test_jobs_match_reference_product(self):
+        with SchedulingService(_platform(), algorithm="Hom") as svc:
+            specs = _specs(svc, 4)
+            stats = svc.run_jobs(specs)
+        _check_outputs(specs, stats)
+        assert stats.jobs == 4 and stats.failures == 0
+
+    def test_threshold_search_is_the_admission_controller(self):
+        """Hom's resource selection must enroll a strict subset of the
+        free pool (threshold P = 3 of 6 here) — that subset is the shard."""
+        with SchedulingService(_platform(p=6), algorithm="Hom") as svc:
+            stats = svc.run_jobs(_specs(svc, 2))
+        for r in stats.per_job:
+            assert 1 <= len(r.shard) <= 3
+
+    def test_concurrent_jobs_get_disjoint_shards(self):
+        with SchedulingService(_platform(p=6), algorithm="Hom") as svc:
+            specs = _specs(svc, 4, grid=BlockGrid(r=6, t=6, s=12, q=8))
+            stats = svc.run_jobs(specs)
+        _check_outputs(specs, stats)
+        overlapping = 0
+        for i, ri in enumerate(stats.per_job):
+            for rj in stats.per_job[i + 1 :]:
+                if ri.started_at < rj.finished_at and rj.started_at < ri.finished_at:
+                    overlapping += 1
+                    assert not set(ri.shard) & set(rj.shard)
+        assert overlapping > 0, "no two jobs ever ran concurrently"
+        assert stats.max_concurrent >= 2
+
+    def test_serial_baseline_never_overlaps(self):
+        with SchedulingService(
+            _platform(), algorithm="Hom", max_concurrent_jobs=1
+        ) as svc:
+            stats = svc.run_jobs(_specs(svc, 3))
+        assert stats.max_concurrent == 1
+
+    def test_shard_cap_restricts_admission(self):
+        with SchedulingService(
+            _platform(), algorithm="Hom", max_workers_per_job=2
+        ) as svc:
+            stats = svc.run_jobs(_specs(svc, 2))
+        for r in stats.per_job:
+            assert len(r.shard) <= 2
+
+    def test_per_job_algorithm_override(self):
+        with SchedulingService(_platform(p=4), algorithm="Hom") as svc:
+            a, b, c = random_instance(GRID, rng=7)
+            spec = svc.make_job(GRID, a, b, c, algorithm="ODDOML")
+            r = svc.submit(spec).result(timeout=60)
+        np.testing.assert_allclose(r.output, reference_product(a, b, c), atol=1e-9)
+
+    def test_stats_table_renders(self):
+        with SchedulingService(_platform(), algorithm="Hom") as svc:
+            stats = svc.run_jobs(_specs(svc, 2))
+        text = stats.table()
+        assert "jobs/s" in text and "concurrent" in text
+
+    def test_invalid_options(self):
+        with pytest.raises(ValueError):
+            SchedulingService(_platform(), max_workers_per_job=0)
+        with pytest.raises(ValueError):
+            SchedulingService(_platform(), max_concurrent_jobs=0)
+
+
+class TestServiceLifecycle:
+    def test_submit_before_start_rejected(self):
+        svc = SchedulingService(_platform(p=2))
+        with pytest.raises(RuntimeError, match="not accepting"):
+            svc.submit(svc.make_job(GRID, *random_instance(GRID, rng=1)))
+
+    def test_submit_after_close_rejected(self):
+        svc = SchedulingService(_platform(p=2), algorithm="Hom")
+        svc.start()
+        svc.close()
+        with pytest.raises(RuntimeError, match="not accepting"):
+            svc.submit(svc.make_job(GRID, *random_instance(GRID, rng=2)))
+
+    def test_close_fails_queued_jobs(self):
+        svc = SchedulingService(
+            _platform(p=2), algorithm="Hom", max_concurrent_jobs=1
+        )
+        svc.start()
+        # deep queue: the tail cannot all be admitted before close()
+        futures = [
+            svc.submit(spec)
+            for spec in _specs(svc, 8, grid=BlockGrid(r=4, t=4, s=8, q=8))
+        ]
+        svc.close()
+        outcomes = []
+        for fut in futures:
+            try:
+                fut.result(timeout=60)
+                outcomes.append("done")
+            except RuntimeError as exc:
+                assert "service closed" in str(exc)
+                outcomes.append("cancelled")
+        assert "cancelled" in outcomes
+
+    def test_infeasible_job_fails_with_scheduling_error(self):
+        # m=4 is below the overlapped layout's minimum (mu >= 1 needs
+        # mu^2 + 4 mu <= m, i.e. m >= 5): no feasible virtual platform
+        with SchedulingService(_platform(p=3, m=4), algorithm="Hom") as svc:
+            fut = svc.submit(svc.make_job(GRID, *random_instance(GRID, rng=3)))
+            with pytest.raises(SchedulingError):
+                fut.result(timeout=60)
+
+
+class TestServiceFailureIsolation:
+    def test_poisoned_worker_fails_job_and_is_quarantined(self):
+        with SchedulingService(
+            _platform(p=3), algorithm="Hom", reply_timeout=15.0
+        ) as svc:
+            svc.pool[0].inject(object())  # TypeError on its first dequeue
+            fut = svc.submit(svc.make_job(GRID, *random_instance(GRID, rng=4)))
+            t0 = time.perf_counter()
+            with pytest.raises(RuntimeError, match="lost worker process 0") as excinfo:
+                fut.result(timeout=60)
+            assert time.perf_counter() - t0 < 30.0
+            assert isinstance(excinfo.value.__cause__, WorkerProcessError)
+            assert "unknown message" in str(excinfo.value.__cause__)
+            assert svc.dead_workers == {0}
+            # the service keeps serving on the survivors, avoiding the quarantined worker
+            a, b, c = random_instance(GRID, rng=5)
+            r = svc.submit(svc.make_job(GRID, a, b, c)).result(timeout=60)
+            assert 0 not in r.shard
+            np.testing.assert_allclose(r.output, reference_product(a, b, c), atol=1e-9)
+
+    def test_killed_process_detected_not_hung(self):
+        with SchedulingService(
+            _platform(p=2), algorithm="Hom", reply_timeout=15.0
+        ) as svc:
+            victim = svc.pool[1].process
+            victim.terminate()
+            victim.join(timeout=10.0)
+            fut = svc.submit(
+                svc.make_job(BlockGrid(r=6, t=6, s=12, q=8), *random_instance(
+                    BlockGrid(r=6, t=6, s=12, q=8), rng=6
+                ))
+            )
+            t0 = time.perf_counter()
+            # the job may land on worker 0 only (Hom enrolls 1 of 2 free
+            # when the search decides so) — force the failure case only
+            # when the dead worker was enrolled
+            try:
+                r = fut.result(timeout=60)
+                assert 1 not in r.shard
+            except RuntimeError as exc:
+                assert isinstance(exc.__cause__, WorkerProcessError)
+                assert 1 in svc.dead_workers
+            assert time.perf_counter() - t0 < 30.0
+
+
+class TestWorkerPool:
+    def test_pool_lifecycle_and_final_stats(self):
+        with WorkerPool(2) as pool:
+            assert len(pool) == 2
+            assert all(h.is_alive() for h in pool)
+        # close() drains the shutdown stats of cleanly-exiting workers
+        assert set(pool.final_stats) == {0, 1}
+        for updates, compute_seconds in pool.final_stats.values():
+            assert updates == 0 and compute_seconds == 0.0
+
+    def test_double_start_rejected(self):
+        pool = WorkerPool(1)
+        pool.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                pool.start()
+        finally:
+            pool.close()
+
+    def test_pool_requires_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestShardRunner:
+    def test_worker_map_length_validated(self):
+        from repro.schedulers.registry import make_scheduler
+
+        plat = Platform(
+            [Worker(0, 1.0, 1.0, 45), Worker(1, 0.5, 2.0, 21), Worker(2, 2.0, 0.5, 32)]
+        )
+        res = make_scheduler("ODDOML").run(plat, GRID)
+        a, b, c = random_instance(GRID, rng=8)
+        with WorkerPool(2) as pool:
+            runner = ShardRunner(pool)
+            with pytest.raises(ValueError, match="worker_map"):
+                runner.execute(res, GRID, a, b, c, worker_map=[0, 1])
+
+    def test_requires_events(self):
+        import dataclasses
+
+        from repro.schedulers.registry import make_scheduler
+
+        plat = _platform(p=2)
+        res = make_scheduler("Hom").run(plat, GRID)
+        bad = dataclasses.replace(res, port_events=())
+        a, b, c = random_instance(GRID, rng=9)
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="no events"):
+                ShardRunner(pool).execute(bad, GRID, a, b, c, worker_map=[0, 1])
+
+    def test_invalid_reply_timeout(self):
+        with pytest.raises(ValueError):
+            ShardRunner(WorkerPool(1), reply_timeout=0)
+
+
+class TestServiceObservability:
+    def test_spans_and_metrics_emitted(self):
+        from repro.obs import snapshot, snapshot_delta, tracing
+
+        before = snapshot()
+        with tracing() as tr:
+            with SchedulingService(_platform(), algorithm="Hom") as svc:
+                stats = svc.run_jobs(_specs(svc, 2))
+        names = {s.name for s in tr.walk()}
+        assert {"service.admit", "service.job", "service.execute"} <= names
+        delta = snapshot_delta(before)
+        assert delta["service.jobs_submitted"] == 2
+        assert delta["service.jobs_admitted"] == 2
+        assert delta["service.jobs_completed"] == 2
+        assert delta["service.admission_seconds"]["count"] == 2
+        assert delta["service.job_seconds"]["count"] == 2
+        assert stats.pool_utilization > 0.0
