@@ -1,0 +1,125 @@
+"""Extension benchmark: geometry ladder and cost-objective sweep.
+
+Two questions the geometry/objective decoupling makes answerable:
+
+* **Geometry ladder** — on fully heterogeneous platforms, what does
+  cutting C into horizontal layers (Liu et al.'s layer-based partition,
+  registered as ``HomL``/``HomIL``/``HetL``) cost or save against the
+  paper's square-chunk grid?  The ladder runs both variants of each search
+  algorithm on the same instances under makespan-identical scoring and
+  records makespan plus dollar cost (default cloud pricing:
+  $1e-4/worker-second, $1/GB through the port).
+* **Cost-objective sweep** — re-running the same suite with
+  ``objective="cost"``, how many dollars does optimizing for cost instead
+  of completion time recover?  Pinned acceptance: the cost objective never
+  produces a pricier schedule than the makespan objective.
+
+``BENCH_geometry_ladder.json`` archives both tables in the established
+trajectory schema.
+"""
+
+import pytest
+
+pytestmark = pytest.mark.slow  # run with `pytest -m slow`
+
+from repro.experiments.figures import fig7_instances
+from repro.experiments.harness import run_experiment
+from repro.experiments.objectives import BlendedObjective, CostObjective
+from repro.schedulers.registry import layer_suite
+
+#: ratio-2, ratio-4 and the first two seeded random platforms of Figure 7.
+N_INSTANCES = 4
+
+#: grid algorithm -> layer variant, the rungs of the ladder.
+PAIRS = {"Hom": "HomL", "HomI": "HomIL", "Het": "HetL"}
+
+
+def _tables(result):
+    """{algorithm: {instance: {"makespan": ..., "dollars": ...}}}"""
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for m in result.measurements:
+        out.setdefault(m.algorithm, {})[m.instance] = {
+            "makespan": m.makespan,
+            "dollars": m.meta["dollars"],
+            "workers": m.n_enrolled,
+        }
+    return out
+
+
+def test_geometry_ladder(benchmark, bench_scale, bench_runner, emit):
+    scale = min(bench_scale, 0.5)  # 6 schedulers x 4 instances x 2 objectives
+    instances = fig7_instances(scale)[:N_INSTANCES]
+    # dollar_weight=0 orders candidates exactly by makespan (the golden
+    # semantics) while still pricing every measurement in dollars
+    priced_makespan = BlendedObjective(dollar_weight=0.0, cost=CostObjective())
+
+    def _run():
+        ladder = run_experiment(
+            "geometry-ladder", instances, layer_suite(),
+            objective=priced_makespan, **bench_runner,
+        )
+        sweep = run_experiment(
+            "cost-objective-sweep", instances, layer_suite(),
+            objective="cost", **bench_runner,
+        )
+        return ladder, sweep
+
+    ladder, sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lad, swp = _tables(ladder), _tables(sweep)
+
+    lines = [
+        f"Geometry ladder (fig7 platforms, scale {scale}; grid vs layer partition,",
+        "makespan objective; dollars at $1e-4/worker-s + $1/GB port traffic)",
+        f"{'instance':<22}{'algorithm':<8}{'grid ms':>12}{'layer ms':>12}"
+        f"{'layer/grid':>11}{'grid $':>10}{'layer $':>10}",
+    ]
+    for grid_name, layer_name in PAIRS.items():
+        for inst in lad.get(grid_name, {}):
+            if inst not in lad.get(layer_name, {}):
+                continue
+            g, l = lad[grid_name][inst], lad[layer_name][inst]
+            lines.append(
+                f"{inst:<22}{grid_name:<8}{g['makespan']:>12.2f}{l['makespan']:>12.2f}"
+                f"{l['makespan'] / g['makespan']:>11.3f}"
+                f"{g['dollars']:>10.4f}{l['dollars']:>10.4f}"
+            )
+    lines += [
+        "",
+        f"Cost-objective sweep (same suite, objective=cost; $ makespan-opt -> $ cost-opt)",
+    ]
+    for name in sorted(swp):
+        for inst in sorted(swp[name]):
+            if inst not in lad.get(name, {}):
+                continue
+            lines.append(
+                f"{inst:<22}{name:<8}{lad[name][inst]['dollars']:>10.4f} -> "
+                f"{swp[name][inst]['dollars']:.4f}"
+            )
+    text = "\n".join(lines)
+    emit(
+        "geometry_ladder",
+        text,
+        data={
+            "scale": scale,
+            "pairs": PAIRS,
+            "pricing": {"worker_rate": 1e-4, "byte_rate": 1e-9},
+            "ladder": lad,
+            "cost_sweep": swp,
+        },
+    )
+
+    # every rung of the ladder ran: both geometries for every pair
+    for grid_name, layer_name in PAIRS.items():
+        assert lad[grid_name] and lad[layer_name], (grid_name, layer_name)
+        assert set(lad[grid_name]) == set(lad[layer_name])
+    # cost-optimal is never pricier than makespan-optimal (same candidates,
+    # argmin over dollars vs argmin over makespan)
+    for name, table in swp.items():
+        for inst, row in table.items():
+            assert row["dollars"] <= lad[name][inst]["dollars"] + 1e-12, (name, inst)
+    # and the trade-off is real somewhere: some schedule got strictly cheaper
+    assert any(
+        swp[name][inst]["dollars"] < lad[name][inst]["dollars"] - 1e-12
+        for name in swp
+        for inst in swp[name]
+    )

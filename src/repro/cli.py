@@ -33,7 +33,7 @@ from .experiments.figures import FIGURES, run_figure, run_summary
 from .experiments.report import format_fig9, format_relative_table, format_summary
 from .experiments.table2 import table2_demo
 from .platform import generators as gen
-from .schedulers.registry import SCHEDULERS, make_scheduler
+from .schedulers.registry import SCHEDULERS, canonical_name, make_scheduler
 from .sim.kernels import KERNEL_NAMES
 from .sim.trace import gantt_ascii, worker_utilization
 from .theory import bounds as th_bounds
@@ -58,6 +58,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Matrix product on heterogeneous master-worker platforms (PPoPP'08)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def algorithm_type(value: str):
+        try:
+            return canonical_name(value)
+        except KeyError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    def add_objective_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--objective",
+            default=None,
+            metavar="OBJ",
+            help="scoring objective: 'makespan' (default), 'cost' (dollars: "
+            "per-worker-second + per-byte port traffic), 'cost@SECONDS' "
+            "(cheapest schedule meeting a deadline), or 'blend:WEIGHT' "
+            "(makespan + WEIGHT x dollars)",
+        )
 
     def parallel_type(value: str):
         if value == "auto":
@@ -94,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fast path (default), or one vectorized batch over all plans -- "
             "makespans are bit-identical across all three",
         )
+        add_objective_opt(p)
         add_kernel_opt(p)
         add_trace_opt(p)
 
@@ -129,7 +147,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_opts(p_sum)
 
     p_run = sub.add_parser("run", help="run one algorithm on one instance")
-    p_run.add_argument("--algorithm", default="Het", choices=sorted(SCHEDULERS))
+    p_run.add_argument(
+        "--algorithm",
+        default="Het",
+        type=algorithm_type,
+        choices=sorted(SCHEDULERS),
+        help="algorithm (case-insensitive registry name)",
+    )
+    p_run.add_argument(
+        "--geometry",
+        default="grid",
+        choices=("grid", "layer"),
+        help="partition geometry: the paper's square-chunk column panels "
+        "(default) or layer-based horizontal bands (Hom/HomI/Het only; "
+        "equivalent to the HomL/HomIL/HetL registry variants)",
+    )
     p_run.add_argument("--platform", default="memory-het", choices=sorted(_PLATFORMS))
     p_run.add_argument("--scale", type=float, default=0.2)
     p_run.add_argument("--r", type=int, default=None, help="block rows (overrides scale)")
@@ -158,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine; 'reference' (default) keeps the full event "
         "trace for --gantt and the breakdown report, the others skip traces",
     )
+    add_objective_opt(p_run)
     add_kernel_opt(p_run)
     add_trace_opt(p_run)
 
@@ -179,9 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--algorithm",
         default="HomI",
+        type=algorithm_type,
         choices=sorted(SCHEDULERS),
-        help="admission-time planner (Hom/HomI = the paper's threshold "
-        "search as admission controller)",
+        help="admission-time planner, case-insensitive (Hom/HomI = the "
+        "paper's threshold search as admission controller)",
     )
     p_srv.add_argument("--r", type=int, default=None, help="block rows (overrides scale)")
     p_srv.add_argument("--t", type=int, default=None)
@@ -203,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="admit one job at a time (the serial throughput baseline)",
     )
     p_srv.add_argument("--seed", type=int, default=0, help="job-instance RNG seed")
+    add_objective_opt(p_srv)
     add_trace_opt(p_srv)
 
     p_sweep = sub.add_parser("sweep", help="relative cost vs degree of heterogeneity")
@@ -298,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3.0,
         help="expected stochastic events over the steady-state-bound horizon",
     )
+    add_objective_opt(p_dyn)
     add_trace_opt(p_dyn)
 
     p_prof = sub.add_parser(
@@ -364,6 +400,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         cache=args.cache,
         engine=args.engine,
         kernel=args.kernel,
+        objective=args.objective,
     )
     print(format_relative_table(res, "cost"))
     print()
@@ -382,6 +419,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         cache=args.cache,
         engine=args.engine,
         kernel=args.kernel,
+        objective=args.objective,
     )
     print(format_fig9(res))
     return 0
@@ -403,7 +441,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         s=args.s or base.s,
         q=args.q or base.q,
     )
-    sched = make_scheduler(args.algorithm)
+    algorithm = args.algorithm
+    if args.geometry == "layer" and not algorithm.endswith("L"):
+        layered = f"{algorithm}L"
+        if layered not in SCHEDULERS:
+            print(
+                f"error: --geometry layer is not available for {algorithm} "
+                "(layer variants exist for Hom/HomI/Het)",
+                file=sys.stderr,
+            )
+            return 2
+        algorithm = layered
+    sched = make_scheduler(algorithm, objective=args.objective)
     if args.execute and args.engine != "reference":
         print(
             "error: --execute replays the event trace; rerun with "
@@ -411,28 +460,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.engine == "reference":
-        res = sched.run(platform, grid)
-    else:
-        plan = sched.plan(platform, grid)
-        plan.collect_events = False
-        if args.engine == "fast":
-            from .sim.fastpath import fast_simulate
+    from .schedulers.base import SchedulingError
 
-            res = fast_simulate(platform, plan, grid, kernel=args.kernel)
+    try:
+        if args.engine == "reference":
+            res = sched.run(platform, grid)
         else:
-            from .sim.batch import batch_outcomes
+            plan = sched.plan(platform, grid)
+            plan.collect_events = False
+            if args.engine == "fast":
+                from .sim.fastpath import fast_simulate
 
-            # force=True: a single run is below MIN_VECTOR_BATCH, but the
-            # flag promises the vectorized engine
-            outcome = batch_outcomes(
-                [(platform, plan)], force=True, kernel=args.kernel
-            )[0]
-            res = outcome.to_sim_result(platform, plan, grid)
-        res.meta.setdefault("algorithm", sched.name)
+                res = fast_simulate(platform, plan, grid, kernel=args.kernel)
+            else:
+                from .sim.batch import batch_outcomes
+
+                # force=True: a single run is below MIN_VECTOR_BATCH, but
+                # the flag promises the vectorized engine
+                outcome = batch_outcomes(
+                    [(platform, plan)], force=True, kernel=args.kernel
+                )[0]
+                res = outcome.to_sim_result(platform, plan, grid)
+            res.meta.setdefault("algorithm", sched.name)
+    except SchedulingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(platform.describe())
     print(f"\ngrid: {grid}\nalgorithm: {sched.name}\n")
     print(res.summary())
+    if args.objective:
+        from .experiments.objectives import make_objective
+
+        obj = make_objective(args.objective)
+        print(
+            f"objective: {obj.signature}  score = "
+            f"{obj.evaluate_result(res):g}  dollars = "
+            f"{obj.result_dollars(res):g}"
+        )
     util = worker_utilization(res)
     print("worker compute utilization: " + ", ".join(f"P{w + 1}:{u:.0%}" for w, u in util.items()))
     if res.meta.get("variant"):
@@ -511,6 +575,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         max_workers_per_job=args.max_workers_per_job,
         max_concurrent_jobs=1 if args.serial else None,
+        objective=args.objective,
     ) as svc:
         specs = [
             svc.make_job(grid, *random_instance(grid, rng)) for _ in range(args.jobs)
@@ -546,6 +611,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=args.cache,
         engine=args.engine,
         kernel=args.kernel,
+        objective=args.objective,
     )
     print(
         f"relative cost vs heterogeneity ratio (fully-het platforms, scale {args.scale})"
@@ -565,7 +631,13 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         )
         return 2
     severities = tuple(float(x) for x in args.severities.split(",") if x.strip())
-    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    try:
+        algorithms = tuple(
+            canonical_name(a.strip()) for a in args.algorithms.split(",") if a.strip()
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     if args.reselect and "reselect" not in modes:
         # keep clairvoyant last so the table's ratio columns stay meaningful
@@ -592,6 +664,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         cache=args.cache,
         redundancy=args.redundancy,
         decode_k=args.decode_k,
+        objective=args.objective,
     )
     if args.stochastic:
         print(

@@ -77,3 +77,23 @@ __all__ += [
 from .parallel import ResultCache, RunTask, run_tasks, task_key  # noqa: E402
 
 __all__ += ["ResultCache", "RunTask", "run_tasks", "task_key"]
+
+from .objectives import (  # noqa: E402
+    BlendedObjective,
+    CostObjective,
+    MakespanObjective,
+    Objective,
+    PlanScore,
+    billed_worker_seconds,
+    make_objective,
+)
+
+__all__ += [
+    "BlendedObjective",
+    "CostObjective",
+    "MakespanObjective",
+    "Objective",
+    "PlanScore",
+    "billed_worker_seconds",
+    "make_objective",
+]

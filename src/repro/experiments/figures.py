@@ -123,10 +123,12 @@ def run_figure(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> ExperimentResult:
     """Run one paper figure end to end.
 
-    ``parallel``, ``cache``, ``engine`` and ``kernel`` are forwarded to
+    ``parallel``, ``cache``, ``engine``, ``kernel`` and ``objective`` are
+    forwarded to
     :func:`~repro.experiments.harness.run_experiment`, so a figure's
     (algorithm, instance) runs can fan out across cores, reuse
     content-addressed results from earlier invocations, simulate as one
@@ -147,6 +149,7 @@ def run_figure(
             cache=cache,
             engine=engine,
             kernel=kernel,
+            objective=objective,
         )
 
 
@@ -159,6 +162,7 @@ def run_summary(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> ExperimentResult:
     """Figure 9: union of all experiments (relative metrics recomputed over
     the merged instance set)."""
@@ -167,6 +171,7 @@ def run_summary(
         res = run_figure(
             fig, scale, schedulers,
             parallel=parallel, cache=cache, engine=engine, kernel=kernel,
+            objective=objective,
         )
         merged = res if merged is None else merged.merged_with(res, name="fig9")
     assert merged is not None

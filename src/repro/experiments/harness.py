@@ -18,6 +18,7 @@ from ..schedulers.registry import default_suite
 from ..sim.validate import validate_result
 from ..theory.steady_state import makespan_lower_bound
 from .metrics import Measurement, relative_table, summarize_relative
+from .objectives import Objective, PlanScore, make_objective
 
 __all__ = [
     "Instance",
@@ -107,6 +108,41 @@ class ExperimentResult:
 ENGINES = ("fast", "reference", "batch")
 
 
+def _resolve_objective(schedulers, objective) -> Objective | None:
+    """Resolve ``objective`` and apply it to every scheduler of the suite
+    (so searching algorithms optimize it and their cache signatures fold
+    it in); ``None`` leaves the suite untouched and returns ``None``."""
+    if objective is None:
+        return None
+    obj = make_objective(objective)
+    for sched in schedulers:
+        sched.with_objective(obj)
+    return obj
+
+
+def _annotate_objective(
+    meta: dict,
+    objective: Objective,
+    *,
+    makespan: float,
+    workers: int,
+    port_blocks,
+    block_bytes: int,
+) -> dict:
+    """Record the active objective's verdict on one measurement: its name,
+    its score, and the dollar cost it prices the run at."""
+    score = PlanScore(
+        makespan=float(makespan),
+        workers=int(workers),
+        port_blocks=int(port_blocks or 0),
+        block_bytes=int(block_bytes),
+    )
+    meta["objective"] = objective.name
+    meta["objective_score"] = objective.score(score)
+    meta["dollars"] = objective.dollars(score)
+    return meta
+
+
 def run_experiment(
     name: str,
     instances: Sequence[Instance],
@@ -118,6 +154,7 @@ def run_experiment(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> ExperimentResult:
     """Run ``schedulers`` (default: the paper's seven) on every instance.
 
@@ -153,6 +190,15 @@ def run_experiment(
     parallel ``RunTask`` fan-out honours the ``REPRO_KERNEL`` environment
     knob (inherited by worker processes) rather than an explicit argument.
 
+    ``objective`` (a name, spec string, or
+    :class:`~repro.experiments.objectives.Objective`) is applied to every
+    scheduler of the suite via
+    :meth:`~repro.schedulers.base.Scheduler.with_objective`: searching
+    algorithms optimize it instead of raw makespan, and each measurement's
+    ``meta`` records the objective's name, score and dollar cost.  The
+    default ``None`` leaves the suite untouched — bit-identical to the
+    pre-objective harness.
+
     The returned result's ``metrics`` dict is the metrics-registry delta
     of the run (planning/cache/kernel instruments — see
     :mod:`repro.obs.metrics`), and the whole experiment runs under an
@@ -170,6 +216,7 @@ def run_experiment(
             cache=cache,
             engine=engine,
             kernel=kernel,
+            objective=objective,
         )
     result.metrics = snapshot_delta(before)
     return result
@@ -186,10 +233,12 @@ def _run_experiment(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> ExperimentResult:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     scheds = list(schedulers) if schedulers is not None else default_suite()
+    obj = _resolve_objective(scheds, objective)
     result = ExperimentResult(
         name=name,
         instances=[inst.label for inst in instances],
@@ -225,7 +274,7 @@ def _run_experiment(
     if engine != "fast" and not full_traces:
         return _run_with_engine(
             result, instances, scheds, bounds, engine, parallel, cache,
-            kernel=kernel,
+            kernel=kernel, objective=obj,
         )
     use_runner = (parallel is not None or cache is not None) and not full_traces
     if use_runner:
@@ -241,6 +290,16 @@ def _run_experiment(
             if "error" in payload:
                 result.failures[(sched.name, inst.label)] = payload["error"]
                 continue
+            meta = dict(payload.get("meta") or {})
+            if obj is not None:
+                _annotate_objective(
+                    meta,
+                    obj,
+                    makespan=payload["makespan"],
+                    workers=payload["n_enrolled"],
+                    port_blocks=payload.get("port_blocks"),
+                    block_bytes=inst.grid.block_bytes,
+                )
             result.measurements.append(
                 Measurement(
                     algorithm=sched.name,
@@ -248,7 +307,7 @@ def _run_experiment(
                     makespan=payload["makespan"],
                     n_enrolled=payload["n_enrolled"],
                     bound=bounds[inst.label],
-                    meta=dict(payload.get("meta") or {}),
+                    meta=meta,
                 )
             )
         return result
@@ -268,6 +327,11 @@ def _run_experiment(
                 continue
             if validate:
                 validate_result(sim)
+            meta = dict(sim.meta)
+            if obj is not None:
+                meta["objective"] = obj.name
+                meta["objective_score"] = obj.evaluate_result(sim)
+                meta["dollars"] = obj.result_dollars(sim)
             result.measurements.append(
                 Measurement(
                     algorithm=sched.name,
@@ -275,7 +339,7 @@ def _run_experiment(
                     makespan=sim.makespan,
                     n_enrolled=sim.n_enrolled,
                     bound=bound,
-                    meta=dict(sim.meta),
+                    meta=meta,
                 )
             )
     return result
@@ -352,7 +416,9 @@ def evaluate_suite(
 def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, dict]]:
     """Simulate pre-compiled ``(platform, plan)`` runs under an explicit
     engine, returning ``(makespan, n_enrolled, meta)`` per run (traces off;
-    allocator plans are consumed).
+    allocator plans are consumed).  The returned meta additionally records
+    the run's ``"port_blocks"`` (total blocks through the master port),
+    which the cost objectives price.
 
     The single place where the engine vocabulary maps to simulation calls:
     ``"batch"`` submits all runs to one vectorized
@@ -366,7 +432,7 @@ def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, d
 
         with trace("simulate", engine=engine, runs=len(runs)):
             return [
-                (o.makespan, o.n_enrolled, o.meta)
+                (o.makespan, o.n_enrolled, _with_port(o.meta, o.blocks_through_port))
                 for o in batch_outcomes(runs, kernel=kernel)
             ]
     if engine == "reference":
@@ -380,7 +446,18 @@ def evaluate_runs(runs, engine: str, *, kernel=None) -> list[tuple[float, int, d
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     with trace("simulate", engine=engine, runs=len(runs)):
         sims = [run_one(platform, plan) for platform, plan in runs]
-    return [(sim.makespan, sim.n_enrolled, sim.meta) for sim in sims]
+    return [
+        (sim.makespan, sim.n_enrolled, _with_port(sim.meta, sim.blocks_through_port))
+        for sim in sims
+    ]
+
+
+def _with_port(meta: dict, blocks_through_port: int) -> dict:
+    """Copy ``meta`` with the run's port traffic recorded under
+    ``"port_blocks"`` — what the cost objectives price per byte."""
+    out = dict(meta)
+    out["port_blocks"] = int(blocks_through_port)
+    return out
 
 
 def _run_with_engine(
@@ -392,6 +469,7 @@ def _run_with_engine(
     parallel=None,
     cache=None,
     kernel=None,
+    objective: Objective | None = None,
 ) -> ExperimentResult:
     """Plan (optionally across processes), then simulate under an
     explicitly chosen engine (``engine="fast"`` in `run_experiment` goes
@@ -410,6 +488,15 @@ def _run_with_engine(
             continue
         meta = dict(payload["meta"])
         meta.setdefault("algorithm", sched.name)
+        if objective is not None:
+            _annotate_objective(
+                meta,
+                objective,
+                makespan=payload["makespan"],
+                workers=payload["n_enrolled"],
+                port_blocks=meta.get("port_blocks"),
+                block_bytes=inst.grid.block_bytes,
+            )
         result.measurements.append(
             Measurement(
                 algorithm=sched.name,
@@ -430,6 +517,7 @@ def run_dynamic_experiment(
     *,
     modes: Sequence[str] | None = None,
     validate: bool = False,
+    objective=None,
 ) -> ExperimentResult:
     """Run every scheduler × dynamic mode on every timeline instance.
 
@@ -447,12 +535,19 @@ def run_dynamic_experiment(
     :func:`~repro.sim.validate.validate_dynamic` against its instance's
     timeline: time-varying one-port/memory/dependency invariants, crash
     windows, and exact block-grid coverage.
+
+    ``objective`` is applied to every base scheduler (the adaptive
+    wrappers inherit it for their boundary decisions) and each
+    measurement's ``meta`` records its name, score and dollars — billed
+    over the timeline's alive windows, so crashed workers stop costing
+    money at their crash time.
     """
     from ..schedulers.adaptive import DYNAMIC_MODES, AdaptiveScheduler
     from ..sim.dynamic import DynamicStall
     from ..sim.validate import validate_dynamic
 
     scheds = list(schedulers) if schedulers is not None else default_suite()
+    obj = _resolve_objective(scheds, objective)
     mode_list = list(modes) if modes is not None else list(DYNAMIC_MODES)
     wrappers = [
         AdaptiveScheduler(sched, mode) for sched in scheds for mode in mode_list
@@ -477,6 +572,15 @@ def run_dynamic_experiment(
                     continue
                 if validate:
                     validate_dynamic(sim, inst.timeline, grid=inst.grid)
+                meta = dict(sim.meta)
+                if obj is not None:
+                    meta["objective"] = obj.name
+                    meta["objective_score"] = obj.evaluate_result(
+                        sim, timeline=inst.timeline
+                    )
+                    meta["dollars"] = obj.result_dollars(
+                        sim, timeline=inst.timeline
+                    )
                 result.measurements.append(
                     Measurement(
                         algorithm=wrapper.name,
@@ -484,7 +588,7 @@ def run_dynamic_experiment(
                         makespan=sim.makespan,
                         n_enrolled=sim.n_enrolled,
                         bound=bound,
-                        meta=dict(sim.meta),
+                        meta=meta,
                     )
                 )
     result.metrics = snapshot_delta(before)

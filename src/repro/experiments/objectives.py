@@ -1,0 +1,307 @@
+"""Scoring objectives: what "best" means when a search compares schedules.
+
+Every search path in the planner used to minimize makespan alone: the
+Hom/HomI virtual-platform threshold search, Het's variant scoring, the
+adaptive wrapper's boundary decisions, and service admission.  This module
+makes the scoring rule a first-class parameter, following *Julia Cloud
+Matrix Machine*'s "minimize dollars under a deadline" formulation for
+elastic cloud pricing:
+
+* :class:`MakespanObjective` -- the paper's rule, and the default.  Every
+  comparison reduces to ``min(makespan)`` exactly, so default behaviour is
+  bit-identical to the pre-objective planners (the golden walls pin this).
+* :class:`CostObjective` -- dollars under a deadline: enrolled workers are
+  billed per second, port traffic per byte, and a candidate whose makespan
+  exceeds the deadline is inadmissible (infinite score).  On dynamic
+  platforms the billed worker-seconds derive from the
+  :class:`~repro.sim.dynamic.PlatformTimeline` exactly the way
+  :func:`~repro.sim.validate.validate_dynamic` re-derives time-varying
+  pricing: crash windows are not billed, re-joined workers are billed from
+  their join time.
+* :class:`BlendedObjective` -- a weighted sum of makespan and dollars, for
+  trading the two off on one axis.
+
+A candidate is summarized by a :class:`PlanScore` (makespan, enrolled
+worker count, port traffic, block size); schedulers derive the traffic
+through their :class:`~repro.schedulers.geometry.PartitionGeometry` and
+results through :meth:`Objective.evaluate_result`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "OBJECTIVE_VERSION",
+    "PlanScore",
+    "Objective",
+    "MakespanObjective",
+    "CostObjective",
+    "BlendedObjective",
+    "OBJECTIVES",
+    "make_objective",
+    "billed_worker_seconds",
+]
+
+#: Version tag of the objective layer, folded into every content-addressed
+#: cache key (see :mod:`repro.experiments.parallel`): pre-objective cached
+#: payloads can never collide with objective-parameterized tasks, and a
+#: semantic change to any objective's scoring bumps it once for all.
+OBJECTIVE_VERSION = "objective-v1"
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """Objective inputs summarizing one candidate schedule."""
+
+    #: Predicted or measured completion time (seconds).
+    makespan: float
+    #: Enrolled worker count (workers that hold at least one chunk).
+    workers: int
+    #: Total blocks through the master port (C in, A/B rounds, C out).
+    port_blocks: int
+    #: Bytes per block (``grid.block_bytes``); 0 when no grid is known.
+    block_bytes: int
+
+
+def billed_worker_seconds(
+    workers: Sequence[int], horizon: float, timeline=None
+) -> float:
+    """Billable worker-seconds of ``workers`` over ``[0, horizon]``.
+
+    Without a timeline every worker is billed for the whole horizon.  With
+    one, crash windows are free and a worker re-joining is billed from its
+    join time -- the same alive-window derivation
+    :func:`~repro.sim.validate.validate_dynamic` uses for time-varying
+    pricing.
+    """
+    if timeline is None or not len(timeline):
+        return horizon * len(workers)
+    total = 0.0
+    for widx in workers:
+        alive = True
+        mark = 0.0
+        billed = 0.0
+        for ev in timeline.events:
+            if ev.worker != widx or ev.kind not in ("crash", "join"):
+                continue
+            at = min(max(ev.time, 0.0), horizon)
+            if ev.kind == "crash" and alive:
+                billed += at - mark
+                alive = False
+            elif ev.kind == "join" and not alive:
+                mark = at
+                alive = True
+        if alive:
+            billed += horizon - mark
+        total += billed
+    return total
+
+
+class Objective(ABC):
+    """Scoring rule for comparing candidate schedules (lower is better)."""
+
+    #: Registry name (``"makespan"`` / ``"cost"`` / ``"blend"``).
+    name: str = "?"
+
+    #: True only for the pure-makespan objective: search paths use it to
+    #: take their original (bit-identical) ``min(makespan)`` fast path.
+    is_makespan: bool = False
+
+    @property
+    def signature(self) -> str:
+        """Configuration fingerprint folded into scheduler signatures (and
+        thereby into the content-addressed cache keys)."""
+        return f"obj={self.name}"
+
+    @abstractmethod
+    def score(self, s: PlanScore) -> float:
+        """Scalar score of one candidate; candidates compare by ``min``."""
+
+    def dollars(self, s: PlanScore, *, billed_seconds: float | None = None) -> float:
+        """Dollar cost of a candidate (0 for objectives without pricing)."""
+        return 0.0
+
+    def evaluate_result(self, result, timeline=None) -> float:
+        """Score a simulated :class:`~repro.sim.engine.SimResult` (with
+        timeline-aware worker billing for dynamic runs)."""
+        s = self.result_score(result)
+        if timeline is not None and not self.is_makespan:
+            billed = billed_worker_seconds(result.enrolled, result.makespan, timeline)
+            return self._score_billed(s, billed)
+        return self.score(s)
+
+    def result_dollars(self, result, timeline=None) -> float:
+        """Dollar cost of a simulated result (timeline-aware billing)."""
+        s = self.result_score(result)
+        billed = None
+        if timeline is not None:
+            billed = billed_worker_seconds(result.enrolled, result.makespan, timeline)
+        return self.dollars(s, billed_seconds=billed)
+
+    @staticmethod
+    def result_score(result) -> PlanScore:
+        """Build the :class:`PlanScore` of a simulated result."""
+        grid = getattr(result, "grid", None)
+        return PlanScore(
+            makespan=result.makespan,
+            workers=result.n_enrolled,
+            port_blocks=result.blocks_through_port,
+            block_bytes=grid.block_bytes if grid is not None else 0,
+        )
+
+    def _score_billed(self, s: PlanScore, billed_seconds: float) -> float:
+        return self.score(s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.signature}>"
+
+
+class MakespanObjective(Objective):
+    """The paper's rule: minimize completion time."""
+
+    name = "makespan"
+    is_makespan = True
+
+    def score(self, s: PlanScore) -> float:
+        return s.makespan
+
+
+class CostObjective(Objective):
+    """Minimize dollars under a deadline.
+
+    ``worker_rate`` is $ per enrolled worker-second, ``byte_rate`` $ per
+    byte through the master port (defaults: 1e-4 $/worker-s and 1 $/GB,
+    chosen so neither term vanishes at the paper's scales).  A candidate
+    whose makespan exceeds ``deadline`` scores infinite -- inadmissible,
+    never merely expensive.
+    """
+
+    name = "cost"
+
+    def __init__(
+        self,
+        *,
+        worker_rate: float = 1e-4,
+        byte_rate: float = 1e-9,
+        deadline: float | None = None,
+    ) -> None:
+        if worker_rate < 0 or byte_rate < 0:
+            raise ValueError("pricing rates must be non-negative")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.worker_rate = worker_rate
+        self.byte_rate = byte_rate
+        self.deadline = deadline
+
+    @property
+    def signature(self) -> str:
+        return (
+            f"obj={self.name}[wr={self.worker_rate!r},br={self.byte_rate!r},"
+            f"dl={self.deadline!r}]"
+        )
+
+    def dollars(self, s: PlanScore, *, billed_seconds: float | None = None) -> float:
+        seconds = (
+            billed_seconds if billed_seconds is not None else s.makespan * s.workers
+        )
+        return self.worker_rate * seconds + self.byte_rate * s.port_blocks * s.block_bytes
+
+    def score(self, s: PlanScore) -> float:
+        if self.deadline is not None and s.makespan > self.deadline:
+            return float("inf")
+        return self.dollars(s)
+
+    def _score_billed(self, s: PlanScore, billed_seconds: float) -> float:
+        if self.deadline is not None and s.makespan > self.deadline:
+            return float("inf")
+        return self.dollars(s, billed_seconds=billed_seconds)
+
+
+class BlendedObjective(Objective):
+    """Weighted blend ``makespan_weight * makespan + dollar_weight *
+    dollars``, pricing dollars through an inner :class:`CostObjective`
+    (deadline included: an inadmissible candidate stays infinite)."""
+
+    name = "blend"
+
+    def __init__(
+        self,
+        *,
+        makespan_weight: float = 1.0,
+        dollar_weight: float = 1.0,
+        cost: CostObjective | None = None,
+    ) -> None:
+        if makespan_weight < 0 or dollar_weight < 0:
+            raise ValueError("blend weights must be non-negative")
+        if makespan_weight == 0 and dollar_weight == 0:
+            raise ValueError("at least one blend weight must be positive")
+        self.makespan_weight = makespan_weight
+        self.dollar_weight = dollar_weight
+        self.cost = cost if cost is not None else CostObjective()
+
+    @property
+    def signature(self) -> str:
+        return (
+            f"obj={self.name}[mw={self.makespan_weight!r},"
+            f"dw={self.dollar_weight!r},{self.cost.signature}]"
+        )
+
+    def dollars(self, s: PlanScore, *, billed_seconds: float | None = None) -> float:
+        return self.cost.dollars(s, billed_seconds=billed_seconds)
+
+    def score(self, s: PlanScore) -> float:
+        inner = self.cost.score(s)
+        if inner == float("inf"):
+            return inner
+        return self.makespan_weight * s.makespan + self.dollar_weight * inner
+
+    def _score_billed(self, s: PlanScore, billed_seconds: float) -> float:
+        inner = self.cost._score_billed(s, billed_seconds)
+        if inner == float("inf"):
+            return inner
+        return self.makespan_weight * s.makespan + self.dollar_weight * inner
+
+
+#: Objective factory per registry name.
+OBJECTIVES: dict[str, Callable[[], Objective]] = {
+    "makespan": MakespanObjective,
+    "cost": CostObjective,
+    "blend": BlendedObjective,
+}
+
+
+def make_objective(spec: "Objective | str | None") -> Objective:
+    """Resolve an objective: an instance passes through, ``None`` means
+    makespan, and a (case-insensitive) name is looked up in
+    :data:`OBJECTIVES`.  Two parameterized spellings are accepted:
+    ``"cost@<deadline>"`` (dollars under a deadline in seconds) and
+    ``"blend:<dollar_weight>"``."""
+    if spec is None:
+        return MakespanObjective()
+    if isinstance(spec, Objective):
+        return spec
+    raw = str(spec).strip()
+    key = raw.lower()
+    if key.startswith("cost@"):
+        try:
+            deadline = float(key[len("cost@") :])
+        except ValueError:
+            raise KeyError(f"bad deadline in objective spec {raw!r}") from None
+        return CostObjective(deadline=deadline)
+    if key.startswith("blend:"):
+        try:
+            weight = float(key[len("blend:") :])
+        except ValueError:
+            raise KeyError(f"bad weight in objective spec {raw!r}") from None
+        return BlendedObjective(dollar_weight=weight)
+    try:
+        factory = OBJECTIVES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {spec!r}; known: {sorted(OBJECTIVES)} "
+            "(parameterized: 'cost@<deadline>', 'blend:<dollar_weight>')"
+        ) from None
+    return factory()

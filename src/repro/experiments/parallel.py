@@ -10,12 +10,18 @@ module turns those runs into a flat task list that can
 * skip work that was already done, via a content-addressed on-disk cache.
 
 **Cache key scheme.**  A task's key is the SHA-256 of a canonical string
-built from four fingerprints::
+built from these fingerprints::
 
-    engine | algorithm-signature | platform | grid
+    engine | geometry-version | objective-version | algorithm-signature | platform | grid
 
 ``engine`` is :data:`ENGINE_FINGERPRINT`, bumped whenever the simulation
-semantics change (which would invalidate every stored makespan).  The
+semantics change (which would invalidate every stored makespan).
+``geometry-version`` / ``objective-version`` are
+:data:`~repro.schedulers.geometry.GEOMETRY_VERSION` and
+:data:`~repro.experiments.objectives.OBJECTIVE_VERSION` -- salts that
+separate pre-geometry payloads from geometry/objective-parameterized
+tasks and let a semantic change to either layer invalidate its payloads
+without touching the engine fingerprint.  The
 algorithm contributes :attr:`~repro.schedulers.base.Scheduler.signature`
 (its name plus any constructor configuration, e.g. a restricted Het variant
 set).  The platform contributes every worker's exact ``(c, w, m)`` scalars
@@ -43,6 +49,8 @@ from ..core.blocks import BlockGrid
 from ..obs import counter, stopwatch, trace
 from ..platform.model import Platform
 from ..schedulers.base import Scheduler, SchedulingError
+from ..schedulers.geometry import GEOMETRY_VERSION
+from .objectives import OBJECTIVE_VERSION
 
 __all__ = [
     "ENGINE_FINGERPRINT",
@@ -115,6 +123,8 @@ def dynamic_task_key(
     """
     parts = [
         ENGINE_FINGERPRINT,
+        GEOMETRY_VERSION,
+        OBJECTIVE_VERSION,
         scheduler.signature,
         f"mode={mode}",
         fingerprint_platform(platform),
@@ -154,6 +164,8 @@ def task_key(
     """
     parts = [
         ENGINE_FINGERPRINT,
+        GEOMETRY_VERSION,
+        OBJECTIVE_VERSION,
         scheduler.signature,
         fingerprint_platform(platform),
         fingerprint_grid(grid),
@@ -255,6 +267,7 @@ def _execute_task(task: RunTask) -> dict:
     return {
         "makespan": result.makespan,
         "n_enrolled": result.n_enrolled,
+        "port_blocks": result.blocks_through_port,
         "meta": _json_safe(result.meta),
     }
 

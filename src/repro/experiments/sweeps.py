@@ -87,6 +87,7 @@ def _measure_points(
     cache,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> list[SweepPoint]:
     """Shared sweep core: run every algorithm on every (ratio, platform)
     point.  With ``parallel``/``cache`` the whole sweep becomes one flat
@@ -113,12 +114,14 @@ def _measure_points(
             cache = None
         return _measure_points_engine(
             labelled_platforms, grid, algorithms, engine, parallel, cache,
-            kernel=kernel,
+            kernel=kernel, objective=objective,
         )
     if parallel is not None or cache is not None:
         from .parallel import RunTask, run_tasks
 
-        scheds = {name: make_scheduler(name) for name in algorithms}
+        scheds = {
+            name: make_scheduler(name, objective=objective) for name in algorithms
+        }
         tasks = [
             RunTask(scheduler=scheds[name], platform=plat, grid=grid)
             for _ratio, plat in labelled_platforms
@@ -150,7 +153,7 @@ def _measure_points(
         makespans = {}
         enrollment = {}
         for name in algorithms:
-            sched: Scheduler = make_scheduler(name)
+            sched: Scheduler = make_scheduler(name, objective=objective)
             try:
                 res = sched.run(plat, grid, collect_events=False, kernel=kernel)
             except SchedulingError:
@@ -187,7 +190,7 @@ def _points_from(labelled_platforms, grid, keys, values) -> list[SweepPoint]:
 
 def _measure_points_engine(
     labelled_platforms, grid, algorithms, engine, parallel=None, cache=None,
-    kernel=None,
+    kernel=None, objective=None,
 ) -> list[SweepPoint]:
     """Plan (optionally across processes, skipping cached batch results),
     then score centrally under the explicit engine — one vectorized
@@ -195,7 +198,7 @@ def _measure_points_engine(
     like the serial path's SchedulingError handling."""
     from .harness import evaluate_suite
 
-    scheds = {name: make_scheduler(name) for name in algorithms}
+    scheds = {name: make_scheduler(name, objective=objective) for name in algorithms}
     jobs = [
         (ratio, plat, name)
         for ratio, plat in labelled_platforms
@@ -227,6 +230,7 @@ def heterogeneity_sweep(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> HeterogeneitySweep:
     """Run every algorithm over fully heterogeneous platforms whose
     large/small parameter ratio sweeps over ``ratios``."""
@@ -239,7 +243,10 @@ def heterogeneity_sweep(
             plat = scale_platform(plat, scale)
         labelled.append((ratio, plat))
     sweep.points.extend(
-        _measure_points(labelled, grid, algorithms, parallel, cache, engine, kernel=kernel)
+        _measure_points(
+            labelled, grid, algorithms, parallel, cache, engine,
+            kernel=kernel, objective=objective,
+        )
     )
     return sweep
 
@@ -296,6 +303,7 @@ def straggler_sweep(
     cache=None,
     engine: str = "fast",
     kernel=None,
+    objective=None,
 ) -> HeterogeneitySweep:
     """Degrade one worker of an otherwise homogeneous platform by a growing
     compute slowdown and watch who copes.
@@ -319,7 +327,10 @@ def straggler_sweep(
             (slowdown, timeline.final_platform(base, name=f"straggler-x{slowdown:g}"))
         )
     sweep.points.extend(
-        _measure_points(labelled, grid, algorithms, parallel, cache, engine, kernel=kernel)
+        _measure_points(
+            labelled, grid, algorithms, parallel, cache, engine,
+            kernel=kernel, objective=objective,
+        )
     )
     return sweep
 
@@ -492,6 +503,7 @@ def dynamic_sweep(
     cache=None,
     redundancy: int = 1,
     decode_k: int | None = None,
+    objective=None,
 ) -> DynamicSweep:
     """Quantify oblivious vs adaptive vs reselect vs clairvoyant scheduling
     on one dynamic scenario across severities.
@@ -529,6 +541,12 @@ def dynamic_sweep(
     different seed or rate can never surface another draw's stale
     makespans; reselect-mode payloads are additionally keyed on the batch
     engine version their boundary re-searches ran under.
+
+    ``objective`` (a name, spec string, or
+    :class:`~repro.experiments.objectives.Objective`) is applied to every
+    base scheduler; the adaptive wrappers inherit it for their boundary
+    decisions, and the signatures it folds into keep cached payloads per
+    objective.
     """
     import random as _random
 
@@ -621,7 +639,9 @@ def dynamic_sweep(
                 for mode in mode_list:
                     if mode == "coded":
                         continue  # pseudo-mode: only coded schedulers fill it
-                    wrapper = AdaptiveScheduler(make_scheduler(name), mode)
+                    wrapper = AdaptiveScheduler(
+                        make_scheduler(name, objective=objective), mode
+                    )
                     key = None
                     if store is not None:
                         key = dynamic_task_key(

@@ -5,6 +5,14 @@ from .adaptive import DYNAMIC_MODES, AdaptiveScheduler
 from .base import Scheduler, SchedulingError
 from .bmm import BMMScheduler
 from .demand_driven import ODDOMLScheduler
+from .geometry import (
+    GEOMETRIES,
+    GridGeometry,
+    LayerGeometry,
+    PartitionGeometry,
+    make_geometry,
+    transpose_chunk,
+)
 from .heterogeneous import HetScheduler
 from .homogeneous import (
     HomIScheduler,
@@ -14,7 +22,7 @@ from .homogeneous import (
     homogeneous_worker_count,
 )
 from .min_min import OMMOMLScheduler
-from .registry import SCHEDULERS, default_suite, make_scheduler
+from .registry import SCHEDULERS, canonical_name, default_suite, layer_suite, make_scheduler
 from .round_robin import ORROMLScheduler
 from .selection import (
     ALL_VARIANTS,
@@ -42,8 +50,16 @@ __all__ = [
     "homogeneous_plan",
     "homogeneous_worker_count",
     "OMMOMLScheduler",
+    "GEOMETRIES",
+    "GridGeometry",
+    "LayerGeometry",
+    "PartitionGeometry",
+    "make_geometry",
+    "transpose_chunk",
     "SCHEDULERS",
+    "canonical_name",
     "default_suite",
+    "layer_suite",
     "make_scheduler",
     "ORROMLScheduler",
     "ALL_VARIANTS",

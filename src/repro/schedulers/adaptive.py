@@ -301,6 +301,36 @@ class AdaptiveScheduler:
     def name(self) -> str:
         return f"{self.base.name}[{self.mode}]"
 
+    @property
+    def objective(self):
+        """The base scheduler's scoring objective
+        (:mod:`repro.experiments.objectives`; ``None`` = pure makespan).
+        Boundary decisions score candidate reactions under it, so e.g. a
+        cost objective keeps a crashed worker's chunks unmigrated when the
+        extra traffic costs more than the time it saves."""
+        return getattr(self.base, "objective", None)
+
+    def _candidate_score(self, makespan: float, chunks_by_worker) -> float:
+        """Objective score of one candidate continuation: ``makespan`` as
+        simulated, priced over the candidate's full chunk layout.  The
+        default makespan objective returns ``makespan`` unchanged (the
+        original comparison)."""
+        objective = self.objective
+        if objective is None or objective.is_makespan:
+            return makespan
+        from ..experiments.objectives import PlanScore
+
+        workers = sum(1 for chs in chunks_by_worker if chs)
+        port_blocks = sum(ch.comm_blocks for chs in chunks_by_worker for ch in chs)
+        return objective.score(
+            PlanScore(
+                makespan=makespan,
+                workers=workers,
+                port_blocks=port_blocks,
+                block_bytes=self._grid.block_bytes,
+            )
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<AdaptiveScheduler {self.name}>"
 
@@ -493,6 +523,8 @@ class AdaptiveScheduler:
             # nothing to decide: skip the (full-simulation) scoring pass
             self._decisions.append(f"t={now:g}:continue")
             return
+        objective = self.objective
+        rescore = objective is not None and not objective.is_makespan
         best_label, best_apply, best_score = "continue", None, _INF
         for label, migration in candidates:
             probe = run.probe()
@@ -502,6 +534,10 @@ class AdaptiveScheduler:
                 score = probe.finish()
             except (DynamicStall, RuntimeError, SchedulingError):
                 continue
+            if rescore:
+                score = self._candidate_score(
+                    score, [probe.chunk_history(w) for w in range(p)]
+                )
             if score < best_score:
                 best_label, best_apply, best_score = label, migration, score
         if best_apply is not None:
@@ -908,7 +944,15 @@ class AdaptiveScheduler:
         stats["full_steps"] += len(runs) * prefix_steps + sum(
             len(tail) for _chs, tail in tails
         )
-        best = min(range(len(runs)), key=lambda i: (scores[i], i))
+        objective = self.objective
+        if objective is None or objective.is_makespan:
+            best = min(range(len(runs)), key=lambda i: (scores[i], i))
+        else:
+            rescored = [
+                self._candidate_score(float(scores[i]), runs[i][1].assignments)
+                for i in range(len(runs))
+            ]
+            best = min(range(len(runs)), key=lambda i: (rescored[i], i))
         new_chunks, order_tail = tails[best]
 
         def apply(target: DynamicRun) -> None:

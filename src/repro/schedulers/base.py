@@ -32,12 +32,37 @@ class Scheduler(ABC):
     #: Short name used in reports (e.g. ``"Het"``); subclasses override.
     name: str = "?"
 
+    #: Active scoring objective (:mod:`repro.experiments.objectives`);
+    #: ``None`` means pure makespan.  Searching schedulers (Hom/HomI/Het)
+    #: consult it when comparing candidates and fold it into their
+    #: ``signature``; for the others it only informs reporting.
+    objective = None
+
     @property
     def signature(self) -> str:
         """Configuration fingerprint used by the result cache
         (:mod:`repro.experiments.parallel`).  Subclasses whose behaviour
-        depends on constructor arguments must fold them in."""
-        return self.name
+        depends on constructor arguments must fold them in (and should
+        wrap their value in :meth:`_objective_sig`, since the adaptive
+        wrapper's boundary decisions consult the objective even for
+        schedulers whose static planning ignores it)."""
+        return self._objective_sig(self.name)
+
+    def _objective_sig(self, sig: str) -> str:
+        """Fold a non-default objective into a signature string."""
+        if self.objective is not None and not self.objective.is_makespan:
+            sig = f"{sig}|{self.objective.signature}"
+        return sig
+
+    def with_objective(self, objective) -> "Scheduler":
+        """Set the scoring objective (name, spec string, or
+        :class:`~repro.experiments.objectives.Objective`) and return
+        ``self`` -- the harness/sweeps use this to apply one objective to
+        a whole suite."""
+        from ..experiments.objectives import make_objective
+
+        self.objective = make_objective(objective)
+        return self
 
     @abstractmethod
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:

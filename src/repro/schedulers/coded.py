@@ -292,7 +292,7 @@ class _CodedBase(Scheduler):
 
     @property
     def signature(self) -> str:
-        return f"{self.name}(r={self.redundancy},k={self.k})"
+        return self._objective_sig(f"{self.name}(r={self.redundancy},k={self.k})")
 
     # -- geometry -------------------------------------------------------
     def _geometry(self, platform: Platform, grid: BlockGrid):

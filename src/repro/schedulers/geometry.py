@@ -1,0 +1,232 @@
+"""Partition geometries: how a scheduler tiles C into worker chunks.
+
+The paper's algorithms all walk C the same way: ``mu``-wide *column
+panels*, each panel processed top to bottom in ``mu x mu`` chunks (the
+square-chunk grid of Section 4).  *Layer Based Partition for Matrix
+Multiplication on Heterogeneous Processor Platforms* (Liu, Shi, Zhang &
+Robertazzi) partitions C the transposed way: horizontal *layers* of block
+rows, each layer walked left to right.  On the one-port star both
+geometries stream the same per-chunk traffic (a round of an ``h x w``
+chunk carries ``h`` A blocks and ``w`` B blocks either way), but they cut
+the ragged edges of a non-square grid differently and deal panels/layers
+round-robin along different axes, so their makespans diverge whenever
+``r != s`` or the edge remainders differ.
+
+:class:`PartitionGeometry` makes the tiling a first-class scheduler
+parameter instead of a constant:
+
+* :meth:`~PartitionGeometry.plan_grid` maps the real grid to the grid the
+  core planning algorithm should tile.  The square-chunk
+  :class:`GridGeometry` is the identity; :class:`LayerGeometry` transposes
+  (``r <-> s``), because a layer of C is exactly a column panel of the
+  transposed product ``C^T = B^T A^T``.
+* :meth:`~PartitionGeometry.finalize` maps the planned chunks back onto
+  the real grid (for layers: transpose every chunk and swap its per-round
+  A/B payloads) and stamps the plan's ``meta["geometry"]``.
+* :meth:`~PartitionGeometry.audit` is the tiling invariant
+  :func:`~repro.sim.validate.validate_dynamic` enforces on recorded runs
+  (dispatched by the result's ``meta["geometry"]`` via
+  :func:`audit_tiling`).
+* :meth:`~PartitionGeometry.chunk_traffic` /
+  :meth:`~PartitionGeometry.chunk_updates` /
+  :meth:`~PartitionGeometry.plan_port_blocks` derive the per-chunk
+  traffic and compute cost the objectives price (see
+  :mod:`repro.experiments.objectives`).
+
+Because a layer plan is a transposed grid plan, every simulation engine,
+the adaptive wrapper and the validator work on it unchanged -- the
+message sequence of the finalized plan is block-for-block the sequence of
+the plan on the transposed grid, so a layer variant's makespan equals the
+grid variant's makespan on the transposed grid exactly (a property the
+tests pin).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence
+
+from ..core.blocks import BlockGrid
+from ..core.chunks import Chunk, RoundSpec, assert_partition
+from ..sim.plan import Plan
+
+__all__ = [
+    "GEOMETRY_VERSION",
+    "PartitionGeometry",
+    "GridGeometry",
+    "LayerGeometry",
+    "GEOMETRIES",
+    "make_geometry",
+    "transpose_chunk",
+    "audit_tiling",
+]
+
+#: Version tag of the geometry layer, folded into every content-addressed
+#: cache key (see :mod:`repro.experiments.parallel`): pre-geometry cached
+#: payloads can never collide with geometry-parameterized tasks, and a
+#: semantic change to any geometry bumps it once for all of them.
+GEOMETRY_VERSION = "geometry-v1"
+
+
+class PartitionGeometry(ABC):
+    """Strategy object owning the tiling of C and its cost derivation."""
+
+    #: Registry name (``"grid"`` / ``"layer"``); subclasses override.
+    name: str = "?"
+
+    #: Scheduler-name suffix of this geometry's registry variants ("" for
+    #: the default grid, ``"L"`` for layers: ``Hom`` -> ``HomL``).
+    suffix: str = ""
+
+    @property
+    def signature(self) -> str:
+        """Configuration fingerprint folded into scheduler signatures."""
+        return f"geom={self.name}"
+
+    @abstractmethod
+    def plan_grid(self, grid: BlockGrid) -> BlockGrid:
+        """The grid the core planning algorithm should tile with column
+        panels (identity for the square-chunk grid, transposed for
+        layers)."""
+
+    @abstractmethod
+    def finalize(self, plan: Plan, grid: BlockGrid) -> Plan:
+        """Map a plan built on :meth:`plan_grid`'s grid back onto the real
+        ``grid`` and stamp ``meta["geometry"]``."""
+
+    def audit(self, chunks: Sequence[Chunk], grid: BlockGrid) -> None:
+        """Tiling invariant of recorded runs: the surviving chunks must
+        tile C exactly.  Chunk *shapes* are deliberately not constrained
+        -- adaptive migration legitimately re-cuts them mid-run -- so both
+        geometries share the exact-cover audit."""
+        assert_partition(chunks, grid)
+
+    # -- per-chunk cost derivation (priced by the objectives) ------------
+
+    def chunk_traffic(self, chunk: Chunk) -> int:
+        """Blocks through the master port for ``chunk`` (C in, A/B rounds,
+        C out)."""
+        return chunk.comm_blocks
+
+    def chunk_updates(self, chunk: Chunk) -> int:
+        """Block updates (compute work) of ``chunk``."""
+        return chunk.total_updates
+
+    def plan_port_blocks(self, plan_or_chunks: Plan | Iterable[Chunk]) -> int:
+        """Total port traffic (blocks) of a static plan or chunk set."""
+        chunks = (
+            plan_or_chunks.static_chunks
+            if isinstance(plan_or_chunks, Plan)
+            else plan_or_chunks
+        )
+        return sum(self.chunk_traffic(ch) for ch in chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class GridGeometry(PartitionGeometry):
+    """The paper's square-chunk grid: ``mu``-wide column panels walked top
+    to bottom.  Pure identity -- the default geometry is bit-identical to
+    the pre-geometry planners (the golden walls pin this)."""
+
+    name = "grid"
+
+    def plan_grid(self, grid: BlockGrid) -> BlockGrid:
+        return grid
+
+    def finalize(self, plan: Plan, grid: BlockGrid) -> Plan:
+        return plan
+
+
+def transpose_chunk(chunk: Chunk) -> Chunk:
+    """Reflect a chunk across the grid diagonal: ``(i0, h) <-> (j0, w)``,
+    with each round's A/B payloads swapped (the transposed chunk's ``h``
+    rows need ``h`` A blocks per ``k``, which were the original's B
+    blocks).  Round count, k coverage, update counts -- and therefore the
+    chunk's traffic and work -- are preserved."""
+    rounds = tuple(
+        RoundSpec(
+            k_lo=rd.k_lo,
+            k_hi=rd.k_hi,
+            a_blocks=rd.b_blocks,
+            b_blocks=rd.a_blocks,
+            updates=rd.updates,
+        )
+        for rd in chunk.rounds
+    )
+    return Chunk(
+        cid=chunk.cid,
+        worker=chunk.worker,
+        i0=chunk.j0,
+        h=chunk.w,
+        j0=chunk.i0,
+        w=chunk.h,
+        rounds=rounds,
+    )
+
+
+class LayerGeometry(PartitionGeometry):
+    """Layer-based partition: horizontal layers of block rows, each walked
+    left to right (Liu et al.).
+
+    Implemented by planning on the transposed grid -- a layer of C is a
+    column panel of ``C^T = B^T A^T`` -- and transposing every chunk back.
+    The finalized plan's message sequence (C sends, A/B rounds, C returns,
+    in the same port order with the same block counts) is identical to the
+    transposed-grid plan's, so all engines and the adaptive wrapper run it
+    unchanged.
+    """
+
+    name = "layer"
+    suffix = "L"
+
+    def plan_grid(self, grid: BlockGrid) -> BlockGrid:
+        return BlockGrid(r=grid.s, t=grid.t, s=grid.r, q=grid.q)
+
+    def finalize(self, plan: Plan, grid: BlockGrid) -> Plan:
+        if plan.allocator is not None:
+            raise ValueError(
+                "layer geometry finalizes static plans only; demand-driven "
+                "allocator plans are not supported"
+            )
+        plan.assignments = [
+            [transpose_chunk(ch) for ch in queue] for queue in plan.assignments
+        ]
+        plan.meta["geometry"] = self.name
+        return plan
+
+
+#: Geometry factory per registry name.
+GEOMETRIES: dict[str, Callable[[], PartitionGeometry]] = {
+    "grid": GridGeometry,
+    "layer": LayerGeometry,
+}
+
+
+def make_geometry(spec: "PartitionGeometry | str | None") -> PartitionGeometry:
+    """Resolve a geometry: an instance passes through, a (case-insensitive)
+    name is looked up in :data:`GEOMETRIES`, ``None`` means the default
+    square-chunk grid."""
+    if spec is None:
+        return GridGeometry()
+    if isinstance(spec, PartitionGeometry):
+        return spec
+    key = str(spec).strip().lower()
+    try:
+        factory = GEOMETRIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown geometry {spec!r}; known: {sorted(GEOMETRIES)}"
+        ) from None
+    return factory()
+
+
+def audit_tiling(
+    chunks: Sequence[Chunk], grid: BlockGrid, geometry: str | None = None
+) -> None:
+    """Geometry-aware tiling audit used by
+    :func:`~repro.sim.validate.validate_dynamic`: dispatches on the
+    recorded run's ``meta["geometry"]`` (default ``"grid"``); unknown
+    geometry names are rejected rather than silently skipping the audit."""
+    make_geometry(geometry).audit(chunks, grid)

@@ -18,7 +18,8 @@ from ..core.blocks import BlockGrid
 from ..platform.model import Platform
 from ..sim.batch import batch_simulate
 from ..sim.plan import Plan
-from .base import Scheduler
+from .base import Scheduler, SchedulingError
+from .geometry import PartitionGeometry, make_geometry
 from .selection import ALL_VARIANTS, Variant, build_plan_from_sequence, incremental_selection
 
 __all__ = ["HetScheduler"]
@@ -31,37 +32,93 @@ class HetScheduler(Scheduler):
     ----------
     variants:
         Subset of variants to consider (default: all eight).
+    geometry:
+        Partition family (see :mod:`repro.schedulers.geometry`): the
+        default square-chunk grid, or ``"layer"`` (registered as
+        ``HetL``), which runs the incremental selection on the transposed
+        grid so the granted column panels become layers of C.
+    objective:
+        Scoring rule for the variant choice (see
+        :mod:`repro.experiments.objectives`); the default compares
+        variants on simulated makespan exactly as before.
     """
 
     name = "Het"
 
-    def __init__(self, variants: tuple[Variant, ...] = ALL_VARIANTS) -> None:
+    def __init__(
+        self,
+        variants: tuple[Variant, ...] = ALL_VARIANTS,
+        *,
+        geometry: "PartitionGeometry | str | None" = None,
+        objective=None,
+    ) -> None:
         if not variants:
             raise ValueError("need at least one variant")
         self.variants = tuple(variants)
+        self.geometry = make_geometry(geometry)
+        if self.geometry.suffix:
+            self.name = f"{type(self).name}{self.geometry.suffix}"
+        if objective is not None:
+            self.with_objective(objective)
 
     @property
     def signature(self) -> str:
-        if self.variants == ALL_VARIANTS:
-            return self.name
-        return f"{self.name}[{','.join(v.label for v in self.variants)}]"
+        sig = type(self).name
+        if self.variants != ALL_VARIANTS:
+            sig = f"{sig}[{','.join(v.label for v in self.variants)}]"
+        if self.geometry.name != "grid":
+            sig = f"{sig}|{self.geometry.signature}"
+        if self.objective is not None and not self.objective.is_makespan:
+            sig = f"{sig}|{self.objective.signature}"
+        return sig
+
+    def _best_index(self, makespans, plans: list[Plan], pgrid: BlockGrid) -> int:
+        """Index of the winning variant under the active objective (the
+        default makespan objective keeps the original comparison)."""
+        objective = self.objective
+        if objective is None or objective.is_makespan:
+            return min(range(len(plans)), key=lambda i: (float(makespans[i]), i))
+        from ..experiments.objectives import PlanScore
+
+        def _score(i: int) -> float:
+            plan = plans[i]
+            workers = sum(1 for queue in plan.assignments if queue)
+            return objective.score(
+                PlanScore(
+                    makespan=float(makespans[i]),
+                    workers=workers,
+                    port_blocks=self.geometry.plan_port_blocks(plan),
+                    block_bytes=pgrid.block_bytes,
+                )
+            )
+
+        best = min(range(len(plans)), key=lambda i: (_score(i), i))
+        if _score(best) == float("inf"):
+            raise SchedulingError(
+                f"{self.name}: no variant is admissible under objective "
+                f"{objective.signature}"
+            )
+        return best
 
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
+        pgrid = self.geometry.plan_grid(grid)
         outcomes = [
-            incremental_selection(platform, grid, variant) for variant in self.variants
+            incremental_selection(platform, pgrid, variant) for variant in self.variants
         ]
         candidates = []
         for outcome in outcomes:
-            candidate = build_plan_from_sequence(platform, grid, outcome)
+            candidate = build_plan_from_sequence(platform, pgrid, outcome)
             candidate.collect_events = False
             candidates.append((platform, candidate))
         makespans = batch_simulate(candidates)
         scores = {
             variant.label: float(ms) for variant, ms in zip(self.variants, makespans)
         }
-        best_idx = min(range(len(outcomes)), key=lambda i: (float(makespans[i]), i))
+        best_idx = self._best_index(
+            makespans, [cand for _plat, cand in candidates], pgrid
+        )
         best_makespan = float(makespans[best_idx])
-        best_plan = build_plan_from_sequence(platform, grid, outcomes[best_idx])
+        best_plan = build_plan_from_sequence(platform, pgrid, outcomes[best_idx])
         best_plan.meta["variant"] = self.variants[best_idx].label
         best_plan.meta.update(
             {
@@ -70,4 +127,4 @@ class HetScheduler(Scheduler):
                 "predicted_makespan": best_makespan,
             }
         )
-        return best_plan
+        return self.geometry.finalize(best_plan, grid)

@@ -53,6 +53,7 @@ from ..sim.batch import batch_simulate
 from ..sim.plan import Plan
 from ..sim.policies import StrictOrderPolicy
 from .base import Scheduler, SchedulingError
+from .geometry import PartitionGeometry, make_geometry
 
 __all__ = [
     "homogeneous_worker_count",
@@ -215,10 +216,50 @@ class ReselectionChoice:
     m: int
 
 
+def homogeneous_port_blocks(grid: BlockGrid, mu: int) -> int:
+    """Total port traffic (blocks) of the homogeneous tiling of ``grid``
+    with chunk side ``mu``: every C block crosses twice, and each of the
+    ``ceil(s/mu) x ceil(r/mu)`` chunks streams ``(h + w)`` A/B blocks per
+    round over ``t`` rounds.  Independent of the worker count -- the
+    tiling, not the deal, determines the traffic."""
+    panels = ceil_div(grid.s, mu)
+    rows = ceil_div(grid.r, mu)
+    return 2 * grid.r * grid.s + grid.t * (panels * grid.r + rows * grid.s)
+
+
 class HomScheduler(Scheduler):
-    """Hom: homogeneous algorithm with memory-threshold platform extraction."""
+    """Hom: homogeneous algorithm with memory-threshold platform extraction.
+
+    ``geometry`` selects the partition family (see
+    :mod:`repro.schedulers.geometry`); the layer variant plans on the
+    transposed grid and is registered as ``HomL``.  ``objective`` selects
+    the scoring rule of the threshold search (see
+    :mod:`repro.experiments.objectives`); the default compares candidates
+    on their virtual makespan exactly as before.
+    """
 
     name = "Hom"
+
+    def __init__(
+        self,
+        *,
+        geometry: "PartitionGeometry | str | None" = None,
+        objective=None,
+    ) -> None:
+        self.geometry = make_geometry(geometry)
+        if self.geometry.suffix:
+            self.name = f"{type(self).name}{self.geometry.suffix}"
+        if objective is not None:
+            self.with_objective(objective)
+
+    @property
+    def signature(self) -> str:
+        sig = self.name
+        if self.geometry.name != "grid":
+            sig = f"{type(self).name}|{self.geometry.signature}"
+        if self.objective is not None and not self.objective.is_makespan:
+            sig = f"{sig}|{self.objective.signature}"
+        return sig
 
     def reselection_candidates(self, platform: Platform) -> list[ReselectionChoice]:
         """Threshold candidates for re-selecting the virtual platform
@@ -266,13 +307,43 @@ class HomScheduler(Scheduler):
     def _candidates(self, platform: Platform, grid: BlockGrid) -> list[_VirtualChoice]:
         return _evaluate_candidates(platform, grid, self._thresholds(platform))
 
+    def _pick(self, candidates: list[_VirtualChoice], pgrid: BlockGrid) -> _VirtualChoice:
+        """Select the best threshold candidate under the active objective.
+
+        The default makespan objective takes the original comparison
+        verbatim (bit-identical); cost-aware objectives price each
+        candidate's enrollment and tiling traffic analytically."""
+        objective = self.objective
+        if objective is None or objective.is_makespan:
+            return min(candidates, key=lambda ch: ch.estimate)
+        from ..experiments.objectives import PlanScore
+
+        def _score(ch: _VirtualChoice) -> float:
+            return objective.score(
+                PlanScore(
+                    makespan=ch.estimate,
+                    workers=ch.n_workers,
+                    port_blocks=homogeneous_port_blocks(pgrid, ch.mu),
+                    block_bytes=pgrid.block_bytes,
+                )
+            )
+
+        best = min(candidates, key=_score)
+        if _score(best) == float("inf"):
+            raise SchedulingError(
+                f"{self.name}: no threshold candidate is admissible under "
+                f"objective {objective.signature}"
+            )
+        return best
+
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
-        candidates = self._candidates(platform, grid)
+        pgrid = self.geometry.plan_grid(grid)
+        candidates = self._candidates(platform, pgrid)
         if not candidates:
             raise SchedulingError(f"{self.name}: no feasible virtual platform")
-        best = min(candidates, key=lambda ch: ch.estimate)
+        best = self._pick(candidates, pgrid)
         plan = homogeneous_plan(
-            grid,
+            pgrid,
             n_workers=best.n_workers,
             mu=best.mu,
             enrolled=list(best.enrolled),
@@ -285,7 +356,7 @@ class HomScheduler(Scheduler):
                 "apparent": {"c": best.c, "w": best.w, "m": best.m},
             }
         )
-        return plan
+        return self.geometry.finalize(plan, grid)
 
 
 class HomIScheduler(HomScheduler):

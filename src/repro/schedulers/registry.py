@@ -19,7 +19,13 @@ from .min_min import OMMOMLScheduler
 from .round_robin import ORROMLScheduler
 from .single_worker import MaxReuseSingleWorker
 
-__all__ = ["SCHEDULERS", "make_scheduler", "default_suite"]
+__all__ = [
+    "SCHEDULERS",
+    "canonical_name",
+    "make_scheduler",
+    "default_suite",
+    "layer_suite",
+]
 
 #: Factory per algorithm name.
 SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
@@ -35,18 +41,47 @@ SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
     # the replanning modes by dynamic_sweep and the coded benchmarks)
     "Coded": CodedScheduler,
     "CodedRL": RatelessCodedScheduler,
+    # layer-based partition variants (see repro.schedulers.geometry): the
+    # same search algorithms planning on the transposed grid, so C is cut
+    # into horizontal layers instead of column panels
+    "HomL": lambda: HomScheduler(geometry="layer"),
+    "HomIL": lambda: HomIScheduler(geometry="layer"),
+    "HetL": lambda: HetScheduler(geometry="layer"),
 }
 
+#: Case-insensitive spelling -> registered name.
+_CANONICAL: dict[str, str] = {name.lower(): name for name in SCHEDULERS}
 
-def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by its paper name (case-sensitive)."""
+
+def canonical_name(name: str) -> str:
+    """Resolve a (case-insensitive) algorithm name to its registered
+    spelling; unknown names raise a ``KeyError`` listing the registry."""
     try:
-        factory = SCHEDULERS[name]
+        return _CANONICAL[str(name).strip().lower()]
     except KeyError:
-        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(SCHEDULERS)}") from None
-    return factory()
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(SCHEDULERS)}"
+        ) from None
+
+
+def make_scheduler(name: str, *, objective=None) -> Scheduler:
+    """Instantiate a scheduler by its paper name (case-insensitive; the
+    registered spellings are canonical).  ``objective`` optionally sets
+    the scoring objective (a name, spec string, or
+    :class:`~repro.experiments.objectives.Objective`) on the new
+    instance."""
+    sched = SCHEDULERS[canonical_name(name)]()
+    if objective is not None:
+        sched.with_objective(objective)
+    return sched
 
 
 def default_suite() -> list[Scheduler]:
     """The seven algorithms compared throughout Section 6."""
     return [make_scheduler(n) for n in ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM")]
+
+
+def layer_suite() -> list[Scheduler]:
+    """The layer-based variants next to their square-chunk originals --
+    the suite the geometry comparisons run."""
+    return [make_scheduler(n) for n in ("Hom", "HomL", "HomI", "HomIL", "Het", "HetL")]

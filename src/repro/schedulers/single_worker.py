@@ -39,7 +39,8 @@ class MaxReuseSingleWorker(Scheduler):
 
     @property
     def signature(self) -> str:
-        return self.name if self.worker == 0 else f"{self.name}[w{self.worker}]"
+        sig = self.name if self.worker == 0 else f"{self.name}[w{self.worker}]"
+        return self._objective_sig(sig)
 
     def plan(self, platform: Platform, grid: BlockGrid) -> Plan:
         widx = self.worker

@@ -41,7 +41,7 @@ from ..core.blocks import BlockGrid
 from ..obs import counter, gauge, timer, trace
 from ..platform.model import Platform
 from ..schedulers.base import SchedulingError
-from ..schedulers.registry import make_scheduler
+from ..schedulers.registry import canonical_name, make_scheduler
 from .pool import WorkerPool, WorkerProcessError
 from .runner import ShardRunner, ShardStats
 
@@ -161,6 +161,12 @@ class SchedulingService:
         Per-``C_RETURN`` reply bound handed to every shard runner.
     context:
         ``multiprocessing`` start method (``None`` = platform default).
+    objective:
+        Scoring objective applied to every admission scheduler (a name,
+        spec string, or :class:`~repro.experiments.objectives.Objective`
+        -- see that module): e.g. ``"cost@30"`` admits the cheapest shard
+        that still meets a 30-second deadline instead of the fastest one.
+        Default ``None`` keeps the original makespan admission.
     """
 
     _WAIT = 0.05
@@ -174,18 +180,26 @@ class SchedulingService:
         max_concurrent_jobs: int | None = None,
         reply_timeout: float = 60.0,
         context: str | None = None,
+        objective=None,
     ) -> None:
         if max_workers_per_job is not None and max_workers_per_job < 1:
             raise ValueError("max_workers_per_job must be >= 1")
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be >= 1")
         self.platform = platform
-        self.algorithm = algorithm
+        self.algorithm = canonical_name(algorithm)
+        if objective is not None:
+            from ..experiments.objectives import make_objective
+
+            objective = make_objective(objective)
+        self.objective = objective
         self.max_workers_per_job = max_workers_per_job
         self.max_concurrent_jobs = max_concurrent_jobs
         self.reply_timeout = reply_timeout
         self.pool = WorkerPool(platform.p, context=context)
-        self._schedulers = {algorithm: make_scheduler(algorithm)}
+        self._schedulers = {
+            self.algorithm: make_scheduler(self.algorithm, objective=objective)
+        }
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: deque[_Pending] = deque()
@@ -325,9 +339,12 @@ class SchedulingService:
     # admission
     # ------------------------------------------------------------------
     def _scheduler(self, name: str):
+        name = canonical_name(name)
         sched = self._schedulers.get(name)
         if sched is None:
-            sched = self._schedulers[name] = make_scheduler(name)
+            sched = self._schedulers[name] = make_scheduler(
+                name, objective=self.objective
+            )
         return sched
 
     def _free_workers(self) -> list[int]:

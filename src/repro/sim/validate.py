@@ -537,8 +537,14 @@ def validate_dynamic(
     if coded_meta is not None:
         _audit_decode(coded_meta, chunk_by_id, c_return, grid)
     elif grid is not None:
+        # Dispatch the tiling audit on the recorded partition geometry
+        # (meta["geometry"], stamped by repro.schedulers.geometry; absent
+        # means the default square-chunk grid).  Unknown names raise
+        # rather than silently skipping the audit.
+        from ..schedulers.geometry import audit_tiling
+
         try:
-            assert_partition(result.chunks, grid)
+            audit_tiling(result.chunks, grid, result.meta.get("geometry"))
         except AssertionError as exc:
             raise InvariantViolation(
                 f"surviving chunks do not tile the grid: {exc}"

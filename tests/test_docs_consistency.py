@@ -65,7 +65,7 @@ class TestPublicAPI:
     def test_registry_matches_docs(self):
         assert set(SCHEDULERS) == {
             "Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM", "MaxReuse1",
-            "Coded", "CodedRL",
+            "Coded", "CodedRL", "HomL", "HomIL", "HetL",
         }
 
     def test_version(self):

@@ -70,6 +70,13 @@ NAMES = ("Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM")
 #: distinct returns per stripe) instead of the exact grid tiling.
 CODED_NAMES = ("Coded", "CodedRL")
 
+#: Layer-geometry variants (see repro.schedulers.geometry): the same
+#: search algorithms planning on the transposed grid.  Their recorded
+#: runs ride the full dynamic wall — migration, kill, reselection — and
+#: must satisfy exactly the same invariants (the tiling audit dispatches
+#: on meta["geometry"]).
+LAYER_NAMES = ("HomL", "HomIL", "HetL")
+
 #: Fixed-seed budget of the tier-1 wall (>= 200 validated random timelines,
 #: the acceptance floor of the dynamics subsystem).
 TIER1_RUNS = 200
@@ -123,6 +130,11 @@ def _case(seed: int):
     if rng.random() < 0.2:
         name = rng.choice(CODED_NAMES)
         mode = "coded"
+    # ...and ~15% of the rest run a layer-geometry variant instead.  Also
+    # drawn after every earlier draw (and after the coded gate), so all
+    # pre-layer seeds keep reproducing their original cases bit-for-bit.
+    elif rng.random() < 0.15:
+        name = rng.choice(LAYER_NAMES)
     return platform, grid, timeline, name, mode
 
 
@@ -207,7 +219,7 @@ def test_fuzz_matrix_draws_every_mode():
     modes = {_case(base + i)[4] for i in range(TIER1_RUNS)}
     assert modes == set(DYNAMIC_MODES) | {"coded"}
     names = {_case(base + i)[3] for i in range(TIER1_RUNS)}
-    assert names == set(NAMES) | set(CODED_NAMES)
+    assert names == set(NAMES) | set(CODED_NAMES) | set(LAYER_NAMES)
 
 
 @pytest.mark.parametrize("scenario", DYNAMIC_SCENARIOS)
